@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure of the paper's evaluation: it
+runs the corresponding parameter sweep for both schedulers, prints the same
+series the figure plots (via ``FigureResult.report()``) and writes the text
+report under ``benchmarks/results/`` so the numbers recorded in
+EXPERIMENTS.md can be reproduced with a single ``pytest benchmarks/
+--benchmark-only`` invocation.
+
+``pytest-benchmark`` measures the wall-clock cost of each figure; every sweep
+is executed exactly once per benchmark run (``rounds=1``) because a figure is
+itself hundreds of simulated seconds of network time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Directory where the figure reports are written.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Durations used by the benchmark figures.  They are shorter than the
+#: paper's runs (which lasted tens of minutes on real motes) but long enough
+#: for the schedules to converge and the metrics to stabilise; EXPERIMENTS.md
+#: documents this substitution.
+BENCH_WARMUP_S = 40.0
+BENCH_MEASUREMENT_S = 60.0
+BENCH_SEED = 1
+
+
+def save_report(name: str, text: str) -> str:
+    """Persist a figure report and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_durations():
+    return {"warmup_s": BENCH_WARMUP_S, "measurement_s": BENCH_MEASUREMENT_S}

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Numerical analysis of the GT-TSCH game (Section VII of the paper).
+
+The scheduler's core decision -- how many Tx cells to request from the parent
+-- is the Nash equilibrium of a concave N-person game.  This example uses the
+pure game module (no simulator) to:
+
+1. evaluate the payoff of a congested and an idle node across their strategy
+   sets and locate the optimum of Eq. (15);
+2. verify the existence conditions of Theorem 1 (strict concavity) and the
+   Rosen diagonal-strict-concavity condition of Theorem 2 numerically;
+3. run best-response dynamics from several starting points and show they
+   converge to the same (unique) equilibrium;
+4. show how the equilibrium request reacts to link quality (ETX) and queue
+   occupancy -- the two signals GT-TSCH feeds back into the schedule.
+
+Run with::
+
+    python examples/game_equilibrium_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.game import GameWeights, PlayerState, optimal_tx_cells, payoff
+from repro.core.nash import (
+    best_response_dynamics,
+    equilibrium_profile,
+    is_nash_equilibrium,
+    verify_concavity,
+    verify_diagonal_strict_concavity,
+)
+
+WEIGHTS = GameWeights(alpha=8.0, beta=1.0, gamma=4.0)
+
+
+def player(depth: int, etx: float, queue: float, l_min: float = 1.0, l_rx: float = 12.0):
+    """A player at the given DODAG depth (rank_normalised = 1/depth)."""
+    return PlayerState(
+        l_tx_min=l_min,
+        l_rx_parent=l_rx,
+        rank_normalised=1.0 / depth,
+        etx=etx,
+        queue_metric=queue,
+        q_max=8.0,
+    )
+
+
+def main() -> None:
+    congested = player(depth=1, etx=1.1, queue=6.0)
+    idle = player(depth=2, etx=1.1, queue=0.5)
+
+    print("Payoff across the strategy set (alpha=8, beta=1, gamma=4):")
+    print(f"{'l_tx':>6} {'congested rank-1 node':>24} {'idle rank-2 node':>20}")
+    for l_tx in range(0, 13):
+        print(
+            f"{l_tx:>6} {payoff(l_tx, congested, WEIGHTS):>24.3f} "
+            f"{payoff(l_tx, idle, WEIGHTS):>20.3f}"
+        )
+
+    print("\nEq. (15) optimum (cells to request in the next 6P ADD):")
+    print(f"  congested rank-1 node : {optimal_tx_cells(congested, WEIGHTS):.0f}")
+    print(f"  idle rank-2 node      : {optimal_tx_cells(idle, WEIGHTS):.0f}")
+
+    # A small network of players: one rank-1 router and three rank-2 leaves.
+    players = [
+        player(depth=1, etx=1.1, queue=5.0, l_min=3.0, l_rx=16.0),
+        player(depth=2, etx=1.3, queue=2.0, l_min=1.0, l_rx=6.0),
+        player(depth=2, etx=2.0, queue=4.0, l_min=1.0, l_rx=6.0),
+        player(depth=2, etx=1.0, queue=7.5, l_min=1.0, l_rx=6.0),
+    ]
+
+    print("\nTheorem 1 (existence): payoff strictly concave on every strategy set:",
+          all(verify_concavity(p, WEIGHTS) for p in players))
+    print("Theorem 2 (uniqueness): diagonal strict concavity (Rosen) holds:",
+          verify_diagonal_strict_concavity(players, WEIGHTS))
+
+    equilibrium = equilibrium_profile(players, WEIGHTS)
+    print("\nClosed-form Nash equilibrium (Eq. (15) per player):")
+    print("  ", [round(value, 2) for value in equilibrium])
+    print("Verified as a Nash equilibrium (no profitable unilateral deviation):",
+          is_nash_equilibrium(equilibrium, players, WEIGHTS))
+
+    for start in ([0.0] * 4, [6.0, 6.0, 6.0, 6.0], [16.0, 1.0, 6.0, 3.0]):
+        result = best_response_dynamics(players, WEIGHTS, initial_profile=start)
+        print(
+            f"Best-response dynamics from {start} converged in "
+            f"{result.iterations} round(s) to {[round(v, 2) for v in result.profile]}"
+        )
+
+    print("\nEquilibrium request vs link quality and congestion (rank-1 node, l_rx=12):")
+    print(f"{'ETX':>6} {'Q=0':>8} {'Q=4':>8} {'Q=8':>8}")
+    for etx in (1.0, 1.5, 2.0, 3.0, 4.0):
+        row = [optimal_tx_cells(player(1, etx, q, l_min=0.0), WEIGHTS) for q in (0.0, 4.0, 8.0)]
+        print(f"{etx:>6.1f} {row[0]:>8.0f} {row[1]:>8.0f} {row[2]:>8.0f}")
+    print("\nWorse links suppress the request (energy saving); fuller queues raise it")
+    print("(congestion avoidance) -- exactly the trade-off Eq. (8) encodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""GT-TSCH: the paper's game-theoretic distributed TSCH scheduling function.
+
+Sub-modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.config` -- all GT-TSCH parameters in one dataclass.
+* :mod:`repro.core.channel_allocation` -- the interference-avoiding channel
+  allocation process (Section III, Algorithm 1).
+* :mod:`repro.core.slotframe_builder` -- the slotframe creation rules
+  (Section IV: broadcast / unicast-6P / unicast-data / shared / sleep).
+* :mod:`repro.core.cell_allocation` -- the Unicast-Data cell placement rules
+  (Section V: Tx > Rx, no consecutive Rx, fair child interleaving).
+* :mod:`repro.core.load_balancing` -- the load-balancing algorithm and the
+  EWMA queue metric (Section VI, Eqs. (1) and (6)).
+* :mod:`repro.core.game` -- the non-cooperative game: utility, cost and
+  payoff functions and the closed-form optimum (Section VII, Eqs. (2)-(15)).
+* :mod:`repro.core.nash` -- numeric verification of the Nash equilibrium
+  existence/uniqueness conditions (Theorems 1-2) and best-response dynamics.
+* :mod:`repro.core.scheduler` -- the scheduling function tying everything to
+  the simulated protocol stack.
+"""
+
+from repro.core.config import GtTschConfig
+from repro.core.game import (
+    GameWeights,
+    PlayerState,
+    ewma_queue_metric,
+    link_cost,
+    optimal_tx_cells,
+    payoff,
+    queue_cost,
+    unconstrained_optimum,
+    utility,
+)
+from repro.core.nash import (
+    best_response,
+    best_response_dynamics,
+    is_nash_equilibrium,
+    verify_concavity,
+    verify_diagonal_strict_concavity,
+)
+from repro.core.channel_allocation import ChannelAllocator, allocate_channels_in_tree
+from repro.core.slotframe_builder import GtSlotframeBuilder, broadcast_offsets, shared_offsets
+from repro.core.cell_allocation import CellAllocationError, UnicastCellAllocator
+from repro.core.load_balancing import QueueMetric, compute_minimum_tx_cells
+from repro.core.scheduler import GtTschScheduler
+
+__all__ = [
+    "GtTschConfig",
+    "GameWeights",
+    "PlayerState",
+    "utility",
+    "link_cost",
+    "queue_cost",
+    "payoff",
+    "unconstrained_optimum",
+    "optimal_tx_cells",
+    "ewma_queue_metric",
+    "best_response",
+    "best_response_dynamics",
+    "is_nash_equilibrium",
+    "verify_concavity",
+    "verify_diagonal_strict_concavity",
+    "ChannelAllocator",
+    "allocate_channels_in_tree",
+    "GtSlotframeBuilder",
+    "broadcast_offsets",
+    "shared_offsets",
+    "UnicastCellAllocator",
+    "CellAllocationError",
+    "QueueMetric",
+    "compute_minimum_tx_cells",
+    "GtTschScheduler",
+]

@@ -1,0 +1,221 @@
+"""GT-TSCH channel allocation (Section III, Algorithm 1).
+
+GT-TSCH avoids the four interference problems of Fig. 2 by construction:
+
+1. a parent receives from all of its children on a *single* channel (its
+   child-facing channel ``f_{i,cs_i}``), and each timeslot of that channel is
+   dedicated to one child, so a node never has two communications scheduled
+   in the same timeslot;
+2. sibling subtrees use different child-facing channels, so simultaneous
+   transmissions of cousins cannot collide;
+3. a node's child-facing channel differs from its parent's and grandparent's
+   child-facing channels, so "uncle" transmissions cannot collide either;
+4. every allocated channel is unique along any three-hop routing path, which
+   removes the hidden-terminal case.
+
+The parent owns the decision: when a child sends the 6P ``ASK-CHANNEL``
+request, the parent picks a channel that is not the broadcast channel, not
+its own parent-facing channel, not its own child-facing channel, and not
+already given to a sibling (Algorithm 1).  :class:`ChannelAllocator`
+implements that per-node logic; :func:`allocate_channels_in_tree` runs it
+over a whole DODAG for analysis, examples and the property-based tests that
+verify the three-hop uniqueness invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class ChannelAllocationError(RuntimeError):
+    """Raised when no conflict-free channel offset is available."""
+
+
+@dataclass
+class ChannelAllocator:
+    """Per-node channel bookkeeping for GT-TSCH.
+
+    The allocator tracks the three channels Algorithm 1 forbids (broadcast,
+    parent-facing, own child-facing) and the channels already assigned to
+    each child, and hands out child-facing channels for children on demand.
+    """
+
+    num_channels: int
+    broadcast_offset: int = 0
+    #: Channel offset used towards the parent (the parent's child-facing channel).
+    parent_facing_offset: Optional[int] = None
+    #: Channel offset this node's children transmit on.
+    child_facing_offset: Optional[int] = None
+    #: Child-facing channels granted to each child (``f_{j,cs_j}``).
+    child_grants: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 3:
+            raise ValueError("GT-TSCH channel allocation needs at least 3 channels")
+        if not 0 <= self.broadcast_offset < self.num_channels:
+            raise ValueError("broadcast_offset out of range")
+
+    # ------------------------------------------------------------------
+    def available_offsets(self) -> List[int]:
+        """Channel offsets usable for unicast data (everything but broadcast)."""
+        return [offset for offset in range(self.num_channels) if offset != self.broadcast_offset]
+
+    def forbidden_offsets(self) -> Set[int]:
+        """Offsets Algorithm 1 forbids for a child's child-facing channel."""
+        forbidden = {self.broadcast_offset}
+        if self.parent_facing_offset is not None:
+            forbidden.add(self.parent_facing_offset)
+        if self.child_facing_offset is not None:
+            forbidden.add(self.child_facing_offset)
+        return forbidden
+
+    def pick_own_child_channel(self, rng=None) -> int:
+        """Root-only: pick this node's child-facing channel (Algorithm 1 line 2).
+
+        Non-root nodes receive their child-facing channel from their parent
+        through ASK-CHANNEL; roots pick one themselves (randomly when an RNG
+        is supplied, deterministically otherwise).
+        """
+        candidates = [
+            offset
+            for offset in self.available_offsets()
+            if offset != self.parent_facing_offset
+        ]
+        if not candidates:
+            raise ChannelAllocationError("no channel available for the child-facing link")
+        if rng is not None:
+            choice = rng.choice(candidates)
+        else:
+            choice = candidates[0]
+        self.child_facing_offset = choice
+        return choice
+
+    def grant_child_channel(self, child: int) -> int:
+        """Answer a child's ASK-CHANNEL request (Algorithm 1 lines 11-22).
+
+        The granted offset avoids the broadcast channel, this node's
+        parent-facing and child-facing channels, and every offset already
+        granted to a sibling.  The grant is remembered so repeated requests
+        (e.g. after a 6P retransmission) are idempotent.
+        """
+        if child in self.child_grants:
+            return self.child_grants[child]
+        taken = set(self.child_grants.values()) | self.forbidden_offsets()
+        for offset in self.available_offsets():
+            if offset not in taken:
+                self.child_grants[child] = offset
+                return offset
+        raise ChannelAllocationError(
+            f"no conflict-free channel left for child {child}: "
+            f"{self.num_channels} channels, {len(self.child_grants)} children, "
+            f"forbidden={sorted(self.forbidden_offsets())}"
+        )
+
+    def release_child(self, child: int) -> None:
+        """Forget the grant of a departed child so its channel can be reused."""
+        self.child_grants.pop(child, None)
+
+    def max_children(self) -> int:
+        """Children this node can serve with unique channels (``n - 2 - 1``)."""
+        return max(0, self.num_channels - len(self.forbidden_offsets()))
+
+
+# ----------------------------------------------------------------------
+# whole-tree allocation (analysis / examples / property tests)
+# ----------------------------------------------------------------------
+def allocate_channels_in_tree(
+    parent_map: Dict[int, Optional[int]],
+    num_channels: int,
+    broadcast_offset: int = 0,
+    rng=None,
+) -> Dict[int, int]:
+    """Run GT-TSCH channel allocation over an entire DODAG.
+
+    ``parent_map`` maps every node to its parent (roots map to ``None``).
+    Returns the child-facing channel offset of every node that has at least
+    one potential child (i.e. every node), such that:
+
+    * no node shares its child-facing channel with its parent or grandparent
+      (three-hop uniqueness along any routing path);
+    * siblings have distinct child-facing channels;
+    * the broadcast offset is never used.
+
+    Raises :class:`ChannelAllocationError` when a node has more children than
+    ``num_channels - 3`` allows, matching the constraint of Section III.
+    """
+    children: Dict[Optional[int], List[int]] = {}
+    for node, parent in parent_map.items():
+        children.setdefault(parent, []).append(node)
+    for bucket in children.values():
+        bucket.sort()
+
+    allocators: Dict[int, ChannelAllocator] = {
+        node: ChannelAllocator(num_channels=num_channels, broadcast_offset=broadcast_offset)
+        for node in parent_map
+    }
+    assignment: Dict[int, int] = {}
+
+    roots = sorted(children.get(None, []))
+    if not roots:
+        raise ValueError("parent_map contains no root (a node whose parent is None)")
+
+    # Breadth-first: parents always have their own channels before their
+    # children ask, exactly as EB/ASK-CHANNEL propagation works at run time.
+    frontier = list(roots)
+    for root in roots:
+        assignment[root] = allocators[root].pick_own_child_channel(rng)
+
+    while frontier:
+        next_frontier: List[int] = []
+        for parent in frontier:
+            parent_alloc = allocators[parent]
+            for child in children.get(parent, []):
+                granted = parent_alloc.grant_child_channel(child)
+                assignment[child] = granted
+                child_alloc = allocators[child]
+                child_alloc.parent_facing_offset = assignment[parent]
+                child_alloc.child_facing_offset = granted
+                next_frontier.append(child)
+        frontier = next_frontier
+    return assignment
+
+
+def verify_three_hop_uniqueness(
+    parent_map: Dict[int, Optional[int]], assignment: Dict[int, int]
+) -> List[str]:
+    """Return violations of the channel allocation invariants (empty = valid).
+
+    Checked invariants (Section III):
+
+    * a node's child-facing channel differs from its parent's and its
+      grandparent's child-facing channels;
+    * siblings have distinct child-facing channels.
+    """
+    violations: List[str] = []
+    for node, parent in parent_map.items():
+        if parent is None:
+            continue
+        if assignment.get(node) == assignment.get(parent):
+            violations.append(f"node {node} shares a channel with its parent {parent}")
+        grandparent = parent_map.get(parent)
+        if grandparent is not None and assignment.get(node) == assignment.get(grandparent):
+            violations.append(
+                f"node {node} shares a channel with its grandparent {grandparent}"
+            )
+    siblings: Dict[Optional[int], List[int]] = {}
+    for node, parent in parent_map.items():
+        siblings.setdefault(parent, []).append(node)
+    for parent, group in siblings.items():
+        if parent is None:
+            continue
+        seen: Dict[int, int] = {}
+        for node in group:
+            channel = assignment.get(node)
+            if channel in seen:
+                violations.append(
+                    f"siblings {seen[channel]} and {node} (parent {parent}) share channel {channel}"
+                )
+            else:
+                seen[channel] = node
+    return violations

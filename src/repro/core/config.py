@@ -1,0 +1,97 @@
+"""GT-TSCH configuration.
+
+All tunables of the scheduling function live in :class:`GtTschConfig` so that
+experiments can sweep them (the slotframe-length sweep of Fig. 10, the payoff
+weight ablation) without touching scheduler code.  Defaults follow the
+paper's experimental configuration (Table II and the worked examples of
+Sections IV-V) wherever the paper states a value, and are documented where it
+does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.game import GameWeights
+
+
+@dataclass
+class GtTschConfig:
+    """Parameters of the GT-TSCH scheduling function."""
+
+    #: Slotframe size ``m`` (Table II uses 32 timeslots).
+    slotframe_length: int = 32
+    #: Number of broadcast timeslots ``k`` distributed uniformly over the
+    #: slotframe (Section IV rule 1).  The paper sets m and k "based on the
+    #: numbers of roots and IoT nodes"; 4 broadcast slots per 32-slot frame
+    #: (one every 8 slots = every 120 ms) keeps the DODAG reactive while
+    #: costing 12.5 % of the frame.
+    num_broadcast_cells: int = 4
+    #: Unicast-6P timeslots allocated per neighbor pair (Section IV rule 2:
+    #: "two Unicast-6P timeslots ... when the size of the slotframe is 32").
+    sixp_cells_per_neighbor: int = 2
+    #: Number of frequency channel offsets available (the 8-entry hopping
+    #: sequence of Table II).
+    num_channels: int = 8
+    #: Channel offset reserved for broadcast control traffic (``f_bcast``).
+    broadcast_channel_offset: int = 0
+    #: Number of shared timeslots between a parent and its children
+    #: (Section IV rule 4: "half of the maximum number of children", each
+    #: shared timeslot serving two children).
+    num_shared_cells: int = 0  # 0 = derive from max_children (see __post_init__)
+    #: Payoff weights (alpha, beta, gamma) of Eq. (8).
+    weights: GameWeights = field(default_factory=GameWeights)
+    #: EWMA smoothing factor ``zeta`` of the queue metric (Eq. (6)).
+    queue_ewma_zeta: float = 0.5
+    #: Maximum queue length ``QMax`` used in the queue cost (matches the MAC
+    #: queue capacity of the node configuration).
+    q_max: int = 8
+    #: Period of the load-balancing / schedule-update algorithm (Section VI
+    #: monitors the node's load "periodically"; 4 s reacts within a couple of
+    #: slotframes while keeping 6P overhead negligible).
+    load_balance_period_s: float = 4.0
+    #: Number of Unicast-Data Tx cells requested as soon as a parent is
+    #: acquired, before any load information exists (bootstrap allocation).
+    initial_tx_cells: int = 1
+    #: Extra Tx cells tolerated above the requirement before a 6P DELETE is
+    #: issued to reclaim energy (hysteresis against allocation flapping).
+    overprovision_slack: int = 2
+    #: Safety margin (cells) kept free at the parent when advertising l_rx.
+    parent_budget_margin: int = 1
+
+    def __post_init__(self) -> None:
+        if self.slotframe_length < 4:
+            raise ValueError("slotframe_length must be at least 4")
+        if not 1 <= self.num_broadcast_cells < self.slotframe_length:
+            raise ValueError("num_broadcast_cells must be in [1, slotframe_length)")
+        if self.num_channels < 3:
+            raise ValueError(
+                "GT-TSCH needs at least 3 channels (broadcast, parent-facing, child-facing)"
+            )
+        if not 0 <= self.broadcast_channel_offset < self.num_channels:
+            raise ValueError("broadcast_channel_offset out of range")
+        if not 0.0 <= self.queue_ewma_zeta <= 1.0:
+            raise ValueError("queue_ewma_zeta must lie in [0, 1]")
+        if self.q_max <= 0:
+            raise ValueError("q_max must be positive")
+        if self.sixp_cells_per_neighbor < 1:
+            raise ValueError("sixp_cells_per_neighbor must be at least 1")
+        if self.num_shared_cells == 0:
+            self.num_shared_cells = max(1, math.ceil(self.max_children / 2))
+
+    @property
+    def max_children(self) -> int:
+        """Maximum children per node (Section III: ``n - 2 - 1`` channels).
+
+        One channel is reserved for broadcast, one for the node's own parent
+        link and one for the node's child-facing link; what remains bounds the
+        number of children whose child-facing channels can stay unique on
+        three-hop paths.
+        """
+        return max(1, self.num_channels - 3)
+
+    @property
+    def broadcast_spacing(self) -> int:
+        """Slots between consecutive broadcast timeslots (``floor(m/k)``)."""
+        return max(1, self.slotframe_length // self.num_broadcast_cells)

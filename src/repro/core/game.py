@@ -1,0 +1,257 @@
+"""The GT-TSCH non-cooperative game (Section VII of the paper).
+
+Each IoT node is a player choosing how many TSCH Tx cells (``l^tx_i``) to
+request from its parent, within the strategy set
+``S_i = [l^{tx-min}_i, l^{rx}_{p_i}]``.  The payoff (Eq. (8)) trades a
+logarithmic utility that favours nodes close to the root (Eqs. (2)-(3))
+against a link-quality cost (Eq. (5), driven by ETX) and a queue cost
+(Eq. (7), driven by the EWMA queue metric of Eq. (6)):
+
+    v_i(l) = alpha * Rank~_i * log(l + 1)
+             - beta  * l * (ETX_i - 1)
+             - gamma * l * (1 - Q_i / QMax)
+
+Because the payoff is strictly concave in ``l``, the KKT conditions of the
+constrained maximisation (Eq. (13)) have the closed-form solution of
+Eq. (15), implemented in :func:`optimal_tx_cells`.
+
+Everything in this module is a pure function of floats -- no simulator state
+-- so the math can be property-tested in isolation and reused outside the
+simulator (e.g. on a real mote, this is the code that would run on-device).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class GameWeights:
+    """User-preference weights of the payoff function (alpha, beta, gamma).
+
+    The paper sets them "by considering the network topology and application
+    features": for networks with high-quality links under heavy traffic the
+    queue cost should dominate the link cost (gamma > beta).  The defaults
+    follow that guidance and are the values used by every benchmark scenario
+    (see EXPERIMENTS.md for the ablation over these weights).
+    """
+
+    alpha: float = 8.0
+    beta: float = 1.0
+    gamma: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive (otherwise utility vanishes)")
+        if self.beta < 0 or self.gamma < 0:
+            raise ValueError("beta and gamma must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlayerState:
+    """Everything node ``i`` needs to evaluate its payoff.
+
+    Attributes
+    ----------
+    l_tx_min:
+        Minimum number of Tx cells required by the load-balancing algorithm
+        (Eq. (1)); lower bound of the strategy set.
+    l_rx_parent:
+        Number of reception cells the parent advertises in its DIO
+        (``l^rx_{p_i}``); upper bound of the strategy set.
+    rank_normalised:
+        ``Rank~_i`` of Eq. (3) (``MinHopRankIncrease / (Rank_i - Rank_min)``).
+    etx:
+        ETX of the link towards the preferred parent (>= 1, Eq. (4)).
+    queue_metric:
+        EWMA queue metric ``Q_i`` of Eq. (6).
+    q_max:
+        Maximum queue length ``QMax``.
+    """
+
+    l_tx_min: float
+    l_rx_parent: float
+    rank_normalised: float
+    etx: float
+    queue_metric: float
+    q_max: float
+
+    def __post_init__(self) -> None:
+        if self.q_max <= 0:
+            raise ValueError("q_max must be positive")
+        if self.etx < 1.0:
+            raise ValueError("ETX is a number of transmissions and cannot be below 1")
+        if self.queue_metric < 0:
+            raise ValueError("queue_metric cannot be negative")
+        if self.l_tx_min < 0 or self.l_rx_parent < 0:
+            raise ValueError("cell counts cannot be negative")
+
+
+# ----------------------------------------------------------------------
+# Eq. (2): utility
+# ----------------------------------------------------------------------
+def utility(l_tx: float, rank_normalised: float) -> float:
+    """Logarithmic utility ``u_i = Rank~_i * log(l + 1)`` (Eq. (2)).
+
+    Strictly concave and increasing in ``l_tx``; nodes with a smaller Rank
+    (closer to the root) obtain more profit per cell, which prioritises them
+    in the allocation and balances load along the DODAG.
+    """
+    if l_tx < 0:
+        raise ValueError("l_tx cannot be negative")
+    return rank_normalised * math.log(l_tx + 1.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. (5): link-quality cost
+# ----------------------------------------------------------------------
+def link_cost(l_tx: float, etx: float) -> float:
+    """Link-quality cost ``d_i = l * (ETX - 1)`` (Eq. (5)).
+
+    A perfect link (ETX = 1) costs nothing; lossy links make additional Tx
+    cells expensive, reducing the incentive to pump traffic over links that
+    would waste energy on retransmissions.
+    """
+    if l_tx < 0:
+        raise ValueError("l_tx cannot be negative")
+    if etx < 1.0:
+        raise ValueError("ETX cannot be below 1")
+    return l_tx * (etx - 1.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. (7): queue cost
+# ----------------------------------------------------------------------
+def queue_cost(l_tx: float, queue_metric: float, q_max: float) -> float:
+    """Queue cost ``z_i = l * (1 - Q_i/QMax)`` (Eq. (7)).
+
+    A nearly full queue (``Q_i -> QMax``) makes extra Tx cells nearly free,
+    prioritising congested nodes; an empty queue makes them expensive,
+    steering idle nodes towards energy saving.
+    """
+    if l_tx < 0:
+        raise ValueError("l_tx cannot be negative")
+    if q_max <= 0:
+        raise ValueError("q_max must be positive")
+    occupancy = min(max(queue_metric / q_max, 0.0), 1.0)
+    return l_tx * (1.0 - occupancy)
+
+
+# ----------------------------------------------------------------------
+# Eq. (8): payoff
+# ----------------------------------------------------------------------
+def payoff(
+    l_tx: float,
+    state: PlayerState,
+    weights: Optional[GameWeights] = None,
+) -> float:
+    """Payoff ``v_i = alpha*u_i - beta*d_i - gamma*z_i`` (Eq. (8))."""
+    weights = weights or GameWeights()
+    return (
+        weights.alpha * utility(l_tx, state.rank_normalised)
+        - weights.beta * link_cost(l_tx, state.etx)
+        - weights.gamma * queue_cost(l_tx, state.queue_metric, state.q_max)
+    )
+
+
+def payoff_derivative(l_tx: float, state: PlayerState, weights: Optional[GameWeights] = None) -> float:
+    """First derivative of the payoff with respect to ``l_tx``.
+
+    Used by the KKT stationarity condition and by the numeric Nash checks.
+    """
+    weights = weights or GameWeights()
+    occupancy = min(max(state.queue_metric / state.q_max, 0.0), 1.0)
+    return (
+        weights.alpha * state.rank_normalised / (l_tx + 1.0)
+        - weights.beta * (state.etx - 1.0)
+        - weights.gamma * (1.0 - occupancy)
+    )
+
+
+def payoff_second_derivative(
+    l_tx: float, state: PlayerState, weights: Optional[GameWeights] = None
+) -> float:
+    """Second derivative (Eq. (10)); strictly negative, proving concavity."""
+    weights = weights or GameWeights()
+    return -weights.alpha * state.rank_normalised / ((l_tx + 1.0) ** 2)
+
+
+# ----------------------------------------------------------------------
+# Eq. (15): the constrained optimum
+# ----------------------------------------------------------------------
+def unconstrained_optimum(state: PlayerState, weights: Optional[GameWeights] = None) -> float:
+    """The stationary point ``alpha*Rank~ / (gamma*(1-Q/QMax) + beta*(ETX-1)) - 1``.
+
+    This is where the payoff derivative vanishes; when the marginal cost is
+    zero (perfect link *and* full queue) the optimum is unbounded and the
+    function returns ``math.inf`` -- the caller clamps to the strategy set.
+    """
+    weights = weights or GameWeights()
+    occupancy = min(max(state.queue_metric / state.q_max, 0.0), 1.0)
+    marginal_cost = weights.gamma * (1.0 - occupancy) + weights.beta * (state.etx - 1.0)
+    if marginal_cost <= 0.0:
+        return math.inf
+    return (weights.alpha * state.rank_normalised / marginal_cost) - 1.0
+
+
+def optimal_tx_cells(
+    state: PlayerState,
+    weights: Optional[GameWeights] = None,
+    integral: bool = True,
+) -> float:
+    """Optimal number of Tx cells to request (Eq. (15) / Algorithm 2).
+
+    The KKT conditions of the constrained problem (Eq. (13)) yield a simple
+    projection of the unconstrained stationary point onto the strategy set
+    ``[l_tx_min, l_rx_parent]``:
+
+    * if the stationary point is below ``l_tx_min`` the lower constraint is
+      active and the node requests exactly ``l_tx_min``;
+    * if it exceeds ``l_rx_parent`` the upper constraint is active and the
+      node requests everything the parent can offer;
+    * otherwise it requests the stationary point itself.
+
+    When the parent offers fewer cells than the node's minimum requirement
+    (``l_rx_parent < l_tx_min``) the strategy set is empty; following
+    Section VII the request is capped at ``l_rx_parent``.
+
+    With ``integral=True`` (the on-mote behaviour) the result is rounded down
+    to a whole number of cells, never below zero.
+    """
+    weights = weights or GameWeights()
+    lower = state.l_tx_min
+    upper = state.l_rx_parent
+
+    if upper <= lower:
+        result = upper
+    else:
+        stationary = unconstrained_optimum(state, weights)
+        if stationary <= lower:
+            result = lower
+        elif stationary >= upper:
+            result = upper
+        else:
+            result = stationary
+
+    if integral:
+        return float(max(0, math.floor(result + 1e-9)))
+    return max(0.0, result)
+
+
+# ----------------------------------------------------------------------
+# Eq. (6): the EWMA queue metric
+# ----------------------------------------------------------------------
+def ewma_queue_metric(previous: float, current_queue_length: float, zeta: float) -> float:
+    """One EWMA step of the queue metric (Eq. (6)).
+
+    ``Q_i(t) = zeta * Q_i(t-1) + (1 - zeta) * q_i(t)`` -- ``zeta`` close to 1
+    makes the metric slow and smooth, ``zeta`` close to 0 makes it track the
+    instantaneous queue length.
+    """
+    if not 0.0 <= zeta <= 1.0:
+        raise ValueError("zeta must lie in [0, 1]")
+    if current_queue_length < 0 or previous < 0:
+        raise ValueError("queue lengths cannot be negative")
+    return zeta * previous + (1.0 - zeta) * current_queue_length

@@ -1,0 +1,50 @@
+"""Experiment harness reproducing the paper's evaluation (Figs. 8-10).
+
+* :mod:`repro.experiments.scenarios` -- the Table II configuration and the
+  three scenario families (traffic-load sweep, DODAG-size sweep, slotframe
+  length sweep).
+* :mod:`repro.experiments.runner` -- functions that run one scenario or a
+  whole figure and return the metric series the paper plots.
+* :mod:`repro.experiments.ablation` -- ablations over GT-TSCH design choices
+  that the paper fixes (payoff weights, EWMA smoothing, shared cells).
+"""
+
+from repro.experiments.scenarios import (
+    ContikiConfig,
+    Scenario,
+    dodag_size_scenario,
+    slotframe_scenario,
+    traffic_load_scenario,
+)
+from repro.experiments.runner import (
+    FigureResult,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_scenario,
+)
+from repro.experiments.ablation import (
+    run_ewma_ablation,
+    run_shared_cell_ablation,
+    run_weight_ablation,
+)
+from repro.experiments.export import figure_to_csv, figure_to_json, load_figure_csv
+
+__all__ = [
+    "ContikiConfig",
+    "Scenario",
+    "traffic_load_scenario",
+    "dodag_size_scenario",
+    "slotframe_scenario",
+    "FigureResult",
+    "run_scenario",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_weight_ablation",
+    "run_ewma_ablation",
+    "run_shared_cell_ablation",
+    "figure_to_csv",
+    "figure_to_json",
+    "load_figure_csv",
+]

@@ -1,0 +1,97 @@
+"""Ablations over GT-TSCH design choices the paper fixes.
+
+The paper sets the payoff weights (alpha, beta, gamma), the EWMA smoothing
+factor zeta and the number of shared cells without sweeping them.  These
+ablations quantify how sensitive the headline results are to those choices,
+as called out in DESIGN.md.  Each function returns a mapping from the swept
+value to the resulting :class:`repro.metrics.collector.NetworkMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.game import GameWeights
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import GT_TSCH, ContikiConfig, traffic_load_scenario
+from repro.metrics.collector import NetworkMetrics
+
+
+def run_weight_ablation(
+    weight_sets: Sequence[Tuple[float, float, float]] = (
+        (8.0, 1.0, 4.0),  # default: queue cost dominates link cost
+        (8.0, 4.0, 1.0),  # link cost dominates (paper: for low-quality links)
+        (2.0, 1.0, 1.0),  # weak utility: near-minimal allocation
+        (16.0, 1.0, 4.0),  # strong utility: aggressive allocation
+    ),
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 45.0,
+    warmup_s: float = 30.0,
+) -> Dict[Tuple[float, float, float], NetworkMetrics]:
+    """Sweep the (alpha, beta, gamma) payoff weights of Eq. (8)."""
+    results: Dict[Tuple[float, float, float], NetworkMetrics] = {}
+    for alpha, beta, gamma in weight_sets:
+        contiki = ContikiConfig(game_weights=GameWeights(alpha=alpha, beta=beta, gamma=gamma))
+        scenario = traffic_load_scenario(
+            rate_ppm=rate_ppm,
+            scheduler=GT_TSCH,
+            seed=seed,
+            contiki=contiki,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        )
+        results[(alpha, beta, gamma)] = run_scenario(scenario)
+    return results
+
+
+def run_ewma_ablation(
+    zetas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9),
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 45.0,
+    warmup_s: float = 30.0,
+) -> Dict[float, NetworkMetrics]:
+    """Sweep the EWMA smoothing factor zeta of the queue metric (Eq. (6))."""
+    results: Dict[float, NetworkMetrics] = {}
+    for zeta in zetas:
+        contiki = ContikiConfig(queue_ewma_zeta=zeta)
+        scenario = traffic_load_scenario(
+            rate_ppm=rate_ppm,
+            scheduler=GT_TSCH,
+            seed=seed,
+            contiki=contiki,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        )
+        results[zeta] = run_scenario(scenario)
+    return results
+
+
+def run_shared_cell_ablation(
+    load_balance_periods: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 45.0,
+    warmup_s: float = 30.0,
+) -> Dict[float, NetworkMetrics]:
+    """Sweep the load-balancing period (how quickly GT-TSCH reacts to load).
+
+    The paper monitors the node's load "periodically" without fixing the
+    period; this ablation shows the trade-off between reaction time (short
+    periods adapt faster) and 6P control overhead (long periods negotiate
+    less).
+    """
+    results: Dict[float, NetworkMetrics] = {}
+    for period in load_balance_periods:
+        contiki = ContikiConfig(load_balance_period_s=period)
+        scenario = traffic_load_scenario(
+            rate_ppm=rate_ppm,
+            scheduler=GT_TSCH,
+            seed=seed,
+            contiki=contiki,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        )
+        results[period] = run_scenario(scenario)
+    return results

@@ -1,0 +1,161 @@
+"""Run scenarios and whole figures, and render the paper-style series.
+
+Each ``run_figureN`` function reproduces one figure of the paper's evaluation
+section: it sweeps the figure's x-axis, runs every scheduler at every swept
+value, and returns a :class:`FigureResult` whose ``report()`` prints the same
+six series (PDR, delay, packet loss, duty cycle, queue loss, throughput) the
+figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.scenarios import (
+    GT_TSCH,
+    ORCHESTRA,
+    Scenario,
+    dodag_size_scenario,
+    slotframe_scenario,
+    traffic_load_scenario,
+)
+from repro.metrics.collector import NetworkMetrics
+from repro.metrics.report import format_figure_report
+
+#: Scheduler line-up used in the paper's comparisons.
+DEFAULT_SCHEDULERS = (GT_TSCH, ORCHESTRA)
+
+
+def run_scenario(scenario: Scenario) -> NetworkMetrics:
+    """Build, run and measure one scenario."""
+    network = scenario.build_network()
+    return network.run_experiment(
+        warmup_s=scenario.warmup_s,
+        measurement_s=scenario.measurement_s,
+        drain_s=scenario.drain_s,
+        scheduler_name=scenario.scheduler,
+    )
+
+
+@dataclass
+class FigureResult:
+    """Results of one figure: a sweep axis x a set of schedulers."""
+
+    figure: str
+    sweep_label: str
+    sweep_values: List
+    #: scheduler name -> list of metrics, aligned with ``sweep_values``.
+    results: Dict[str, List[NetworkMetrics]] = field(default_factory=dict)
+
+    def series(self, scheduler: str, metric_key: str) -> List[float]:
+        """One plotted line: the metric values of one scheduler across the sweep."""
+        return [metrics.as_dict()[metric_key] for metrics in self.results[scheduler]]
+
+    def report(self) -> str:
+        """Text rendering of all six panels of the figure."""
+        return format_figure_report(
+            self.figure, self.sweep_label, self.sweep_values, self.results
+        )
+
+    def rows(self) -> List[dict]:
+        """Flat list of dict rows (sweep value + scheduler + metrics), CSV-friendly."""
+        rows = []
+        for scheduler, series in self.results.items():
+            for value, metrics in zip(self.sweep_values, series):
+                row = {"sweep": value, **metrics.as_dict()}
+                row["scheduler"] = scheduler
+                rows.append(row)
+        return rows
+
+
+def _run_sweep(
+    figure: str,
+    sweep_label: str,
+    sweep_values: Sequence,
+    scenario_for: Callable[[object, str], Scenario],
+    schedulers: Sequence[str],
+) -> FigureResult:
+    result = FigureResult(
+        figure=figure, sweep_label=sweep_label, sweep_values=list(sweep_values)
+    )
+    for scheduler in schedulers:
+        series: List[NetworkMetrics] = []
+        for value in sweep_values:
+            scenario = scenario_for(value, scheduler)
+            series.append(run_scenario(scenario))
+        result.results[scheduler] = series
+    return result
+
+
+def run_figure8(
+    rates_ppm: Sequence[float] = (30, 75, 120, 165),
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    seed: int = 1,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> FigureResult:
+    """Fig. 8: performance vs per-node traffic load (30-165 ppm), 14 nodes."""
+    return _run_sweep(
+        figure="Figure 8: performance vs traffic load",
+        sweep_label="traffic load (ppm/node)",
+        sweep_values=rates_ppm,
+        scenario_for=lambda rate, scheduler: traffic_load_scenario(
+            rate_ppm=rate,
+            scheduler=scheduler,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        ),
+        schedulers=schedulers,
+    )
+
+
+def run_figure9(
+    dodag_sizes: Sequence[int] = (6, 7, 8, 9),
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> FigureResult:
+    """Fig. 9: performance vs DODAG size (6-9 nodes per DODAG), 120 ppm."""
+    return _run_sweep(
+        figure="Figure 9: performance vs DODAG size",
+        sweep_label="nodes per DODAG",
+        sweep_values=dodag_sizes,
+        scenario_for=lambda size, scheduler: dodag_size_scenario(
+            nodes_per_dodag=size,
+            scheduler=scheduler,
+            rate_ppm=rate_ppm,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        ),
+        schedulers=schedulers,
+    )
+
+
+def run_figure10(
+    unicast_lengths: Sequence[int] = (8, 12, 16, 20),
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> FigureResult:
+    """Fig. 10: performance vs unicast slotframe length (8-20)."""
+    return _run_sweep(
+        figure="Figure 10: performance vs slotframe length",
+        sweep_label="unicast slotframe length",
+        sweep_values=unicast_lengths,
+        scenario_for=lambda length, scheduler: slotframe_scenario(
+            unicast_slotframe_length=length,
+            scheduler=scheduler,
+            rate_ppm=rate_ppm,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        ),
+        schedulers=schedulers,
+    )

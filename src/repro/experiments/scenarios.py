@@ -1,0 +1,244 @@
+"""Scenario definitions for the paper's three experiment families.
+
+All scenarios share the Contiki-NG configuration of Table II
+(:class:`ContikiConfig`): 15 ms timeslots, the 8-channel hopping sequence,
+2 s EB period, MRHOF, 4 retransmissions, and a GT-TSCH slotframe of 32
+timeslots.  A :class:`Scenario` fully describes one simulation run --
+topology, workload, scheduler, durations, seed -- and
+:func:`repro.experiments.runner.run_scenario` turns it into metrics.
+
+The three factory functions mirror the paper's evaluation section:
+
+* :func:`traffic_load_scenario` -- Fig. 8: two 7-node DODAGs (14 nodes),
+  per-node rate swept over 30-165 ppm;
+* :func:`dodag_size_scenario` -- Fig. 9: two DODAGs, 6-9 nodes per DODAG,
+  120 ppm per node;
+* :func:`slotframe_scenario` -- Fig. 10: fixed topology and rate, unicast
+  slotframe length swept over 8-20 (GT-TSCH slotframe = 4x, as the paper
+  does for fairness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.core.config import GtTschConfig
+from repro.core.game import GameWeights
+from repro.core.scheduler import GtTschScheduler
+from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE
+from repro.mac.tsch import TschConfig
+from repro.net.network import Network
+from repro.net.node import NodeConfig
+from repro.net.topology import TopologyBuilder, multi_dodag_topology
+from repro.net.traffic import PeriodicTrafficGenerator
+from repro.phy.propagation import UnitDiskLossyEdgeModel
+from repro.rpl.engine import RplConfig
+from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
+from repro.sixtop.layer import SixPConfig
+
+#: Scheduler names accepted by the scenarios.
+GT_TSCH = "GT-TSCH"
+ORCHESTRA = "Orchestra"
+MINIMAL = "6TiSCH-minimal"
+
+
+@dataclass
+class ContikiConfig:
+    """The shared protocol configuration of Table II."""
+
+    slot_duration_s: float = 0.015
+    hopping_sequence: tuple = DEFAULT_HOPPING_SEQUENCE
+    eb_period_s: float = 2.0
+    max_retries: int = 4
+    queue_capacity: int = 8
+    #: GT-TSCH slotframe length (Table II: 32).
+    gt_slotframe_length: int = 32
+    #: Orchestra unicast slotframe length.  The paper fixes the GT-TSCH
+    #: slotframe to four times the Orchestra unicast slotframe for fairness
+    #: (Section VIII, third experiment); the same ratio is applied everywhere.
+    orchestra_unicast_length: int = 8
+    #: Minimum DIO interval.  Table II lists 300 s for the steady-state phase;
+    #: scenarios use a smaller value so the DODAG information (including the
+    #: GT-TSCH l_rx option) circulates within the warm-up window, then Trickle
+    #: doubling backs the rate off.
+    dio_interval_min_s: float = 4.0
+    #: GT-TSCH payoff weights (alpha, beta, gamma) and EWMA factor.
+    game_weights: GameWeights = field(default_factory=GameWeights)
+    queue_ewma_zeta: float = 0.5
+    load_balance_period_s: float = 4.0
+    num_broadcast_cells: int = 4
+
+    def node_config(self) -> NodeConfig:
+        """Bundle the per-node protocol configuration."""
+        return NodeConfig(
+            tsch=TschConfig(
+                slot_duration_s=self.slot_duration_s,
+                hopping_sequence=self.hopping_sequence,
+                max_retries=self.max_retries,
+                queue_capacity=self.queue_capacity,
+                eb_period_s=self.eb_period_s,
+            ),
+            rpl=RplConfig(dio_interval_min_s=self.dio_interval_min_s),
+            sixp=SixPConfig(timeout_s=6.0, max_retries=2),
+        )
+
+    def gt_tsch_config(self) -> GtTschConfig:
+        return GtTschConfig(
+            slotframe_length=self.gt_slotframe_length,
+            num_broadcast_cells=self.num_broadcast_cells,
+            num_channels=len(self.hopping_sequence),
+            weights=self.game_weights,
+            queue_ewma_zeta=self.queue_ewma_zeta,
+            q_max=self.queue_capacity,
+            load_balance_period_s=self.load_balance_period_s,
+        )
+
+    def orchestra_config(self) -> OrchestraConfig:
+        return OrchestraConfig(
+            unicast_slotframe_length=self.orchestra_unicast_length,
+            num_channels=len(self.hopping_sequence),
+        )
+
+
+@dataclass
+class Scenario:
+    """A fully specified simulation run."""
+
+    name: str
+    scheduler: str
+    topology: TopologyBuilder
+    rate_ppm: float
+    contiki: ContikiConfig = field(default_factory=ContikiConfig)
+    seed: int = 1
+    warmup_s: float = 30.0
+    measurement_s: float = 60.0
+    drain_s: float = 5.0
+    #: Radio model; the default reproduces Cooja's UDGM with a lossy edge.
+    propagation: Optional[UnitDiskLossyEdgeModel] = None
+    warm_start: bool = True
+
+    def build_network(self) -> Network:
+        """Instantiate the network for this scenario (not yet run)."""
+        propagation = self.propagation or UnitDiskLossyEdgeModel()
+        network = Network(
+            propagation=propagation,
+            seed=self.seed,
+            default_node_config=self.contiki.node_config(),
+        )
+        network.build_from_topology(
+            self.topology,
+            scheduler_factory=self._scheduler_factory(),
+            traffic_factory=self._traffic_factory(),
+            warm_start=self.warm_start,
+        )
+        return network
+
+    # ------------------------------------------------------------------
+    def _scheduler_factory(self) -> Callable:
+        contiki = self.contiki
+        if self.scheduler == GT_TSCH:
+            return lambda node_id, is_root: GtTschScheduler(contiki.gt_tsch_config())
+        if self.scheduler == ORCHESTRA:
+            return lambda node_id, is_root: OrchestraScheduler(contiki.orchestra_config())
+        if self.scheduler == MINIMAL:
+            return lambda node_id, is_root: MinimalScheduler(MinimalSchedulerConfig())
+        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+    def _traffic_factory(self) -> Callable:
+        rate = self.rate_ppm
+        # Let the schedule bootstrap on a quiet network for the first part of
+        # the warm-up, as a real deployment would before sensing starts.
+        start_delay = self.warmup_s * 0.5
+
+        def factory(node_id: int, is_root: bool):
+            if is_root or rate <= 0:
+                return None
+            return PeriodicTrafficGenerator(rate_ppm=rate, start_delay_s=start_delay)
+
+        return factory
+
+
+# ----------------------------------------------------------------------
+# the paper's three scenario families
+# ----------------------------------------------------------------------
+def traffic_load_scenario(
+    rate_ppm: float,
+    scheduler: str,
+    seed: int = 1,
+    contiki: Optional[ContikiConfig] = None,
+    num_dodags: int = 2,
+    nodes_per_dodag: int = 7,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> Scenario:
+    """Fig. 8: two 7-node DODAGs, per-node rate swept over 30-165 ppm."""
+    topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
+    return Scenario(
+        name=f"fig8-load-{int(rate_ppm)}ppm-{scheduler}",
+        scheduler=scheduler,
+        topology=topology,
+        rate_ppm=rate_ppm,
+        contiki=contiki or ContikiConfig(),
+        seed=seed,
+        warmup_s=warmup_s,
+        measurement_s=measurement_s,
+    )
+
+
+def dodag_size_scenario(
+    nodes_per_dodag: int,
+    scheduler: str,
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    contiki: Optional[ContikiConfig] = None,
+    num_dodags: int = 2,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> Scenario:
+    """Fig. 9: two DODAGs, 6-9 nodes each (12-18 nodes total), 120 ppm."""
+    topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
+    return Scenario(
+        name=f"fig9-size-{nodes_per_dodag}nodes-{scheduler}",
+        scheduler=scheduler,
+        topology=topology,
+        rate_ppm=rate_ppm,
+        contiki=contiki or ContikiConfig(),
+        seed=seed,
+        warmup_s=warmup_s,
+        measurement_s=measurement_s,
+    )
+
+
+def slotframe_scenario(
+    unicast_slotframe_length: int,
+    scheduler: str,
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    num_dodags: int = 2,
+    nodes_per_dodag: int = 7,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+) -> Scenario:
+    """Fig. 10: unicast slotframe length swept; GT-TSCH slotframe = 4x.
+
+    Orchestra uses ``unicast_slotframe_length`` directly; GT-TSCH uses a
+    single slotframe of four times that size, the fairness rule stated in the
+    paper's third experiment.
+    """
+    contiki = ContikiConfig(
+        orchestra_unicast_length=unicast_slotframe_length,
+        gt_slotframe_length=4 * unicast_slotframe_length,
+    )
+    topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
+    return Scenario(
+        name=f"fig10-slotframe-{unicast_slotframe_length}-{scheduler}",
+        scheduler=scheduler,
+        topology=topology,
+        rate_ppm=rate_ppm,
+        contiki=contiki,
+        seed=seed,
+        warmup_s=warmup_s,
+        measurement_s=measurement_s,
+    )

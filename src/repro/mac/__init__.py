@@ -1,0 +1,40 @@
+"""IEEE 802.15.4e TSCH MAC layer.
+
+The modules in this package reproduce the slot-level behaviour of the
+Contiki-NG TSCH implementation used by the paper:
+
+* :mod:`repro.mac.cell` / :mod:`repro.mac.slotframe` -- the schedule data
+  structures (cells addressed by slot offset / channel offset, grouped into
+  slotframes).
+* :mod:`repro.mac.hopping` -- the channel-hopping function mapping
+  (ASN, channel offset) to a physical channel.
+* :mod:`repro.mac.queue` -- the bounded transmission queue whose overflows
+  are the "queue loss" metric of the paper.
+* :mod:`repro.mac.csma` -- CSMA/CA back-off state used in shared cells.
+* :mod:`repro.mac.duty_cycle` -- radio-on accounting (the paper's radio duty
+  cycle metric).
+* :mod:`repro.mac.tsch` -- the per-node TSCH engine: cell selection, frame
+  transmission/reception, ACKs, retransmissions, EB generation.
+"""
+
+from repro.mac.cell import Cell, CellOption, CellPurpose
+from repro.mac.slotframe import Slotframe
+from repro.mac.hopping import ChannelHopping, DEFAULT_HOPPING_SEQUENCE
+from repro.mac.queue import TxQueue
+from repro.mac.csma import CsmaBackoff
+from repro.mac.duty_cycle import DutyCycleMeter
+from repro.mac.tsch import TschConfig, TschEngine
+
+__all__ = [
+    "Cell",
+    "CellOption",
+    "CellPurpose",
+    "Slotframe",
+    "ChannelHopping",
+    "DEFAULT_HOPPING_SEQUENCE",
+    "TxQueue",
+    "CsmaBackoff",
+    "DutyCycleMeter",
+    "TschConfig",
+    "TschEngine",
+]

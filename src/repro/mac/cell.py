@@ -1,0 +1,132 @@
+"""TSCH cells: the unit of scheduling in the CDU matrix.
+
+A cell is a (timeslot offset, channel offset) coordinate in the Channel
+Distribution Usage matrix (Fig. 1 of the paper) plus the options describing
+how the node uses that coordinate: transmit, receive, shared (contention
+based) or broadcast.  GT-TSCH additionally labels each cell with its purpose
+-- one of the five timeslot types of Section IV -- which drives the slotframe
+creation rules and the priority order between cell types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, Flag, auto
+from typing import Optional
+
+
+class CellOption(Flag):
+    """Link options of a TSCH cell (IEEE 802.15.4e / RFC 8480 terminology)."""
+
+    NONE = 0
+    TX = auto()
+    RX = auto()
+    #: Contention-based cell: transmissions use CSMA/CA back-off and several
+    #: senders may legitimately target the same cell.
+    SHARED = auto()
+    #: Cell used for link-layer broadcast frames (EBs, DIOs); no ACK.
+    BROADCAST = auto()
+    #: Cell is part of every slotframe iteration regardless of pending traffic
+    #: (the node keeps its radio on even with nothing to send) -- used for
+    #: dedicated RX cells.
+    ALWAYS_ON = auto()
+
+
+class CellPurpose(Enum):
+    """GT-TSCH's five timeslot types, in descending priority order (§IV)."""
+
+    BROADCAST = "broadcast"
+    UNICAST_6P = "unicast_6p"
+    UNICAST_DATA = "unicast_data"
+    SHARED = "shared"
+    SLEEP = "sleep"
+
+    @property
+    def priority(self) -> int:
+        """Smaller value = higher priority when several cells share a slot."""
+        order = {
+            CellPurpose.BROADCAST: 0,
+            CellPurpose.UNICAST_6P: 1,
+            CellPurpose.UNICAST_DATA: 2,
+            CellPurpose.SHARED: 3,
+            CellPurpose.SLEEP: 4,
+        }
+        return order[self]
+
+
+@dataclass
+class Cell:
+    """One scheduled cell in a slotframe.
+
+    Attributes
+    ----------
+    slot_offset / channel_offset:
+        Coordinates in the CDU matrix.  The channel offset is translated to a
+        physical channel through the hopping sequence at transmission time.
+    options:
+        Combination of :class:`CellOption` flags.
+    neighbor:
+        Link-layer neighbor this cell is dedicated to (``None`` for broadcast
+        or "any neighbor" cells, as in Orchestra's common shared cell).
+    purpose:
+        GT-TSCH timeslot type; other schedulers may leave the default.
+    owner_is_transmitter:
+        Convenience flag used by schedulers when mirroring a negotiated cell
+        on both link ends.
+    """
+
+    slot_offset: int
+    channel_offset: int
+    options: CellOption
+    neighbor: Optional[int] = None
+    purpose: CellPurpose = CellPurpose.UNICAST_DATA
+    slotframe_handle: int = 0
+    owner_is_transmitter: bool = True
+    #: Free-form tag for debugging / tests (e.g. "eb", "orchestra-rbs-rx").
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.slot_offset < 0:
+            raise ValueError("slot_offset must be non-negative")
+        if self.channel_offset < 0:
+            raise ValueError("channel_offset must be non-negative")
+        if self.options == CellOption.NONE:
+            raise ValueError("a cell must have at least one option")
+
+    # -- option helpers -------------------------------------------------
+    @property
+    def is_tx(self) -> bool:
+        return bool(self.options & CellOption.TX)
+
+    @property
+    def is_rx(self) -> bool:
+        return bool(self.options & CellOption.RX)
+
+    @property
+    def is_shared(self) -> bool:
+        return bool(self.options & CellOption.SHARED)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return bool(self.options & CellOption.BROADCAST)
+
+    def matches(self, slot_offset: int, channel_offset: Optional[int] = None) -> bool:
+        """True when the cell sits at the given CDU coordinates."""
+        if self.slot_offset != slot_offset:
+            return False
+        return channel_offset is None or self.channel_offset == channel_offset
+
+    def coordinate(self) -> tuple:
+        """(slot offset, channel offset) pair, e.g. for CDU-matrix rendering."""
+        return (self.slot_offset, self.channel_offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        opts = []
+        for option in (CellOption.TX, CellOption.RX, CellOption.SHARED, CellOption.BROADCAST):
+            if self.options & option:
+                opts.append(option.name)
+        target = "*" if self.neighbor is None else str(self.neighbor)
+        return (
+            f"Cell(({self.slot_offset},{self.channel_offset}) {'|'.join(opts)} "
+            f"nbr={target} {self.purpose.value})"
+        )

@@ -1,0 +1,88 @@
+"""CSMA/CA back-off for shared TSCH cells.
+
+Dedicated TSCH cells are contention-free, but *shared* cells (GT-TSCH's
+Shared timeslots, Orchestra's common cell, and Orchestra's receiver-based
+unicast cells) can be targeted by several senders at once.  IEEE 802.15.4e
+resolves the resulting collisions with a TSCH-specific CSMA/CA: after a failed
+transmission in a shared cell the sender draws a back-off from a binary
+exponential window counted in *shared-cell opportunities* (not in time), and
+skips that many eligible shared cells before retrying.
+
+This module keeps one back-off state per destination, mirroring the
+``tsch-queue`` back-off implementation of Contiki-NG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _BackoffState:
+    exponent: int
+    window: int = 0
+
+
+class CsmaBackoff:
+    """Per-neighbor TSCH CSMA/CA back-off state machine."""
+
+    def __init__(self, rng, min_be: int = 1, max_be: int = 5) -> None:
+        """
+        Parameters
+        ----------
+        rng:
+            ``random.Random`` stream used for window draws.
+        min_be / max_be:
+            Minimum and maximum back-off exponents (IEEE 802.15.4e defaults
+            are macMinBe=1, macMaxBe=7; Contiki-NG uses 1 and 5 for TSCH).
+        """
+        if min_be < 0 or max_be < min_be:
+            raise ValueError("back-off exponents must satisfy 0 <= min_be <= max_be")
+        self.rng = rng
+        self.min_be = min_be
+        self.max_be = max_be
+        self._states: Dict[Optional[int], _BackoffState] = {}
+
+    def _state(self, neighbor: Optional[int]) -> _BackoffState:
+        if neighbor not in self._states:
+            self._states[neighbor] = _BackoffState(exponent=self.min_be)
+        return self._states[neighbor]
+
+    def can_transmit(self, neighbor: Optional[int]) -> bool:
+        """Whether a transmission to ``neighbor`` may use the current shared cell."""
+        return self._state(neighbor).window == 0
+
+    def on_shared_cell_skipped(self, neighbor: Optional[int]) -> None:
+        """Count down the back-off window when an eligible shared cell passes by."""
+        state = self._state(neighbor)
+        if state.window > 0:
+            state.window -= 1
+
+    def on_transmission_success(self, neighbor: Optional[int]) -> None:
+        """Reset the back-off after an acknowledged transmission."""
+        state = self._state(neighbor)
+        state.exponent = self.min_be
+        state.window = 0
+
+    def on_transmission_failure(self, neighbor: Optional[int]) -> int:
+        """Grow the contention window after a failed shared-cell transmission.
+
+        Returns the freshly drawn window (number of eligible shared cells to
+        skip before the next attempt).
+        """
+        state = self._state(neighbor)
+        state.exponent = min(state.exponent + 1, self.max_be)
+        state.window = self.rng.randrange(0, 2 ** state.exponent)
+        return state.window
+
+    def window(self, neighbor: Optional[int]) -> int:
+        """Current remaining back-off window for ``neighbor``."""
+        return self._state(neighbor).window
+
+    def reset(self, neighbor: Optional[int] = None) -> None:
+        """Forget back-off state for one neighbor, or for all when ``None``."""
+        if neighbor is None:
+            self._states.clear()
+        else:
+            self._states.pop(neighbor, None)

@@ -1,0 +1,57 @@
+"""TSCH channel hopping.
+
+TSCH translates a cell's *channel offset* into a *physical channel* at every
+slotframe iteration::
+
+    channel = hopping_sequence[(ASN + channel_offset) % len(hopping_sequence)]
+
+so that a given cell visits every channel of the sequence over time, which
+averages out narrow-band interference.  The paper's configuration (Table II)
+uses the 8-entry sequence ``17, 23, 15, 25, 19, 11, 13, 21`` -- a subset of
+the 16 channels of IEEE 802.15.4 in the 2.4 GHz band -- and that is the
+default here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+#: Hopping sequence from Table II of the paper (Contiki-NG's TSCH_HOPPING_SEQUENCE_8_8).
+DEFAULT_HOPPING_SEQUENCE: Tuple[int, ...] = (17, 23, 15, 25, 19, 11, 13, 21)
+
+#: The full 16-channel sequence of IEEE 802.15.4 channel page 0 (2.4 GHz).
+FULL_HOPPING_SEQUENCE: Tuple[int, ...] = (
+    16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21,
+)
+
+
+class ChannelHopping:
+    """Maps (ASN, channel offset) pairs to physical channels."""
+
+    def __init__(self, sequence: Sequence[int] = DEFAULT_HOPPING_SEQUENCE) -> None:
+        if not sequence:
+            raise ValueError("hopping sequence must not be empty")
+        if len(set(sequence)) != len(sequence):
+            raise ValueError("hopping sequence must not contain duplicate channels")
+        self.sequence: Tuple[int, ...] = tuple(sequence)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of distinct channel offsets available to the scheduler."""
+        return len(self.sequence)
+
+    def channel_for(self, asn: int, channel_offset: int) -> int:
+        """Physical channel used at ``asn`` by a cell with ``channel_offset``."""
+        if asn < 0:
+            raise ValueError("asn must be non-negative")
+        if channel_offset < 0:
+            raise ValueError("channel_offset must be non-negative")
+        return self.sequence[(asn + channel_offset) % len(self.sequence)]
+
+    def offsets(self) -> range:
+        """The range of valid channel offsets."""
+        return range(len(self.sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ChannelHopping(sequence={self.sequence})"

@@ -1,0 +1,181 @@
+"""Slotframes: periodic groups of cells.
+
+A slotframe of length ``m`` repeats every ``m`` timeslots: the cell scheduled
+at slot offset ``o`` is active at every ASN with ``asn % m == o``.  A node may
+run several slotframes simultaneously (Orchestra runs three); when cells from
+different slotframes coincide at the same ASN, the TSCH engine breaks the tie
+by slotframe handle then by cell priority, mirroring Contiki-NG behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.mac.cell import Cell, CellOption, CellPurpose
+
+
+class Slotframe:
+    """A collection of cells repeating with a fixed period."""
+
+    def __init__(self, handle: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("slotframe length must be positive")
+        self.handle = handle
+        self.length = length
+        self._cells_by_slot: Dict[int, List[Cell]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        """Install ``cell`` in this slotframe.
+
+        Raises ``ValueError`` when the slot offset exceeds the slotframe
+        length.  Duplicate (slot, channel, neighbor, options) cells are
+        ignored and the already-installed cell is returned, which makes
+        scheduler code idempotent.
+        """
+        if cell.slot_offset >= self.length:
+            raise ValueError(
+                f"slot offset {cell.slot_offset} out of range for slotframe of length {self.length}"
+            )
+        cell.slotframe_handle = self.handle
+        existing = self.find_cell(
+            cell.slot_offset, cell.channel_offset, cell.neighbor, cell.options
+        )
+        if existing is not None:
+            return existing
+        self._cells_by_slot.setdefault(cell.slot_offset, []).append(cell)
+        return cell
+
+    def remove_cell(self, cell: Cell) -> bool:
+        """Remove a previously installed cell.  Returns True when found."""
+        bucket = self._cells_by_slot.get(cell.slot_offset)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(cell)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._cells_by_slot[cell.slot_offset]
+        return True
+
+    def remove_cells_with_neighbor(self, neighbor: int) -> int:
+        """Remove every cell dedicated to ``neighbor`` (e.g. after a parent switch)."""
+        removed = 0
+        for slot in list(self._cells_by_slot):
+            keep = [c for c in self._cells_by_slot[slot] if c.neighbor != neighbor]
+            removed += len(self._cells_by_slot[slot]) - len(keep)
+            if keep:
+                self._cells_by_slot[slot] = keep
+            else:
+                del self._cells_by_slot[slot]
+        return removed
+
+    def clear(self) -> None:
+        """Remove every cell."""
+        self._cells_by_slot.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cells_at(self, asn: int) -> List[Cell]:
+        """Cells active at the given absolute slot number."""
+        return list(self._cells_by_slot.get(asn % self.length, ()))
+
+    def cells_at_offset(self, slot_offset: int) -> List[Cell]:
+        """Cells installed at a given slot offset."""
+        return list(self._cells_by_slot.get(slot_offset, ()))
+
+    def find_cell(
+        self,
+        slot_offset: int,
+        channel_offset: Optional[int] = None,
+        neighbor: Optional[int] = None,
+        options: Optional[CellOption] = None,
+    ) -> Optional[Cell]:
+        """First installed cell matching the given attributes, if any."""
+        for cell in self._cells_by_slot.get(slot_offset, ()):
+            if channel_offset is not None and cell.channel_offset != channel_offset:
+                continue
+            if neighbor is not None and cell.neighbor != neighbor:
+                continue
+            if options is not None and cell.options != options:
+                continue
+            return cell
+        return None
+
+    def all_cells(self) -> Iterator[Cell]:
+        """Iterate over every installed cell (slot order, then insertion order)."""
+        for slot in sorted(self._cells_by_slot):
+            for cell in self._cells_by_slot[slot]:
+                yield cell
+
+    def cells_with_neighbor(self, neighbor: Optional[int]) -> List[Cell]:
+        """All cells dedicated to ``neighbor``."""
+        return [cell for cell in self.all_cells() if cell.neighbor == neighbor]
+
+    def used_slot_offsets(self) -> List[int]:
+        """Sorted slot offsets that have at least one cell installed."""
+        return sorted(self._cells_by_slot)
+
+    def free_slot_offsets(self) -> List[int]:
+        """Slot offsets with no cell installed (GT-TSCH's sleep timeslots)."""
+        used = set(self._cells_by_slot)
+        return [offset for offset in range(self.length) if offset not in used]
+
+    def count_cells(
+        self,
+        options: Optional[CellOption] = None,
+        neighbor: Optional[int] = None,
+        purpose: Optional[CellPurpose] = None,
+    ) -> int:
+        """Count installed cells matching the given filters."""
+        count = 0
+        for cell in self.all_cells():
+            if options is not None and not (cell.options & options):
+                continue
+            if neighbor is not None and cell.neighbor != neighbor:
+                continue
+            if purpose is not None and cell.purpose != purpose:
+                continue
+            count += 1
+        return count
+
+    def occupancy(self) -> float:
+        """Fraction of slot offsets with at least one cell installed."""
+        return len(self._cells_by_slot) / self.length
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._cells_by_slot.values())
+
+    def __iter__(self) -> Iterator[Cell]:
+        return self.all_cells()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Slotframe(handle={self.handle}, length={self.length}, cells={len(self)})"
+
+
+def render_cdu_matrix(slotframes: Iterable[Slotframe], num_channels: int) -> List[List[str]]:
+    """Render slotframes into a CDU-matrix grid of labels (Fig. 1 style).
+
+    Returns a list of rows indexed by channel offset; each entry is either an
+    empty string or a comma-separated list of "(sender,receiver)"-style labels
+    built from the cells' neighbor and direction.  Intended for examples,
+    documentation and tests -- not used by the protocol machinery.
+    """
+    length = max(sf.length for sf in slotframes)
+    grid = [["" for _ in range(length)] for _ in range(num_channels)]
+    for sf in slotframes:
+        for cell in sf.all_cells():
+            if cell.channel_offset >= num_channels:
+                continue
+            direction = "Tx" if cell.is_tx else "Rx"
+            target = "*" if cell.neighbor is None else str(cell.neighbor)
+            tag = f"{direction}->{target}"
+            existing = grid[cell.channel_offset][cell.slot_offset]
+            grid[cell.channel_offset][cell.slot_offset] = (
+                f"{existing},{tag}" if existing else tag
+            )
+    return grid

@@ -1,0 +1,337 @@
+"""The per-node TSCH engine.
+
+This is the software equivalent of Contiki-NG's ``tsch.c`` slot operation: at
+every ASN the engine inspects its installed slotframes, picks the active cell
+following the same precedence rules (transmit before receive, dedicated before
+shared, lower slotframe handle first), applies CSMA/CA back-off in shared
+cells, and -- once the medium has arbitrated the slot -- handles ACKs,
+retransmissions, queue management and ETX bookkeeping.
+
+The engine is deliberately scheduler-agnostic: scheduling functions (GT-TSCH,
+Orchestra, 6TiSCH minimal) only install and remove cells; everything below the
+schedule is identical for every scheduler, which makes the paper's comparisons
+apples-to-apples.
+
+One simplification relative to real TSCH is documented in DESIGN.md: nodes
+are assumed to share the ASN from the start (perfect time synchronisation).
+The paper's metrics are all measured after the network has formed, so
+association dynamics do not influence them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mac.cell import Cell, CellOption, CellPurpose
+from repro.mac.csma import CsmaBackoff
+from repro.mac.duty_cycle import DutyCycleMeter
+from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE, ChannelHopping
+from repro.mac.queue import TxQueue
+from repro.mac.slotframe import Slotframe
+from repro.net.packet import BROADCAST_ADDRESS, Packet
+from repro.phy.linkstats import EtxEstimator
+from repro.phy.medium import TransmissionIntent, TransmissionResult
+
+
+@dataclass
+class TschConfig:
+    """MAC-level configuration (defaults follow Table II of the paper)."""
+
+    slot_duration_s: float = 0.015
+    hopping_sequence: Sequence[int] = DEFAULT_HOPPING_SEQUENCE
+    #: Maximum number of link-layer retransmissions after the first attempt.
+    max_retries: int = 4
+    #: MAC queue capacity (QMax); Contiki-NG's default QUEUEBUF_CONF_NUM is 8.
+    queue_capacity: int = 8
+    #: Enhanced Beacon period in seconds.
+    eb_period_s: float = 2.0
+    #: CSMA/CA back-off exponents for shared cells.
+    min_backoff_exponent: int = 1
+    max_backoff_exponent: int = 5
+    #: EWMA weight of the ETX estimator (fraction kept from the old estimate).
+    etx_alpha: float = 0.9
+    #: ETX assumed for links with no transmission history yet.
+    initial_etx: float = 2.0
+
+
+@dataclass
+class SlotPlan:
+    """The engine's decision for one timeslot."""
+
+    action: str  # "tx", "rx" or "sleep"
+    cell: Optional[Cell] = None
+    packet: Optional[Packet] = None
+    channel: Optional[int] = None
+
+    @property
+    def is_tx(self) -> bool:
+        return self.action == "tx"
+
+    @property
+    def is_rx(self) -> bool:
+        return self.action == "rx"
+
+
+@dataclass
+class MacStats:
+    """Link-layer counters exposed to the metrics layer."""
+
+    unicast_tx_packets: int = 0
+    unicast_tx_attempts: int = 0
+    unicast_acked: int = 0
+    mac_drops: int = 0
+    broadcast_sent: int = 0
+    frames_received: int = 0
+    collisions_observed: int = 0
+
+
+class TschEngine:
+    """Slot-by-slot TSCH MAC machine for one node."""
+
+    def __init__(self, node_id: int, config: TschConfig, rng) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.hopping = ChannelHopping(config.hopping_sequence)
+        self.queue = TxQueue(capacity=config.queue_capacity)
+        self.csma = CsmaBackoff(
+            rng, min_be=config.min_backoff_exponent, max_be=config.max_backoff_exponent
+        )
+        self.duty_cycle = DutyCycleMeter()
+        self.etx = EtxEstimator(alpha=config.etx_alpha, initial_etx=config.initial_etx)
+        self.stats = MacStats()
+        self.slotframes: Dict[int, Slotframe] = {}
+        #: Neighbors towards which *data* transmissions on shared cells are
+        #: temporarily suppressed.  A scheduling function sets this while it
+        #: awaits a 6P response from that neighbor: the response arrives on
+        #: the same shared cells, so the node must spend them listening rather
+        #: than pushing data (control frames are still allowed through).
+        self.quiet_shared_neighbors: set = set()
+        #: Number of over-the-air attempts already spent on each queued packet.
+        self._attempts: Dict[int, int] = {}
+        #: Upper-layer callback invoked with (packet, asn) for every decoded frame.
+        self.rx_callback: Optional[Callable[[Packet, int], None]] = None
+        #: Upper-layer callback invoked with (packet, success, asn) when a
+        #: unicast packet leaves the MAC (delivered or dropped after retries).
+        self.tx_done_callback: Optional[Callable[[Packet, bool, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # slotframe management (used by scheduling functions)
+    # ------------------------------------------------------------------
+    def add_slotframe(self, handle: int, length: int) -> Slotframe:
+        """Create (or return the existing) slotframe with the given handle."""
+        if handle in self.slotframes:
+            existing = self.slotframes[handle]
+            if existing.length != length:
+                raise ValueError(
+                    f"slotframe {handle} already exists with length {existing.length}"
+                )
+            return existing
+        slotframe = Slotframe(handle, length)
+        self.slotframes[handle] = slotframe
+        return slotframe
+
+    def get_slotframe(self, handle: int) -> Optional[Slotframe]:
+        return self.slotframes.get(handle)
+
+    def remove_slotframe(self, handle: int) -> None:
+        self.slotframes.pop(handle, None)
+
+    def clear_schedule(self) -> None:
+        """Remove every slotframe (used when re-initialising a scheduler)."""
+        self.slotframes.clear()
+
+    # ------------------------------------------------------------------
+    # queue interface (used by the node / upper layers)
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        """Add a packet to the MAC queue; returns False on queue loss."""
+        packet.enqueued_at = now
+        accepted = self.queue.add(packet)
+        if accepted:
+            self._attempts.setdefault(packet.packet_id, 0)
+        return accepted
+
+    def queue_length(self) -> int:
+        """Current number of queued packets (the game's ``q_i(t)``)."""
+        return len(self.queue)
+
+    def data_queue_length(self) -> int:
+        """Number of queued application-data packets."""
+        return len(self.queue.data_packets())
+
+    # ------------------------------------------------------------------
+    # slot planning
+    # ------------------------------------------------------------------
+    def plan_slot(self, asn: int) -> SlotPlan:
+        """Decide what this node does at ``asn``.
+
+        Precedence (matching Contiki-NG):
+
+        1. a transmission, if any active cell with the TX option has a
+           matching pending packet (and, for shared cells, the CSMA back-off
+           window has expired);
+        2. otherwise a reception, if any active cell has the RX option;
+        3. otherwise sleep.
+
+        Ties between cells are broken by GT-TSCH purpose priority, then by
+        slotframe handle.
+        """
+        active: List[Cell] = []
+        for handle in sorted(self.slotframes):
+            active.extend(self.slotframes[handle].cells_at(asn))
+        if not active:
+            return SlotPlan(action="sleep")
+
+        active.sort(key=lambda c: (c.purpose.priority, c.slotframe_handle, c.slot_offset))
+
+        tx_choice: Optional[Tuple[Cell, Packet]] = None
+        for cell in active:
+            if not cell.is_tx:
+                continue
+            packet = self._packet_for_cell(cell)
+            if packet is None:
+                continue
+            if cell.is_shared and not packet.is_broadcast:
+                if (
+                    packet.link_destination in self.quiet_shared_neighbors
+                    and not packet.is_control
+                ):
+                    # Awaiting a 6P response from this neighbor: keep the
+                    # shared cells free (and our radio listening) for it.
+                    continue
+                if not self.csma.can_transmit(packet.link_destination):
+                    # An eligible shared cell passes by unused: count down.
+                    self.csma.on_shared_cell_skipped(packet.link_destination)
+                    continue
+            tx_choice = (cell, packet)
+            break
+
+        if tx_choice is not None:
+            cell, packet = tx_choice
+            channel = self.hopping.channel_for(asn, cell.channel_offset)
+            return SlotPlan(action="tx", cell=cell, packet=packet, channel=channel)
+
+        for cell in active:
+            if cell.is_rx:
+                channel = self.hopping.channel_for(asn, cell.channel_offset)
+                return SlotPlan(action="rx", cell=cell, channel=channel)
+
+        return SlotPlan(action="sleep")
+
+    def _packet_for_cell(self, cell: Cell) -> Optional[Packet]:
+        """Pick the queued packet (if any) that this TX cell may carry."""
+        if cell.is_broadcast:
+            packet = self.queue.peek_for(None, broadcast=True)
+            if packet is not None:
+                return packet
+            # Orchestra's common shared cell also carries unicast control
+            # traffic (DAOs) when no broadcast frame is pending.
+            if cell.is_shared and cell.neighbor is None:
+                return self.queue.peek_for(None)
+            return None
+        return self.queue.peek_for(cell.neighbor)
+
+    def build_intent(self, plan: SlotPlan) -> TransmissionIntent:
+        """Turn a TX slot plan into a medium-level transmission intent."""
+        if not plan.is_tx or plan.packet is None or plan.channel is None:
+            raise ValueError("build_intent requires a TX plan")
+        return TransmissionIntent(
+            sender=self.node_id,
+            packet=plan.packet,
+            channel=plan.channel,
+            expects_ack=not plan.packet.is_broadcast,
+        )
+
+    # ------------------------------------------------------------------
+    # outcome handling
+    # ------------------------------------------------------------------
+    def on_transmission_result(
+        self, plan: SlotPlan, result: TransmissionResult, asn: int, now: float
+    ) -> None:
+        """Process the medium's verdict for a transmission made this slot."""
+        packet = plan.packet
+        cell = plan.cell
+        if packet is None or cell is None:
+            return
+
+        if packet.is_broadcast:
+            # Broadcast frames are fire-and-forget: one attempt, no ACK.
+            self.queue.remove(packet)
+            self._attempts.pop(packet.packet_id, None)
+            self.stats.broadcast_sent += 1
+            return
+
+        destination = packet.link_destination
+        attempts = self._attempts.get(packet.packet_id, 0) + 1
+        self._attempts[packet.packet_id] = attempts
+        self.stats.unicast_tx_attempts += 1
+        if result.collided:
+            self.stats.collisions_observed += 1
+
+        if result.acked:
+            self.queue.remove(packet)
+            self._attempts.pop(packet.packet_id, None)
+            self.stats.unicast_tx_packets += 1
+            self.stats.unicast_acked += 1
+            self.etx.record_tx(destination, True, attempts=attempts, now=now)
+            if cell.is_shared:
+                self.csma.on_transmission_success(destination)
+            if self.tx_done_callback is not None:
+                self.tx_done_callback(packet, True, asn)
+            return
+
+        # Transmission failed (no ACK): back off on shared cells, retry until
+        # the retransmission budget (Table II: 4) is exhausted.
+        packet.retransmissions += 1
+        if cell.is_shared:
+            self.csma.on_transmission_failure(destination)
+        if attempts >= 1 + self.config.max_retries:
+            self.queue.remove(packet)
+            self._attempts.pop(packet.packet_id, None)
+            self.stats.unicast_tx_packets += 1
+            self.stats.mac_drops += 1
+            self.etx.record_tx(destination, False, attempts=attempts, now=now)
+            if self.tx_done_callback is not None:
+                self.tx_done_callback(packet, False, asn)
+
+    def on_frame_received(self, packet: Packet, asn: int, now: float) -> None:
+        """Handle a frame decoded by this node's radio."""
+        self.stats.frames_received += 1
+        self.etx.record_rx(packet.link_source, now=now)
+        if self.rx_callback is not None:
+            self.rx_callback(packet, asn)
+
+    # ------------------------------------------------------------------
+    # duty-cycle accounting (driven by the network loop)
+    # ------------------------------------------------------------------
+    def account_slot(self, plan: SlotPlan, frame_received: bool = False) -> None:
+        """Record this slot's radio activity for the duty-cycle metric."""
+        if plan.is_tx:
+            self.duty_cycle.record_tx()
+        elif plan.is_rx:
+            self.duty_cycle.record_rx(frame_received)
+        else:
+            self.duty_cycle.record_sleep()
+
+    # ------------------------------------------------------------------
+    # schedule introspection helpers (used by scheduling functions)
+    # ------------------------------------------------------------------
+    def count_cells(
+        self,
+        options: Optional[CellOption] = None,
+        neighbor: Optional[int] = None,
+        purpose: Optional[CellPurpose] = None,
+    ) -> int:
+        """Total matching cells across all slotframes."""
+        return sum(
+            sf.count_cells(options=options, neighbor=neighbor, purpose=purpose)
+            for sf in self.slotframes.values()
+        )
+
+    def all_cells(self) -> List[Cell]:
+        cells: List[Cell] = []
+        for handle in sorted(self.slotframes):
+            cells.extend(self.slotframes[handle].all_cells())
+        return cells

@@ -1,0 +1,17 @@
+"""Performance metrics collection and reporting.
+
+The collector reproduces the six quantities plotted in the paper's evaluation
+(Figs. 8-10): packet delivery ratio, average end-to-end delay, packet loss per
+minute, average radio duty cycle per node, average queue loss per node, and
+received packets per minute (throughput).
+"""
+
+from repro.metrics.collector import MetricsCollector, NetworkMetrics
+from repro.metrics.report import format_comparison_table, format_metrics_table
+
+__all__ = [
+    "MetricsCollector",
+    "NetworkMetrics",
+    "format_metrics_table",
+    "format_comparison_table",
+]

@@ -1,0 +1,239 @@
+"""Network-wide metrics collection.
+
+The collector observes three application-level events -- a data packet being
+generated, delivered at a root, or irrecoverably lost -- plus, at the end of
+the measurement window, the per-node MAC counters (queue drops, radio duty
+cycle).  Metrics are computed only over the *measurement window*: everything
+that happens during warm-up (network formation, initial 6P negotiation) is
+excluded, mirroring how the paper measures steady-state behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+
+@dataclass
+class NetworkMetrics:
+    """The six headline metrics of the paper plus supporting counters."""
+
+    #: Name of the scheduler that produced these numbers.
+    scheduler: str = ""
+    #: Measurement window length in seconds.
+    duration_s: float = 0.0
+    generated: int = 0
+    delivered: int = 0
+    lost: int = 0
+
+    #: Fig. 8a/9a/10a -- packet delivery ratio, percent.
+    pdr_percent: float = 0.0
+    #: Fig. 8b/9b/10b -- average end-to-end delay per delivered packet, ms.
+    end_to_end_delay_ms: float = 0.0
+    #: Fig. 8c/9c/10c -- lost packets per minute (network-wide).
+    packet_loss_per_minute: float = 0.0
+    #: Fig. 8d/9d/10d -- average radio duty cycle per node, percent.
+    radio_duty_cycle_percent: float = 0.0
+    #: Fig. 8e/9e/10e -- average queue loss per node over the window.
+    queue_loss_per_node: float = 0.0
+    #: Fig. 8f/9f/10f -- packets received by root nodes per minute.
+    received_per_minute: float = 0.0
+
+    #: Supporting detail, not plotted in the paper but useful for analysis.
+    delay_p95_ms: float = 0.0
+    delay_max_ms: float = 0.0
+    avg_hops: float = 0.0
+    queue_loss_total: int = 0
+    mac_drop_total: int = 0
+    no_route_drops: int = 0
+    control_packets_sent: int = 0
+    per_node: Dict[int, dict] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat dictionary of the headline metrics (for tables / CSV)."""
+        return {
+            "scheduler": self.scheduler,
+            "pdr_percent": self.pdr_percent,
+            "end_to_end_delay_ms": self.end_to_end_delay_ms,
+            "packet_loss_per_minute": self.packet_loss_per_minute,
+            "radio_duty_cycle_percent": self.radio_duty_cycle_percent,
+            "queue_loss_per_node": self.queue_loss_per_node,
+            "received_per_minute": self.received_per_minute,
+            "generated": self.generated,
+            "delivered": self.delivered,
+        }
+
+
+@dataclass
+class _GeneratedRecord:
+    node_id: int
+    created_at: float
+
+
+class MetricsCollector:
+    """Collects application-level events and MAC counters for one run."""
+
+    def __init__(self) -> None:
+        self.measuring = False
+        self.window_start = 0.0
+        self.window_end: Optional[float] = None
+        self._generated: Dict[int, _GeneratedRecord] = {}
+        self._delivered: Dict[int, float] = {}
+        self._delays_ms: List[float] = []
+        self._hops: List[int] = []
+        self._losses: Dict[str, int] = {"queue": 0, "mac-retries": 0, "no-route": 0}
+        #: Per-node counter snapshots taken at the start of the window so the
+        #: warm-up phase does not contaminate the measured values.
+        self._node_baselines: Dict[int, dict] = {}
+        #: Per-node counter snapshots taken when the window closes (so that a
+        #: drain phase does not contaminate the measured values either).
+        self._node_finals: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # window control (driven by the Network / experiment runner)
+    # ------------------------------------------------------------------
+    def begin_measurement(self, nodes, now: float) -> None:
+        """Open the measurement window and snapshot per-node counters."""
+        self.measuring = True
+        self.window_start = now
+        self._generated.clear()
+        self._delivered.clear()
+        self._delays_ms.clear()
+        self._hops.clear()
+        for key in self._losses:
+            self._losses[key] = 0
+        for node in nodes:
+            node.tsch.duty_cycle.reset()
+            self._node_baselines[node.node_id] = {
+                "queue_drops": node.tsch.queue.data_drops,
+                "mac_drops": node.tsch.stats.mac_drops,
+                "routing_drops": node.stats.routing_drops,
+                "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
+                + node.sixtop.requests_sent + node.sixtop.responses_sent,
+            }
+
+    def end_measurement(self, nodes=None, now: float = 0.0) -> None:
+        """Close the window (deliveries of already-generated packets still count).
+
+        When ``nodes`` is given, the per-node counters are snapshotted at this
+        instant so that a subsequent drain phase (run only to let in-flight
+        packets reach the root) does not perturb the duty-cycle and loss
+        counters.
+        """
+        self.window_end = now
+        self.measuring = False
+        if nodes is not None:
+            for node in nodes:
+                self._node_finals[node.node_id] = {
+                    "queue_drops": node.tsch.queue.data_drops,
+                    "mac_drops": node.tsch.stats.mac_drops,
+                    "routing_drops": node.stats.routing_drops,
+                    "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
+                    + node.sixtop.requests_sent + node.sixtop.responses_sent,
+                    "duty_cycle_percent": node.tsch.duty_cycle.duty_cycle_percent,
+                }
+
+    # ------------------------------------------------------------------
+    # event hooks (called by nodes)
+    # ------------------------------------------------------------------
+    def on_data_generated(self, node, packet) -> None:
+        if not self.measuring:
+            return
+        self._generated[packet.packet_id] = _GeneratedRecord(
+            node_id=node.node_id, created_at=packet.created_at
+        )
+
+    def on_data_delivered(self, node, packet) -> None:
+        record = self._generated.get(packet.packet_id)
+        if record is None or packet.packet_id in self._delivered:
+            return
+        now = node.event_queue.now
+        self._delivered[packet.packet_id] = now
+        self._delays_ms.append((now - record.created_at) * 1000.0)
+        self._hops.append(packet.hops)
+
+    def on_data_lost(self, node, packet, reason: str) -> None:
+        if packet.packet_id not in self._generated:
+            return
+        if reason not in self._losses:
+            self._losses[reason] = 0
+        self._losses[reason] += 1
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def finalize(self, nodes, now: float, scheduler_name: str = "") -> NetworkMetrics:
+        """Compute the headline metrics over the measurement window."""
+        window_end = self.window_end if self.window_end is not None else now
+        duration = max(window_end - self.window_start, 1e-9)
+        minutes = duration / 60.0
+
+        generated = len(self._generated)
+        delivered = len(self._delivered)
+        lost = generated - delivered
+
+        metrics = NetworkMetrics(scheduler=scheduler_name, duration_s=duration)
+        metrics.generated = generated
+        metrics.delivered = delivered
+        metrics.lost = lost
+        metrics.pdr_percent = (100.0 * delivered / generated) if generated else 0.0
+        if self._delays_ms:
+            metrics.end_to_end_delay_ms = sum(self._delays_ms) / len(self._delays_ms)
+            ordered = sorted(self._delays_ms)
+            metrics.delay_p95_ms = ordered[int(0.95 * (len(ordered) - 1))]
+            metrics.delay_max_ms = ordered[-1]
+        if self._hops:
+            metrics.avg_hops = sum(self._hops) / len(self._hops)
+        metrics.packet_loss_per_minute = lost / minutes if minutes > 0 else 0.0
+        metrics.received_per_minute = delivered / minutes if minutes > 0 else 0.0
+
+        node_list = list(nodes)
+        queue_loss_total = 0
+        mac_drop_total = 0
+        no_route_total = 0
+        control_total = 0
+        duty_sum = 0.0
+        for node in node_list:
+            baseline = self._node_baselines.get(node.node_id, {})
+            final = self._node_finals.get(node.node_id)
+            if final is None:
+                final = {
+                    "queue_drops": node.tsch.queue.data_drops,
+                    "mac_drops": node.tsch.stats.mac_drops,
+                    "routing_drops": node.stats.routing_drops,
+                    "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
+                    + node.sixtop.requests_sent + node.sixtop.responses_sent,
+                    "duty_cycle_percent": node.tsch.duty_cycle.duty_cycle_percent,
+                }
+            queue_drops = final["queue_drops"] - baseline.get("queue_drops", 0)
+            mac_drops = final["mac_drops"] - baseline.get("mac_drops", 0)
+            routing_drops = final["routing_drops"] - baseline.get("routing_drops", 0)
+            control = final["control_sent"] - baseline.get("control_sent", 0)
+            duty_cycle_percent = final["duty_cycle_percent"]
+            queue_loss_total += queue_drops
+            mac_drop_total += mac_drops
+            no_route_total += routing_drops
+            control_total += control
+            duty_sum += duty_cycle_percent
+            metrics.per_node[node.node_id] = {
+                "queue_drops": queue_drops,
+                "mac_drops": mac_drops,
+                "routing_drops": routing_drops,
+                "duty_cycle_percent": duty_cycle_percent,
+                "queue_length": node.tsch.queue_length(),
+                "rank": node.rpl.rank,
+                "parent": node.rpl.preferred_parent,
+            }
+
+        metrics.queue_loss_total = queue_loss_total
+        metrics.mac_drop_total = mac_drop_total
+        metrics.no_route_drops = no_route_total
+        metrics.control_packets_sent = control_total
+        if node_list:
+            metrics.queue_loss_per_node = queue_loss_total / len(node_list)
+            metrics.radio_duty_cycle_percent = duty_sum / len(node_list)
+        return metrics

@@ -1,0 +1,83 @@
+"""Plain-text rendering of metric tables.
+
+The benchmark harness prints, for every figure of the paper, the same series
+the figure plots (one row per swept parameter value, one column per
+scheduler), so the reproduction can be compared against the paper at a
+glance.  These helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.metrics.collector import NetworkMetrics
+
+#: Headline metric keys in the order the paper presents its panels.
+PANEL_KEYS = (
+    ("pdr_percent", "PDR (%)"),
+    ("end_to_end_delay_ms", "End-to-end delay (ms)"),
+    ("packet_loss_per_minute", "Packet loss (pkt/min)"),
+    ("radio_duty_cycle_percent", "Radio duty cycle (%)"),
+    ("queue_loss_per_node", "Queue loss (per node)"),
+    ("received_per_minute", "Received (pkt/min)"),
+)
+
+
+def format_metrics_table(metrics: Iterable[NetworkMetrics], title: str = "") -> str:
+    """One row per metrics object; columns are the six panel metrics."""
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    header = f"{'scheduler':<14}" + "".join(f"{label:>24}" for _, label in PANEL_KEYS)
+    rows.append(header)
+    rows.append("-" * len(header))
+    for item in metrics:
+        data = item.as_dict()
+        row = f"{data['scheduler']:<14}" + "".join(
+            f"{data[key]:>24.2f}" for key, _ in PANEL_KEYS
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def format_comparison_table(
+    sweep_label: str,
+    sweep_values: Sequence,
+    results: Dict[str, List[NetworkMetrics]],
+    metric_key: str,
+    metric_label: str = "",
+) -> str:
+    """Render one figure panel: ``sweep value x scheduler`` for one metric.
+
+    ``results`` maps scheduler name to the list of metrics objects in the same
+    order as ``sweep_values``.
+    """
+    label = metric_label or metric_key
+    lines = [f"{label} vs {sweep_label}"]
+    schedulers = list(results)
+    header = f"{sweep_label:<28}" + "".join(f"{name:>16}" for name in schedulers)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, value in enumerate(sweep_values):
+        row = f"{str(value):<28}"
+        for name in schedulers:
+            metric = results[name][index].as_dict()[metric_key]
+            row += f"{metric:>16.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_figure_report(
+    figure_name: str,
+    sweep_label: str,
+    sweep_values: Sequence,
+    results: Dict[str, List[NetworkMetrics]],
+) -> str:
+    """Render all six panels of one paper figure."""
+    sections = [f"=== {figure_name} ==="]
+    for key, label in PANEL_KEYS:
+        sections.append(
+            format_comparison_table(sweep_label, sweep_values, results, key, label)
+        )
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,65 @@
+"""Node, network and workload models.
+
+This package composes the protocol layers into runnable networks:
+
+* :mod:`repro.net.packet` -- the packet model shared by every layer.
+* :mod:`repro.net.node` -- an IoT node: application + RPL + 6top + TSCH MAC.
+* :mod:`repro.net.network` -- the slot-synchronous network loop and PHY
+  arbitration.
+* :mod:`repro.net.topology` -- topology builders (line, star, tree, random,
+  multi-DODAG) mirroring the layouts used in the paper's evaluation.
+* :mod:`repro.net.traffic` -- application traffic generators expressed in
+  packets per minute (ppm), matching the paper's workload axis.
+
+``Node`` and ``Network`` sit at the top of the layer stack (they import the
+MAC, RPL and 6top packages), while the lower layers import
+:mod:`repro.net.packet`; to keep those imports acyclic the two heavy classes
+are exposed lazily via module ``__getattr__``.
+"""
+
+from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
+from repro.net.topology import (
+    NodeSpec,
+    TopologyBuilder,
+    grid_positions,
+    line_topology,
+    multi_dodag_topology,
+    random_topology,
+    single_dodag_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.net.traffic import PeriodicTrafficGenerator, PoissonTrafficGenerator
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "BROADCAST_ADDRESS",
+    "make_data_packet",
+    "Node",
+    "NodeConfig",
+    "Network",
+    "NodeSpec",
+    "TopologyBuilder",
+    "grid_positions",
+    "line_topology",
+    "star_topology",
+    "tree_topology",
+    "single_dodag_topology",
+    "random_topology",
+    "multi_dodag_topology",
+    "PeriodicTrafficGenerator",
+    "PoissonTrafficGenerator",
+]
+
+_LAZY = {"Node": "repro.net.node", "NodeConfig": "repro.net.node", "Network": "repro.net.network"}
+
+
+def __getattr__(name):
+    """Lazily expose Node/NodeConfig/Network (PEP 562) to avoid import cycles."""
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro.net' has no attribute {name!r}")

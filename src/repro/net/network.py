@@ -1,0 +1,241 @@
+"""The slot-synchronous network: nodes, medium, and the main simulation loop.
+
+The :class:`Network` is the Cooja-equivalent of this reproduction: it owns the
+shared clock and event queue, the radio medium, the metrics collector and all
+nodes, and advances the whole system one TSCH timeslot at a time:
+
+1. asynchronous timers (traffic generation, Trickle, EB period, 6P timeouts,
+   the GT-TSCH load-balancing period) that expired before the slot boundary
+   are fired;
+2. every node plans its slot (transmit / listen / sleep) from its installed
+   schedule;
+3. the medium arbitrates all concurrent transmissions (collisions, link loss,
+   ACKs);
+4. decoded frames are delivered, transmitters learn their ACK outcome, and
+   radio duty-cycle accounting is updated.
+
+``run_experiment`` wraps the warm-up / measurement / drain phasing used by
+every benchmark so the figures measure steady-state behaviour, as the paper
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.mac.tsch import SlotPlan
+from repro.metrics.collector import MetricsCollector, NetworkMetrics
+from repro.net.node import Node, NodeConfig
+from repro.net.topology import TopologyBuilder
+from repro.phy.medium import Medium
+from repro.phy.propagation import PropagationModel, UnitDiskLossyEdgeModel
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngRegistry
+
+#: Factory signature used when building a network from a topology:
+#: ``scheduler_factory(node_id, is_root) -> SchedulingFunction``.
+SchedulerFactory = Callable[[int, bool], "object"]
+#: ``traffic_factory(node_id, is_root) -> TrafficGenerator | None``.
+TrafficFactory = Callable[[int, bool], "object"]
+
+
+class Network:
+    """A complete simulated 6TiSCH network."""
+
+    def __init__(
+        self,
+        propagation: Optional[PropagationModel] = None,
+        seed: int = 0,
+        default_node_config: Optional[NodeConfig] = None,
+    ) -> None:
+        self.rngs = RngRegistry(seed)
+        self.default_node_config = default_node_config or NodeConfig()
+        self.clock = SimClock(self.default_node_config.tsch.slot_duration_s)
+        self.events = EventQueue()
+        self.medium = Medium(
+            propagation or UnitDiskLossyEdgeModel(), self.rngs.stream("phy")
+        )
+        self.metrics = MetricsCollector()
+        self.nodes: Dict[int, Node] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: int,
+        position,
+        scheduler,
+        is_root: bool = False,
+        config: Optional[NodeConfig] = None,
+        traffic=None,
+    ) -> Node:
+        """Create a node, register it on the medium and return it."""
+        if node_id in self.nodes:
+            raise ValueError(f"node id {node_id} already exists")
+        node = Node(
+            node_id=node_id,
+            position=position,
+            scheduler=scheduler,
+            config=config or self.default_node_config,
+            event_queue=self.events,
+            rng_registry=self.rngs,
+            is_root=is_root,
+        )
+        node.set_metrics(self.metrics)
+        if traffic is not None:
+            node.set_traffic_generator(traffic)
+        self.nodes[node_id] = node
+        self.medium.register_node(node_id, position)
+        return node
+
+    def build_from_topology(
+        self,
+        topology: TopologyBuilder,
+        scheduler_factory: SchedulerFactory,
+        traffic_factory: Optional[TrafficFactory] = None,
+        warm_start: bool = True,
+        config: Optional[NodeConfig] = None,
+    ) -> List[Node]:
+        """Instantiate every node of ``topology``.
+
+        ``warm_start=True`` presets the RPL parents/ranks declared by the
+        topology (the deterministic setup used by the benchmark figures);
+        with ``warm_start=False`` the DODAG forms from scratch through
+        DIO exchange.
+        """
+        created: List[Node] = []
+        for spec in topology:
+            traffic = traffic_factory(spec.node_id, spec.is_root) if traffic_factory else None
+            node = self.add_node(
+                node_id=spec.node_id,
+                position=spec.position,
+                scheduler=scheduler_factory(spec.node_id, spec.is_root),
+                is_root=spec.is_root,
+                config=config,
+                traffic=traffic,
+            )
+            created.append(node)
+        if warm_start:
+            for spec in topology:
+                node = self.nodes[spec.node_id]
+                dodag_id = spec.dodag_id if spec.dodag_id is not None else spec.node_id
+                node.rpl.warm_start(
+                    parent=spec.parent,
+                    rank=topology.initial_rank(spec.node_id),
+                    dodag_id=dodag_id,
+                )
+        return created
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every node's protocol machinery (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def step_slot(self) -> None:
+        """Advance the whole network by one TSCH timeslot."""
+        asn = self.clock.asn
+        now = self.clock.now
+        # 1. fire asynchronous timers due at or before this slot boundary.
+        self.events.run_until(now)
+
+        # 2. every node plans its slot.
+        plans: Dict[int, SlotPlan] = {}
+        intents = []
+        intent_owners: List[int] = []
+        listeners: Dict[int, int] = {}
+        for node_id, node in self.nodes.items():
+            plan = node.tsch.plan_slot(asn)
+            plans[node_id] = plan
+            if plan.is_tx:
+                intents.append(node.tsch.build_intent(plan))
+                intent_owners.append(node_id)
+            elif plan.is_rx:
+                listeners[node_id] = plan.channel
+
+        # 3. the medium arbitrates.
+        results = self.medium.resolve_slot(intents, listeners)
+
+        # 4a. deliver decoded frames.  A unicast frame may be *decoded* by
+        # overhearing neighbours (they listened on the same channel), but only
+        # the link-layer destination processes it -- real radios filter on the
+        # destination address before handing the frame to the MAC.
+        nodes_that_received = set()
+        for result in results:
+            packet = result.intent.packet
+            for receiver in result.receivers:
+                nodes_that_received.add(receiver)
+                if packet.is_broadcast or packet.link_destination == receiver:
+                    self.nodes[receiver].tsch.on_frame_received(packet, asn, now)
+
+        # 4b. transmitters process their outcome (ACK, retransmission, drop).
+        for node_id, result in zip(intent_owners, results):
+            self.nodes[node_id].tsch.on_transmission_result(plans[node_id], result, asn, now)
+
+        # 4c. duty-cycle accounting.
+        for node_id, plan in plans.items():
+            self.nodes[node_id].tsch.account_slot(
+                plan, frame_received=node_id in nodes_that_received
+            )
+
+        self.clock.advance_slot()
+
+    def run_slots(self, num_slots: int) -> None:
+        """Run the network for a fixed number of timeslots."""
+        self.start()
+        for _ in range(num_slots):
+            self.step_slot()
+
+    def run_seconds(self, seconds: float) -> None:
+        """Run the network for (approximately) ``seconds`` of simulated time."""
+        self.run_slots(self.clock.seconds_to_slots(seconds))
+
+    def run_experiment(
+        self,
+        warmup_s: float,
+        measurement_s: float,
+        drain_s: float = 5.0,
+        scheduler_name: str = "",
+    ) -> NetworkMetrics:
+        """Warm-up, measure, drain, and return the headline metrics.
+
+        * warm-up: the DODAG forms / schedules converge; nothing is measured;
+        * measurement: application traffic is generated and all six paper
+          metrics are accumulated;
+        * drain: generation stops so that packets created near the end of the
+          window still get a chance to reach the root (keeps the PDR estimate
+          unbiased); MAC counters are frozen at the start of the drain.
+        """
+        self.start()
+        self.run_seconds(warmup_s)
+        self.metrics.begin_measurement(self.nodes.values(), self.clock.now)
+        self.run_seconds(measurement_s)
+        self.metrics.end_measurement(self.nodes.values(), self.clock.now)
+        for node in self.nodes.values():
+            node.traffic_enabled = False
+            if node.traffic is not None:
+                node.traffic.stop()
+        self.run_seconds(drain_s)
+        if not scheduler_name and self.nodes:
+            scheduler_name = next(iter(self.nodes.values())).scheduler.name
+        return self.metrics.finalize(self.nodes.values(), self.clock.now, scheduler_name)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Node]:
+        return [node for node in self.nodes.values() if node.is_root]
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

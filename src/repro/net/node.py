@@ -1,0 +1,313 @@
+"""The simulated IoT node: application + RPL + 6top + TSCH MAC.
+
+A :class:`Node` is the software equivalent of one Zolertia Firefly mote
+running Contiki-NG with a given scheduling function.  It wires the protocol
+layers together:
+
+* the application layer generates upward data traffic towards the DODAG root
+  and acts as the sink on root nodes;
+* RPL maintains the parent/children relations and the Rank;
+* the 6top layer runs cell negotiation transactions on behalf of the
+  scheduling function;
+* the TSCH engine executes the schedule slot by slot;
+* the scheduling function (GT-TSCH, Orchestra, minimal) installs cells and
+  reacts to protocol events.
+
+The node never talks to the radio medium directly -- the
+:class:`repro.net.network.Network` drives the slot loop and the PHY
+arbitration -- which keeps the layering identical to the real stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.mac.tsch import TschConfig, TschEngine
+from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
+from repro.rpl.engine import RplConfig, RplEngine
+from repro.sim.events import EventQueue, PeriodicTimer
+from repro.sixtop.layer import SixPConfig, SixPLayer
+from repro.sixtop.messages import SixPMessage, SixPReturnCode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.traffic import TrafficGenerator
+    from repro.schedulers.base import SchedulingFunction
+
+
+@dataclass
+class NodeStats:
+    """Application / network-layer counters for one node."""
+
+    data_generated: int = 0
+    data_delivered_as_sink: int = 0
+    data_forwarded: int = 0
+    #: Data packets dropped because the node had no route (no parent yet).
+    routing_drops: int = 0
+    #: Data packets dropped on MAC-queue overflow at this node.
+    queue_drops: int = 0
+    eb_sent: int = 0
+
+
+@dataclass
+class NodeConfig:
+    """Per-node protocol configuration bundle."""
+
+    tsch: TschConfig = field(default_factory=TschConfig)
+    rpl: RplConfig = field(default_factory=RplConfig)
+    sixp: SixPConfig = field(default_factory=SixPConfig)
+
+
+class Node:
+    """One IoT node of the simulated 6TiSCH network."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Tuple[float, float],
+        scheduler: "SchedulingFunction",
+        config: NodeConfig,
+        event_queue: EventQueue,
+        rng_registry,
+        is_root: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.is_root = is_root
+        self.config = config
+        self.event_queue = event_queue
+        self.rng_registry = rng_registry
+        self.stats = NodeStats()
+        self.metrics: Optional["MetricsCollector"] = None
+        self.traffic: Optional["TrafficGenerator"] = None
+        #: When False the node silently stops generating new application
+        #: packets (used by the experiment runner to drain in-flight traffic
+        #: at the end of the measurement window).
+        self.traffic_enabled = True
+
+        # --- MAC -------------------------------------------------------
+        self.tsch = TschEngine(node_id, config.tsch, rng_registry.stream(f"mac.{node_id}"))
+        self.tsch.rx_callback = self._on_mac_rx
+        self.tsch.tx_done_callback = self._on_mac_tx_done
+
+        # --- RPL -------------------------------------------------------
+        self.rpl = RplEngine(
+            node_id=node_id,
+            config=config.rpl,
+            queue=event_queue,
+            rng=rng_registry.stream(f"rpl.{node_id}"),
+            send_packet=self.enqueue_packet,
+            etx_of=self.tsch.etx.etx,
+            is_root=is_root,
+        )
+        self.rpl.on_parent_changed = self._on_parent_changed
+        self.rpl.on_child_added = self._on_child_added
+        self.rpl.on_child_removed = self._on_child_removed
+
+        # --- 6top ------------------------------------------------------
+        self.sixtop = SixPLayer(
+            node_id=node_id,
+            config=config.sixp,
+            queue=event_queue,
+            send_packet=self.enqueue_packet,
+        )
+        self.sixtop.request_handler = self._on_sixp_request
+
+        # --- scheduling function ----------------------------------------
+        self.scheduler = scheduler
+        self.scheduler.attach(self)
+        self.rpl.dio_extra_provider = self.scheduler.dio_fields
+
+        # --- Enhanced Beacon timer --------------------------------------
+        eb_rng = rng_registry.stream(f"eb.{node_id}")
+        self._eb_timer = PeriodicTimer(
+            event_queue,
+            config.tsch.eb_period_s,
+            self._send_eb,
+            start_offset=eb_rng.random() * config.tsch.eb_period_s,
+            label=f"eb.{node_id}",
+            jitter=0.25,
+            rng=eb_rng,
+        )
+
+        self._app_seqno = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the protocol machinery (scheduler, RPL, EBs, traffic).
+
+        When the RPL state was warm-started before the scheduler existed (the
+        deterministic scenario setup), the scheduler is replayed the current
+        parent/children relations so its schedule matches the preset topology.
+        """
+        self.scheduler.start()
+        if self.rpl.preferred_parent is not None:
+            self.scheduler.on_parent_changed(None, self.rpl.preferred_parent)
+        for child in sorted(self.rpl.children):
+            self.scheduler.on_child_added(child)
+        self.rpl.start()
+        self._eb_timer.start()
+        if self.traffic is not None:
+            self.traffic.start()
+
+    def set_traffic_generator(self, generator: "TrafficGenerator") -> None:
+        """Attach an application traffic generator to this node."""
+        self.traffic = generator
+        generator.attach(self, self.event_queue, self.rng_registry.stream(f"traffic.{self.node_id}"))
+
+    def set_metrics(self, collector: "MetricsCollector") -> None:
+        self.metrics = collector
+
+    # ------------------------------------------------------------------
+    # application layer
+    # ------------------------------------------------------------------
+    def generate_data(self) -> Optional[Packet]:
+        """Generate one application packet destined to the DODAG root.
+
+        Root nodes and nodes that have not joined a DODAG yet do not generate
+        traffic (matching the paper's setup where only non-root motes source
+        data).  Returns the packet when one was created, ``None`` otherwise.
+        """
+        if not self.traffic_enabled or self.is_root:
+            return None
+        if not self.rpl.is_joined() or self.rpl.dodag_id is None:
+            return None
+        self._app_seqno += 1
+        packet = make_data_packet(
+            source=self.node_id,
+            destination=self.rpl.dodag_id,
+            created_at=self.event_queue.now,
+            app_seqno=self._app_seqno,
+        )
+        self.stats.data_generated += 1
+        if self.metrics is not None:
+            self.metrics.on_data_generated(self, packet)
+        self._route_and_enqueue(packet)
+        return packet
+
+    def _deliver_to_application(self, packet: Packet) -> None:
+        """Terminal delivery of a data packet at this (root) node."""
+        self.stats.data_delivered_as_sink += 1
+        if self.metrics is not None:
+            self.metrics.on_data_delivered(self, packet)
+
+    # ------------------------------------------------------------------
+    # forwarding / queueing
+    # ------------------------------------------------------------------
+    def _route_and_enqueue(self, packet: Packet) -> bool:
+        """Address a data packet to the next hop (the preferred parent)."""
+        parent = self.rpl.preferred_parent
+        if parent is None:
+            self.stats.routing_drops += 1
+            if self.metrics is not None and packet.ptype is PacketType.DATA:
+                self.metrics.on_data_lost(self, packet, reason="no-route")
+            return False
+        hop = packet.for_next_hop(self.node_id, parent)
+        return self.enqueue_packet(hop)
+
+    def enqueue_packet(self, packet: Packet) -> bool:
+        """Put a packet (control or data) on the MAC queue."""
+        accepted = self.tsch.enqueue(packet, now=self.event_queue.now)
+        if not accepted:
+            if packet.ptype is PacketType.DATA:
+                self.stats.queue_drops += 1
+                if self.metrics is not None:
+                    self.metrics.on_data_lost(self, packet, reason="queue")
+        else:
+            self.scheduler.on_packet_enqueued(packet)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # MAC callbacks
+    # ------------------------------------------------------------------
+    def _on_mac_rx(self, packet: Packet, asn: int) -> None:
+        """Dispatch a frame decoded by the MAC to the proper layer."""
+        now = self.event_queue.now
+        if packet.ptype is PacketType.DATA:
+            forwarded = packet.for_next_hop(packet.link_source, packet.link_destination)
+            forwarded.hops += 1
+            if forwarded.destination == self.node_id:
+                self._deliver_to_application(forwarded)
+            else:
+                self.stats.data_forwarded += 1
+                self._route_and_enqueue(forwarded)
+        elif packet.ptype is PacketType.DIO:
+            self.rpl.process_dio(packet, now)
+            self.scheduler.on_dio_received(packet)
+        elif packet.ptype is PacketType.DAO:
+            self.rpl.process_dao(packet, now)
+        elif packet.ptype is PacketType.EB:
+            self.scheduler.on_eb_received(packet)
+        elif packet.ptype is PacketType.SIXP:
+            self.sixtop.process_packet(packet)
+
+    def _on_mac_tx_done(self, packet: Packet, success: bool, asn: int) -> None:
+        """A unicast packet left the MAC (delivered to next hop, or dropped)."""
+        if not success and packet.ptype is PacketType.DATA and self.metrics is not None:
+            self.metrics.on_data_lost(self, packet, reason="mac-retries")
+        self.scheduler.on_tx_done(packet, success)
+
+    # ------------------------------------------------------------------
+    # RPL callbacks
+    # ------------------------------------------------------------------
+    def _on_parent_changed(self, old_parent: Optional[int], new_parent: Optional[int]) -> None:
+        if old_parent is not None and new_parent is not None:
+            self.tsch.queue.retarget(old_parent, new_parent)
+        self.scheduler.on_parent_changed(old_parent, new_parent)
+
+    def _on_child_added(self, child: int) -> None:
+        self.scheduler.on_child_added(child)
+
+    def _on_child_removed(self, child: int) -> None:
+        self.scheduler.on_child_removed(child)
+
+    # ------------------------------------------------------------------
+    # 6top callback
+    # ------------------------------------------------------------------
+    def _on_sixp_request(
+        self, peer: int, message: SixPMessage
+    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+        return self.scheduler.on_sixp_request(peer, message)
+
+    # ------------------------------------------------------------------
+    # Enhanced Beacons
+    # ------------------------------------------------------------------
+    def _send_eb(self) -> None:
+        """Periodically broadcast an Enhanced Beacon.
+
+        Only nodes that are part of a DODAG advertise, matching Contiki-NG
+        where EBs start after association.  The scheduling function may
+        piggyback fields (GT-TSCH advertises the channel its children must
+        use, per Section III of the paper).
+        """
+        if not self.rpl.is_joined():
+            return
+        # Do not pile up beacons: if the previous EB is still waiting for a
+        # broadcast cell, skip this period (Contiki behaves the same way).
+        for queued in self.tsch.queue:
+            if queued.ptype is PacketType.EB:
+                return
+        payload: Dict[str, Any] = {
+            "join_priority": 0 if self.is_root else 1,
+        }
+        payload.update(self.scheduler.eb_fields())
+        packet = Packet(
+            ptype=PacketType.EB,
+            source=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            link_source=self.node_id,
+            link_destination=BROADCAST_ADDRESS,
+            payload=payload,
+            created_at=self.event_queue.now,
+            size_bytes=50,
+        )
+        self.stats.eb_sent += 1
+        self.enqueue_packet(packet)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "root" if self.is_root else f"rank={self.rpl.rank}"
+        return f"Node({self.node_id}, {role}, scheduler={self.scheduler.name})"

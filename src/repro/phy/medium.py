@@ -1,0 +1,203 @@
+"""Per-slot arbitration of concurrent transmissions (the radio medium).
+
+In a TSCH network every synchronised node acts within the same timeslot, so
+the medium can be resolved slot-by-slot:
+
+1.  every node declares an *intent*: transmit a frame on a physical channel,
+    listen on a physical channel, or sleep;
+2.  the medium groups transmissions per physical channel and decides, for
+    every listener, whether it decodes a frame, hears a collision, or hears
+    nothing;
+3.  for unicast frames the medium also resolves the acknowledgement sent by
+    the receiver in the same slot.
+
+The collision rules intentionally reproduce the four interference problems of
+Section III of the paper (same-slot parent/child conflicts, sibling conflicts,
+uncle conflicts, hidden terminals): any listener that is within interference
+range of two or more simultaneous transmitters on its channel decodes
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.packet import BROADCAST_ADDRESS, Packet
+from repro.phy.propagation import Position, PropagationModel
+
+
+@dataclass
+class TransmissionIntent:
+    """A node's decision to transmit a frame in the current slot."""
+
+    sender: int
+    packet: Packet
+    channel: int
+    #: True when the sender expects a link-layer ACK (unicast data/6P frames).
+    expects_ack: bool = True
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one transmission intent after medium arbitration."""
+
+    intent: TransmissionIntent
+    #: Node ids that decoded the frame.
+    receivers: List[int] = field(default_factory=list)
+    #: Whether the intended unicast destination decoded the frame.
+    delivered: bool = False
+    #: Whether the sender received the link-layer ACK (unicast only).
+    acked: bool = False
+    #: True when the frame was lost because of a collision at the intended
+    #: destination (as opposed to channel error).
+    collided: bool = False
+
+
+class Medium:
+    """The shared radio medium: positions, propagation, per-slot arbitration."""
+
+    def __init__(self, propagation: PropagationModel, rng, ack_prr_scale: float = 1.0) -> None:
+        """
+        Parameters
+        ----------
+        propagation:
+            Model answering PRR / interference-range queries.
+        rng:
+            ``random.Random`` stream used for packet-loss draws.
+        ack_prr_scale:
+            Multiplier applied to the reverse-link PRR when resolving ACKs
+            (ACK frames are short, so they often survive links that drop full
+            data frames; 1.0 keeps both identical).
+        """
+        self.propagation = propagation
+        self.rng = rng
+        self.ack_prr_scale = ack_prr_scale
+        self._positions: Dict[int, Position] = {}
+        # Caches keyed by ordered node-id pair.
+        self._prr_cache: Dict[Tuple[int, int], float] = {}
+        self._interf_cache: Dict[Tuple[int, int], bool] = {}
+        #: Counters for diagnostics / tests.
+        self.total_transmissions = 0
+        self.total_collisions = 0
+
+    # ------------------------------------------------------------------
+    # topology registration
+    # ------------------------------------------------------------------
+    def register_node(self, node_id: int, position: Position) -> None:
+        """Register (or move) a node at ``position``."""
+        self._positions[node_id] = position
+        self._prr_cache.clear()
+        self._interf_cache.clear()
+
+    def position_of(self, node_id: int) -> Position:
+        return self._positions[node_id]
+
+    def node_ids(self) -> Sequence[int]:
+        return tuple(self._positions)
+
+    # ------------------------------------------------------------------
+    # link queries
+    # ------------------------------------------------------------------
+    def link_prr(self, sender: int, receiver: int) -> float:
+        """Interference-free PRR of the directed link sender -> receiver."""
+        if sender == receiver:
+            return 0.0
+        key = (sender, receiver)
+        if key not in self._prr_cache:
+            self._prr_cache[key] = self.propagation.prr(
+                self._positions[sender], self._positions[receiver]
+            )
+        return self._prr_cache[key]
+
+    def interferes(self, transmitter: int, listener: int) -> bool:
+        """Whether energy from ``transmitter`` reaches ``listener`` at all."""
+        if transmitter == listener:
+            return False
+        key = (transmitter, listener)
+        if key not in self._interf_cache:
+            self._interf_cache[key] = self.propagation.in_interference_range(
+                self._positions[transmitter], self._positions[listener]
+            )
+        return self._interf_cache[key]
+
+    def neighbors_of(self, node_id: int, min_prr: float = 0.0) -> List[int]:
+        """Node ids with a usable link from ``node_id`` (PRR > ``min_prr``)."""
+        return [
+            other
+            for other in self._positions
+            if other != node_id and self.link_prr(node_id, other) > min_prr
+        ]
+
+    # ------------------------------------------------------------------
+    # per-slot arbitration
+    # ------------------------------------------------------------------
+    def resolve_slot(
+        self,
+        intents: Sequence[TransmissionIntent],
+        listeners: Dict[int, int],
+    ) -> List[TransmissionResult]:
+        """Arbitrate one timeslot.
+
+        Parameters
+        ----------
+        intents:
+            All transmissions attempted in this slot (across all channels).
+        listeners:
+            Mapping ``node_id -> physical channel`` for every node whose radio
+            is in receive mode this slot.  Transmitting nodes must not appear
+            here (half-duplex radios).
+
+        Returns
+        -------
+        One :class:`TransmissionResult` per intent, in input order.
+        """
+        results = [TransmissionResult(intent=intent) for intent in intents]
+        self.total_transmissions += len(intents)
+        if not intents:
+            return results
+
+        # Group transmitting senders per physical channel.
+        per_channel: Dict[int, List[int]] = {}
+        for index, intent in enumerate(intents):
+            per_channel.setdefault(intent.channel, []).append(index)
+
+        for listener, channel in listeners.items():
+            indices = per_channel.get(channel)
+            if not indices:
+                continue
+            # Which simultaneous transmitters does this listener hear energy from?
+            audible = [i for i in indices if self.interferes(intents[i].sender, listener)]
+            if not audible:
+                continue
+            if len(audible) > 1:
+                # Two or more frames overlap at this listener: collision, the
+                # listener decodes nothing.  This is exactly the failure mode
+                # of problems 1-4 in Section III of the paper.
+                for i in audible:
+                    if intents[i].packet.link_destination in (listener, BROADCAST_ADDRESS):
+                        results[i].collided = True
+                self.total_collisions += 1
+                continue
+            index = audible[0]
+            intent = intents[index]
+            prr = self.link_prr(intent.sender, listener)
+            if prr <= 0.0:
+                # Energy is audible (interference range) but too weak to decode.
+                continue
+            if self.rng.random() <= prr:
+                results[index].receivers.append(listener)
+                if intent.packet.link_destination == listener:
+                    results[index].delivered = True
+
+        # Resolve ACKs for unicast frames that reached their destination.
+        for result in results:
+            intent = result.intent
+            if not intent.expects_ack or intent.packet.is_broadcast:
+                continue
+            if not result.delivered:
+                continue
+            destination = intent.packet.link_destination
+            ack_prr = min(1.0, self.link_prr(destination, intent.sender) * self.ack_prr_scale)
+            result.acked = self.rng.random() <= ack_prr
+        return results

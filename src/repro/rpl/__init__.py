@@ -1,0 +1,37 @@
+"""RPL routing (RFC 6550) for Low-power Lossy Networks.
+
+GT-TSCH "tightly interacts with the RPL routing protocol": it reads the
+node's Rank and preferred parent, learns the children set, and piggybacks the
+parent's number of reception cells (``l^rx``) on DIO messages.  This package
+provides the pieces of RPL the scheduler depends on:
+
+* :mod:`repro.rpl.rank` -- Rank arithmetic and the MRHOF objective function
+  (ETX-based, per Table II of the paper).
+* :mod:`repro.rpl.trickle` -- the Trickle timer driving DIO emission.
+* :mod:`repro.rpl.messages` -- DIO / DAO payload construction helpers.
+* :mod:`repro.rpl.engine` -- the per-node RPL state machine: neighbor table,
+  parent selection and switching, children tracking, DIO/DAO processing.
+"""
+
+from repro.rpl.rank import (
+    INFINITE_RANK,
+    MIN_HOP_RANK_INCREASE,
+    MrhofObjectiveFunction,
+    RankCalculator,
+)
+from repro.rpl.trickle import TrickleTimer
+from repro.rpl.messages import make_dao, make_dio
+from repro.rpl.engine import RplConfig, RplEngine, RplNeighbor
+
+__all__ = [
+    "INFINITE_RANK",
+    "MIN_HOP_RANK_INCREASE",
+    "MrhofObjectiveFunction",
+    "RankCalculator",
+    "TrickleTimer",
+    "make_dio",
+    "make_dao",
+    "RplConfig",
+    "RplEngine",
+    "RplNeighbor",
+]

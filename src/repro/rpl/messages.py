@@ -1,0 +1,91 @@
+"""RPL control message construction.
+
+Only the fields consumed by the simulated stack are modelled.  GT-TSCH
+extends the DIO with one option carrying the sender's number of unicast
+reception cells (``l^rx``), which children use as the upper bound of their
+strategy set in the game (Section VII of the paper): that option travels in
+the ``l_rx`` payload field here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
+
+
+def make_dio(
+    sender: int,
+    dodag_id: int,
+    rank: int,
+    version: int = 0,
+    l_rx: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    now: float = 0.0,
+) -> Packet:
+    """Build a DODAG Information Object broadcast frame.
+
+    Parameters
+    ----------
+    sender:
+        Node id of the advertising node.
+    dodag_id:
+        Identifier of the DODAG (the root's node id in this model).
+    rank:
+        The sender's advertised Rank.
+    version:
+        DODAG version number (bumped by the root on global repair).
+    l_rx:
+        GT-TSCH option: the sender's number of unicast reception cells
+        available to children (``l^rx_{p_i}`` in the game model).
+    extra:
+        Additional scheduler-specific fields to piggyback.
+    """
+    payload: Dict[str, Any] = {
+        "dodag_id": dodag_id,
+        "rank": rank,
+        "version": version,
+    }
+    if l_rx is not None:
+        payload["l_rx"] = int(l_rx)
+    if extra:
+        payload.update(extra)
+    return Packet(
+        ptype=PacketType.DIO,
+        source=sender,
+        destination=BROADCAST_ADDRESS,
+        link_source=sender,
+        link_destination=BROADCAST_ADDRESS,
+        payload=payload,
+        created_at=now,
+        size_bytes=76,
+    )
+
+
+def make_dao(
+    sender: int,
+    parent: int,
+    dodag_id: int,
+    rank: int,
+    now: float = 0.0,
+) -> Packet:
+    """Build a Destination Advertisement Object unicast to the parent.
+
+    In storing-mode RPL the DAO lets the parent learn its children (and the
+    root learn downward routes).  GT-TSCH relies on this to maintain the
+    children set ``cs_i`` used in channel and cell allocation.
+    """
+    payload: Dict[str, Any] = {
+        "dodag_id": dodag_id,
+        "rank": rank,
+    }
+    return Packet(
+        ptype=PacketType.DAO,
+        source=sender,
+        destination=parent,
+        link_source=sender,
+        link_destination=parent,
+        payload=payload,
+        created_at=now,
+        size_bytes=60,
+    )

@@ -1,0 +1,106 @@
+"""RPL Rank arithmetic and the MRHOF objective function.
+
+The Rank encodes a node's logical distance to the DODAG root.  The paper's
+evaluation uses MRHOF (the Minimum Rank with Hysteresis Objective Function,
+RFC 6719) with the ETX metric, which is also Contiki-NG's default: a node's
+Rank is its parent's Rank plus ``ETX x MinHopRankIncrease``.
+
+GT-TSCH's utility function (Eqs. (2)-(3)) uses the normalised Rank
+
+    Rank~_i = MinHopRankIncrease / (Rank_i - Rank_min)
+
+so that nodes closer to the root obtain more profit per allocated Tx cell --
+the helpers here expose both raw and normalised quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: RFC 6550 default MinHopRankIncrease: the minimum Rank increase per hop.
+MIN_HOP_RANK_INCREASE = 256
+
+#: Rank advertised by a node that is not part of any DODAG.
+INFINITE_RANK = 0xFFFF
+
+#: MRHOF hysteresis (RFC 6719 / Contiki-NG PARENT_SWITCH_THRESHOLD): a
+#: candidate parent must improve the path cost by at least this much before
+#: the node switches, which prevents parent flapping on borderline links.
+DEFAULT_PARENT_SWITCH_THRESHOLD = 192
+
+#: MRHOF caps the link metric used in Rank computation (RFC 6719 MAX_LINK_METRIC).
+MAX_LINK_METRIC_ETX = 4.0
+
+
+@dataclass
+class MrhofObjectiveFunction:
+    """MRHOF with the ETX metric.
+
+    ``rank_via(parent_rank, etx)`` computes the Rank a node would advertise if
+    it selected a parent with ``parent_rank`` over a link with the given ETX.
+    """
+
+    min_hop_rank_increase: int = MIN_HOP_RANK_INCREASE
+    parent_switch_threshold: int = DEFAULT_PARENT_SWITCH_THRESHOLD
+    max_link_metric: float = MAX_LINK_METRIC_ETX
+
+    def link_cost(self, etx: float) -> float:
+        """Rank units contributed by a link with the given ETX."""
+        capped = min(max(etx, 1.0), self.max_link_metric)
+        return capped * self.min_hop_rank_increase
+
+    def rank_via(self, parent_rank: int, etx: float) -> int:
+        """Rank obtained by joining through a parent with ``parent_rank``."""
+        if parent_rank >= INFINITE_RANK:
+            return INFINITE_RANK
+        rank = parent_rank + self.link_cost(etx)
+        return min(int(round(rank)), INFINITE_RANK)
+
+    def is_worth_switching(self, current_rank: int, candidate_rank: int) -> bool:
+        """MRHOF hysteresis test for switching preferred parents."""
+        if current_rank >= INFINITE_RANK:
+            return candidate_rank < INFINITE_RANK
+        return candidate_rank + self.parent_switch_threshold < current_rank
+
+
+class RankCalculator:
+    """Helpers for the Rank-derived quantities used by the GT-TSCH game."""
+
+    def __init__(
+        self,
+        min_hop_rank_increase: int = MIN_HOP_RANK_INCREASE,
+        root_rank: int = MIN_HOP_RANK_INCREASE,
+    ) -> None:
+        """``root_rank`` is the Rank advertised by the DODAG root.
+
+        RFC 6550 allows any value; Contiki-NG roots advertise
+        ``MinHopRankIncrease`` so that Rank/MinHopRankIncrease equals the
+        (ETX-weighted) hop distance, and the paper's Fig. 1 labels the root
+        with Rank 0 after normalisation.  The normalised Rank of Eq. (3) only
+        depends on the difference ``Rank_i - Rank_min``.
+        """
+        self.min_hop_rank_increase = min_hop_rank_increase
+        self.root_rank = root_rank
+
+    def hop_distance(self, rank: int) -> float:
+        """Approximate hop distance to the root implied by a Rank."""
+        if rank >= INFINITE_RANK:
+            return float("inf")
+        return max(0.0, (rank - self.root_rank) / self.min_hop_rank_increase)
+
+    def normalised_rank(self, rank: int, rank_min: Optional[int] = None) -> float:
+        """Eq. (3): ``Rank~_i = MinHopRankIncrease / (Rank_i - Rank_min)``.
+
+        Defined for non-root nodes (``rank > rank_min``).  Root nodes never
+        request Tx cells (they have no parent), so the value is irrelevant for
+        them; for robustness the root case returns the maximum weight (1.0
+        hop equivalent), and unreachable nodes return 0.
+        """
+        rank_min = self.root_rank if rank_min is None else rank_min
+        if rank >= INFINITE_RANK:
+            return 0.0
+        difference = rank - rank_min
+        if difference <= 0:
+            return 1.0
+        return self.min_hop_rank_increase / difference

@@ -1,0 +1,22 @@
+"""TSCH scheduling functions.
+
+Every scheduler in this repository -- the paper's GT-TSCH contribution
+(:mod:`repro.core.scheduler`), the Orchestra baseline
+(:mod:`repro.schedulers.orchestra`) and the 6TiSCH minimal configuration
+(:mod:`repro.schedulers.minimal`) -- implements the
+:class:`repro.schedulers.base.SchedulingFunction` interface and only installs
+or removes cells; the TSCH MAC, RPL and 6P machinery underneath is shared,
+which keeps performance comparisons apples-to-apples.
+"""
+
+from repro.schedulers.base import SchedulingFunction
+from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
+
+__all__ = [
+    "SchedulingFunction",
+    "OrchestraScheduler",
+    "OrchestraConfig",
+    "MinimalScheduler",
+    "MinimalSchedulerConfig",
+]

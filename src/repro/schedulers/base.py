@@ -1,0 +1,114 @@
+"""The scheduling-function plug-in interface.
+
+A 6TiSCH Scheduling Function (SF) decides which TSCH cells a node installs
+and when the schedule is updated.  RFC 8480 leaves the SF open -- that is the
+research gap the paper addresses -- so the simulator treats it as a plug-in:
+
+* the SF observes the node's protocol events (parent switches, new children,
+  received EBs/DIOs, finished transmissions);
+* it installs/removes cells on the node's :class:`repro.mac.tsch.TschEngine`;
+* it may negotiate cells with neighbours through the node's 6P layer;
+* it may piggyback fields on EBs and DIOs (GT-TSCH uses both).
+
+All callbacks have default no-op implementations so concrete schedulers only
+override what they need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.packet import Packet
+from repro.sixtop.messages import SixPMessage, SixPReturnCode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+
+class SchedulingFunction:
+    """Base class for TSCH scheduling functions."""
+
+    #: Human-readable name used in metrics and experiment tables.
+    name = "base"
+    #: 6P Scheduling Function Identifier advertised in 6P messages.
+    sf_id = 0
+
+    def __init__(self) -> None:
+        self.node: Optional["Node"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, node: "Node") -> None:
+        """Bind the SF to its node.  Called once, before :meth:`start`."""
+        self.node = node
+
+    def start(self) -> None:
+        """Install the initial schedule (slotframes, minimal cells)."""
+
+    # ------------------------------------------------------------------
+    # RPL events
+    # ------------------------------------------------------------------
+    def on_parent_changed(self, old_parent: Optional[int], new_parent: Optional[int]) -> None:
+        """The node selected a new preferred parent (or lost its parent)."""
+
+    def on_child_added(self, child: int) -> None:
+        """A node announced (via DAO) that it uses us as its parent."""
+
+    def on_child_removed(self, child: int) -> None:
+        """A previously known child is gone."""
+
+    # ------------------------------------------------------------------
+    # control-plane piggybacking
+    # ------------------------------------------------------------------
+    def eb_fields(self) -> Dict[str, Any]:
+        """Extra fields to piggyback on this node's Enhanced Beacons."""
+        return {}
+
+    def dio_fields(self) -> Dict[str, Any]:
+        """Extra fields to piggyback on this node's DIOs (e.g. ``l_rx``)."""
+        return {}
+
+    def on_eb_received(self, packet: Packet) -> None:
+        """An Enhanced Beacon was received from a neighbor."""
+
+    def on_dio_received(self, packet: Packet) -> None:
+        """A DIO was received (after RPL has already processed it)."""
+
+    # ------------------------------------------------------------------
+    # 6P events
+    # ------------------------------------------------------------------
+    def on_sixp_request(
+        self, peer: int, message: SixPMessage
+    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+        """Answer an incoming 6P request.
+
+        Returns the response return code plus the response fields
+        (``cell_list``, ``channel_offset``...).  The default rejects every
+        request, which is correct for autonomous schedulers that never use 6P.
+        """
+        return SixPReturnCode.ERR, {}
+
+    # ------------------------------------------------------------------
+    # MAC events
+    # ------------------------------------------------------------------
+    def on_packet_enqueued(self, packet: Packet) -> None:
+        """A packet (data or control) entered the MAC queue."""
+
+    def on_tx_done(self, packet: Packet, success: bool) -> None:
+        """A unicast packet left the MAC (delivered, or dropped after retries)."""
+
+    # ------------------------------------------------------------------
+    # introspection helpers shared by concrete schedulers
+    # ------------------------------------------------------------------
+    def describe_schedule(self) -> str:
+        """Human-readable dump of installed cells, for examples and debugging."""
+        if self.node is None:
+            return "<detached scheduler>"
+        lines = [f"Schedule of node {self.node.node_id} ({self.name}):"]
+        for handle in sorted(self.node.tsch.slotframes):
+            slotframe = self.node.tsch.slotframes[handle]
+            lines.append(f"  slotframe {handle} (length {slotframe.length}):")
+            for cell in slotframe.all_cells():
+                lines.append(f"    {cell!r}")
+        return "\n".join(lines)

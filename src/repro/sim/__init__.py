@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+This package provides the time base and event machinery that every other
+layer of the simulated 6TiSCH stack builds on:
+
+* :mod:`repro.sim.clock` -- the simulation clock, expressed both in seconds
+  and in TSCH Absolute Slot Numbers (ASN).
+* :mod:`repro.sim.events` -- a monotonic event queue with cancellable events
+  and periodic timers.
+* :mod:`repro.sim.rng` -- named, seeded random streams so that every scenario
+  is exactly reproducible from a single integer seed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue, PeriodicTimer
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "PeriodicTimer",
+    "RngRegistry",
+]

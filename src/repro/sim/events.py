@@ -1,0 +1,218 @@
+"""Event queue and periodic timers for the slot-synchronous simulator.
+
+The TSCH slot loop is the primary driver of simulated time, but many protocol
+behaviours are naturally expressed as timers in seconds: application packet
+generation periods, the RPL Trickle timer, the EB period, 6P transaction
+timeouts and the GT-TSCH load-balancing period.  Those are scheduled on an
+:class:`EventQueue` and drained at every slot boundary by the network loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events are created through :meth:`EventQueue.schedule` and can be
+    cancelled; a cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so it will be silently dropped when its time comes."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (used by the queue; not normally called directly)."""
+        return self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.4f}, {self.label or self.callback!r}, {state})"
+
+
+class EventQueue:
+    """A monotonic priority queue of :class:`Event` objects.
+
+    Events scheduled for the same instant fire in insertion order, which keeps
+    behaviour deterministic (important for reproducibility of the benchmark
+    figures).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently processed instant."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` at absolute ``time`` seconds."""
+        if time < self._now:
+            # Clamp to "now": a timer computed from stale state should fire
+            # immediately rather than silently travel back in time.
+            time = self._now
+        event = Event(time, callback, args, kwargs, label=label)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds after the current time."""
+        return self.schedule(self._now + max(0.0, delay), callback, *args, label=label, **kwargs)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest pending event, if any."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def run_until(self, time: float) -> int:
+        """Fire every pending event with ``event.time <= time``.
+
+        Returns the number of events fired.  Events scheduled by callbacks
+        during the run are also fired if they fall within the window.
+        """
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event.fire()
+            fired += 1
+        if time > self._now:
+            self._now = time
+        return fired
+
+    def clear(self) -> None:
+        """Drop all pending events and reset the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+
+
+class PeriodicTimer:
+    """A self-rescheduling timer built on :class:`EventQueue`.
+
+    Used for the EB period, the application traffic generator and the
+    GT-TSCH load-balancing period.  The callback may return ``False`` to stop
+    the timer; any other return value keeps it running.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        period: float,
+        callback: Callable[[], Any],
+        start_offset: Optional[float] = None,
+        label: str = "",
+        jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        """``jitter`` (0..1) randomises each period by ``±jitter*period``.
+
+        Periodic protocol timers (Enhanced Beacons in particular) must not be
+        phase-locked across nodes: two nodes whose identical periods happen to
+        align would contend for the same broadcast cell at every firing,
+        forever.  A small jitter breaks that symmetry, exactly as Contiki-NG
+        jitters its EB timer.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        if jitter > 0.0 and rng is None:
+            raise ValueError("a jittered timer needs an rng")
+        self.queue = queue
+        self.period = period
+        self.callback = callback
+        self.label = label
+        self.jitter = jitter
+        self.rng = rng
+        self._event: Optional[Event] = None
+        self._running = False
+        self._start_offset = period if start_offset is None else start_offset
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Arm the timer; the first firing happens after ``start_offset`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self.queue.schedule_in(self._start_offset, self._tick, label=self.label)
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_period(self) -> float:
+        if self.jitter <= 0.0:
+            return self.period
+        return self.period * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        result = self.callback()
+        if result is False:
+            self._running = False
+            return
+        self._event = self.queue.schedule_in(self._next_period(), self._tick, label=self.label)

@@ -1,0 +1,37 @@
+"""6top (6P) sublayer -- RFC 8480 transactions plus the ASK-CHANNEL extension.
+
+6P is the protocol two TSCH neighbours use to negotiate cells.  GT-TSCH uses
+three commands:
+
+* ``ADD`` / ``DELETE`` -- the standard RFC 8480 commands, used by the
+  load-balancing algorithm to grow or shrink the number of Unicast-Data cells;
+* ``ASK_CHANNEL`` (code ``0x0A``) -- the command the paper introduces (Fig. 4)
+  with which a node asks its parent which channel it should use towards its
+  own children.
+
+:mod:`repro.sixtop.messages` defines the message model, and
+:mod:`repro.sixtop.layer` implements the per-node transaction state machine
+(sequence numbers, matching of responses to requests, timeouts).
+"""
+
+from repro.sixtop.messages import (
+    ASK_CHANNEL_COMMAND_CODE,
+    CellDescriptor,
+    SixPCommand,
+    SixPMessage,
+    SixPMessageType,
+    SixPReturnCode,
+)
+from repro.sixtop.layer import SixPConfig, SixPLayer, SixPTransaction
+
+__all__ = [
+    "SixPCommand",
+    "SixPMessageType",
+    "SixPReturnCode",
+    "SixPMessage",
+    "CellDescriptor",
+    "ASK_CHANNEL_COMMAND_CODE",
+    "SixPConfig",
+    "SixPLayer",
+    "SixPTransaction",
+]

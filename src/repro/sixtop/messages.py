@@ -1,0 +1,129 @@
+"""6P message model (RFC 8480 subset + the paper's ASK-CHANNEL command).
+
+Real 6P messages are byte-encoded IEs inside 802.15.4 frames; here they are
+structured payloads carried by :class:`repro.net.packet.Packet` objects with
+``ptype == PacketType.SIXP``.  The fields mirror the message formats shown in
+Fig. 4 of the paper: version, type (request/response), command code, sequence
+number, scheduling function identifier, and -- for ASK-CHANNEL responses --
+the channel offset granted by the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet, PacketType
+
+
+#: Command code the paper assigns to ASK-CHANNEL (Fig. 4).
+ASK_CHANNEL_COMMAND_CODE = 0x0A
+
+#: 6P version used by RFC 8480.
+SIXP_VERSION = 0
+
+
+class SixPCommand(Enum):
+    """6P command codes used by this reproduction."""
+
+    ADD = 0x01
+    DELETE = 0x02
+    #: Paper-specific extension: ask the parent for the child-facing channel.
+    ASK_CHANNEL = ASK_CHANNEL_COMMAND_CODE
+
+
+class SixPMessageType(Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+class SixPReturnCode(Enum):
+    """Response codes (RFC 8480 Section 3.2.4 subset)."""
+
+    SUCCESS = "RC_SUCCESS"
+    ERR_SEQNUM = "RC_ERR_SEQNUM"
+    ERR_CELLLIST = "RC_ERR_CELLLIST"
+    ERR_BUSY = "RC_ERR_BUSY"
+    ERR_NORES = "RC_ERR_NORES"
+    ERR = "RC_ERR"
+
+
+@dataclass(frozen=True)
+class CellDescriptor:
+    """A (slot offset, channel offset) pair exchanged inside ADD/DELETE messages."""
+
+    slot_offset: int
+    channel_offset: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.slot_offset, self.channel_offset)
+
+
+@dataclass
+class SixPMessage:
+    """A decoded 6P message."""
+
+    message_type: SixPMessageType
+    command: SixPCommand
+    seqnum: int
+    sf_id: int = 0
+    #: Number of cells requested (ADD/DELETE requests).
+    num_cells: int = 0
+    #: Candidate or granted cells.
+    cell_list: List[CellDescriptor] = field(default_factory=list)
+    #: Response code (responses only).
+    return_code: Optional[SixPReturnCode] = None
+    #: Channel offset granted by an ASK-CHANNEL response.
+    channel_offset: Optional[int] = None
+    #: Additional scheduler-specific fields.
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialise to the packet payload dictionary."""
+        payload: Dict[str, Any] = {
+            "version": SIXP_VERSION,
+            "type": self.message_type.value,
+            "command": self.command.value,
+            "seqnum": self.seqnum,
+            "sf_id": self.sf_id,
+            "num_cells": self.num_cells,
+            "cell_list": [cell.as_tuple() for cell in self.cell_list],
+            "metadata": dict(self.metadata),
+        }
+        if self.return_code is not None:
+            payload["return_code"] = self.return_code.value
+        if self.channel_offset is not None:
+            payload["channel_offset"] = self.channel_offset
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SixPMessage":
+        """Parse a packet payload dictionary back into a message."""
+        return cls(
+            message_type=SixPMessageType(payload["type"]),
+            command=SixPCommand(payload["command"]),
+            seqnum=payload["seqnum"],
+            sf_id=payload.get("sf_id", 0),
+            num_cells=payload.get("num_cells", 0),
+            cell_list=[CellDescriptor(*pair) for pair in payload.get("cell_list", [])],
+            return_code=(
+                SixPReturnCode(payload["return_code"]) if "return_code" in payload else None
+            ),
+            channel_offset=payload.get("channel_offset"),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def make_sixp_packet(sender: int, receiver: int, message: SixPMessage, now: float = 0.0) -> Packet:
+    """Wrap a 6P message into a unicast link-layer packet."""
+    return Packet(
+        ptype=PacketType.SIXP,
+        source=sender,
+        destination=receiver,
+        link_source=sender,
+        link_destination=receiver,
+        payload=message.to_payload(),
+        created_at=now,
+        size_bytes=40,
+    )

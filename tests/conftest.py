@@ -1,0 +1,131 @@
+"""Shared fixtures for the GT-TSCH reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import GtTschConfig
+from repro.core.scheduler import GtTschScheduler
+from repro.mac.tsch import TschConfig
+from repro.net.network import Network
+from repro.net.node import NodeConfig
+from repro.net.topology import line_topology, multi_dodag_topology, star_topology
+from repro.net.traffic import PeriodicTrafficGenerator
+from repro.phy.propagation import FixedPrrModel, UnitDiskLossyEdgeModel
+from repro.rpl.engine import RplConfig
+from repro.schedulers.minimal import MinimalScheduler
+from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
+from repro.sixtop.layer import SixPConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random stream for unit tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def fast_node_config():
+    """Node configuration with short timers so tests converge quickly."""
+    return NodeConfig(
+        tsch=TschConfig(eb_period_s=1.0),
+        rpl=RplConfig(dio_interval_min_s=2.0, dao_delay_s=0.5),
+        sixp=SixPConfig(timeout_s=3.0, max_retries=2),
+    )
+
+
+@pytest.fixture
+def gt_config():
+    """A GT-TSCH configuration with a fast load-balancing period."""
+    return GtTschConfig(load_balance_period_s=2.0)
+
+
+def make_gt_network(
+    topology=None,
+    seed: int = 7,
+    rate_ppm: float = 0.0,
+    node_config: NodeConfig = None,
+    gt_config: GtTschConfig = None,
+    warm_start: bool = True,
+):
+    """Build a small GT-TSCH network for integration-style tests."""
+    topology = topology or star_topology(3)
+    node_config = node_config or NodeConfig(
+        tsch=TschConfig(eb_period_s=1.0),
+        rpl=RplConfig(dio_interval_min_s=2.0, dao_delay_s=0.5),
+        sixp=SixPConfig(timeout_s=3.0, max_retries=2),
+    )
+    gt_config = gt_config or GtTschConfig(load_balance_period_s=2.0)
+    network = Network(
+        propagation=UnitDiskLossyEdgeModel(),
+        seed=seed,
+        default_node_config=node_config,
+    )
+
+    def traffic_factory(node_id, is_root):
+        if is_root or rate_ppm <= 0:
+            return None
+        return PeriodicTrafficGenerator(rate_ppm=rate_ppm)
+
+    network.build_from_topology(
+        topology,
+        scheduler_factory=lambda node_id, is_root: GtTschScheduler(gt_config),
+        traffic_factory=traffic_factory,
+        warm_start=warm_start,
+    )
+    return network
+
+
+def make_orchestra_network(
+    topology=None,
+    seed: int = 7,
+    rate_ppm: float = 0.0,
+    node_config: NodeConfig = None,
+    orchestra_config: OrchestraConfig = None,
+    warm_start: bool = True,
+):
+    """Build a small Orchestra network for integration-style tests."""
+    topology = topology or star_topology(3)
+    node_config = node_config or NodeConfig(
+        tsch=TschConfig(eb_period_s=1.0),
+        rpl=RplConfig(dio_interval_min_s=2.0, dao_delay_s=0.5),
+        sixp=SixPConfig(timeout_s=3.0),
+    )
+    orchestra_config = orchestra_config or OrchestraConfig()
+    network = Network(
+        propagation=UnitDiskLossyEdgeModel(),
+        seed=seed,
+        default_node_config=node_config,
+    )
+
+    def traffic_factory(node_id, is_root):
+        if is_root or rate_ppm <= 0:
+            return None
+        return PeriodicTrafficGenerator(rate_ppm=rate_ppm)
+
+    network.build_from_topology(
+        topology,
+        scheduler_factory=lambda node_id, is_root: OrchestraScheduler(orchestra_config),
+        traffic_factory=traffic_factory,
+        warm_start=warm_start,
+    )
+    return network
+
+
+@pytest.fixture
+def gt_star_network():
+    """A 4-node (root + 3 leaves) GT-TSCH network."""
+    return make_gt_network(star_topology(3))
+
+
+@pytest.fixture
+def gt_line_network():
+    """A 4-node chain GT-TSCH network (3 hops)."""
+    return make_gt_network(line_topology(4, spacing=25.0))
+
+
+@pytest.fixture
+def orchestra_star_network():
+    return make_orchestra_network(star_topology(3))

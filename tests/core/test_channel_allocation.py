@@ -1,0 +1,154 @@
+"""Tests for GT-TSCH channel allocation (Section III, Algorithm 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel_allocation import (
+    ChannelAllocationError,
+    ChannelAllocator,
+    allocate_channels_in_tree,
+    verify_three_hop_uniqueness,
+)
+
+
+class TestChannelAllocator:
+    def test_available_offsets_exclude_broadcast(self):
+        allocator = ChannelAllocator(num_channels=8, broadcast_offset=0)
+        assert 0 not in allocator.available_offsets()
+        assert len(allocator.available_offsets()) == 7
+
+    def test_root_picks_child_channel(self):
+        allocator = ChannelAllocator(num_channels=8)
+        channel = allocator.pick_own_child_channel(random.Random(1))
+        assert channel != allocator.broadcast_offset
+        assert allocator.child_facing_offset == channel
+
+    def test_root_pick_deterministic_without_rng(self):
+        allocator = ChannelAllocator(num_channels=8)
+        assert allocator.pick_own_child_channel() == 1
+
+    def test_grant_avoids_forbidden_offsets(self):
+        allocator = ChannelAllocator(num_channels=8, broadcast_offset=0)
+        allocator.parent_facing_offset = 1
+        allocator.child_facing_offset = 2
+        granted = allocator.grant_child_channel(10)
+        assert granted not in {0, 1, 2}
+
+    def test_siblings_get_distinct_channels(self):
+        allocator = ChannelAllocator(num_channels=8, broadcast_offset=0)
+        allocator.child_facing_offset = 1
+        grants = [allocator.grant_child_channel(child) for child in range(10, 15)]
+        assert len(set(grants)) == len(grants)
+
+    def test_grant_is_idempotent_per_child(self):
+        allocator = ChannelAllocator(num_channels=8)
+        allocator.child_facing_offset = 1
+        assert allocator.grant_child_channel(10) == allocator.grant_child_channel(10)
+
+    def test_exhaustion_raises(self):
+        allocator = ChannelAllocator(num_channels=4, broadcast_offset=0)
+        allocator.parent_facing_offset = 1
+        allocator.child_facing_offset = 2
+        allocator.grant_child_channel(10)  # takes offset 3
+        with pytest.raises(ChannelAllocationError):
+            allocator.grant_child_channel(11)
+
+    def test_release_child_frees_channel(self):
+        allocator = ChannelAllocator(num_channels=4, broadcast_offset=0)
+        allocator.parent_facing_offset = 1
+        allocator.child_facing_offset = 2
+        first = allocator.grant_child_channel(10)
+        allocator.release_child(10)
+        assert allocator.grant_child_channel(11) == first
+
+    def test_max_children_matches_section_iii(self):
+        """n - 2 - 1 children with n channels (broadcast + parent + own)."""
+        allocator = ChannelAllocator(num_channels=8, broadcast_offset=0)
+        allocator.parent_facing_offset = 1
+        allocator.child_facing_offset = 2
+        assert allocator.max_children() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelAllocator(num_channels=2)
+        with pytest.raises(ValueError):
+            ChannelAllocator(num_channels=8, broadcast_offset=8)
+
+
+def build_parent_map(depth, branching):
+    """A complete tree as a parent map."""
+    parent_map = {0: None}
+    next_id = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                parent_map[next_id] = parent
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return parent_map
+
+
+class TestTreeAllocation:
+    def test_seven_node_example(self):
+        """The Fig. 3/Fig. 6 style tree: every invariant holds."""
+        parent_map = {0: None, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 2}
+        assignment = allocate_channels_in_tree(parent_map, num_channels=8)
+        assert verify_three_hop_uniqueness(parent_map, assignment) == []
+        assert all(channel != 0 for channel in assignment.values())
+
+    def test_deep_chain(self):
+        parent_map = {i: (i - 1 if i else None) for i in range(10)}
+        assignment = allocate_channels_in_tree(parent_map, num_channels=8)
+        assert verify_three_hop_uniqueness(parent_map, assignment) == []
+        # Along a chain, consecutive and two-apart nodes must differ.
+        for node in range(2, 10):
+            assert assignment[node] != assignment[node - 1]
+            assert assignment[node] != assignment[node - 2]
+
+    def test_multiple_roots(self):
+        parent_map = {0: None, 1: 0, 10: None, 11: 10}
+        assignment = allocate_channels_in_tree(parent_map, num_channels=8)
+        assert set(assignment) == {0, 1, 10, 11}
+
+    def test_too_many_children_rejected(self):
+        parent_map = {0: None}
+        for child in range(1, 8):
+            parent_map[child] = 0
+        with pytest.raises(ChannelAllocationError):
+            allocate_channels_in_tree(parent_map, num_channels=8)
+
+    def test_requires_a_root(self):
+        with pytest.raises(ValueError):
+            allocate_channels_in_tree({1: 2, 2: 1}, num_channels=8)
+
+    def test_rng_controls_root_choice(self):
+        parent_map = {0: None, 1: 0}
+        a = allocate_channels_in_tree(parent_map, num_channels=8, rng=random.Random(1))
+        b = allocate_channels_in_tree(parent_map, num_channels=8, rng=random.Random(1))
+        assert a == b
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        depth=st.integers(min_value=1, max_value=4),
+        branching=st.integers(min_value=1, max_value=4),
+    )
+    def test_three_hop_uniqueness_property(self, depth, branching):
+        """Algorithm 1 keeps channels unique along any three-hop path and among
+        siblings, for every tree it can serve (branching <= n - 3)."""
+        parent_map = build_parent_map(depth, branching)
+        assignment = allocate_channels_in_tree(parent_map, num_channels=8)
+        assert verify_three_hop_uniqueness(parent_map, assignment) == []
+
+    def test_verifier_detects_violations(self):
+        parent_map = {0: None, 1: 0, 2: 1}
+        bad = {0: 3, 1: 3, 2: 5}
+        violations = verify_three_hop_uniqueness(parent_map, bad)
+        assert violations
+        bad_siblings = {0: 3, 1: 4, 2: 4}
+        parent_map2 = {0: None, 1: 0, 2: 0}
+        assert verify_three_hop_uniqueness(parent_map2, bad_siblings)

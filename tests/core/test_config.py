@@ -1,0 +1,56 @@
+"""Tests for the GT-TSCH configuration."""
+
+import pytest
+
+from repro.core.config import GtTschConfig
+from repro.core.game import GameWeights
+
+
+class TestGtTschConfig:
+    def test_defaults_match_paper(self):
+        config = GtTschConfig()
+        assert config.slotframe_length == 32
+        assert config.sixp_cells_per_neighbor == 2
+        assert config.num_channels == 8
+        assert config.q_max == 8
+
+    def test_max_children_rule(self):
+        """Section III: with n channels, at most n - 2 - 1 children."""
+        assert GtTschConfig(num_channels=8).max_children == 5
+        assert GtTschConfig(num_channels=4).max_children == 1
+        assert GtTschConfig(num_channels=3).max_children == 1
+
+    def test_shared_cells_default_derived_from_children(self):
+        """Section IV: shared timeslots = half the maximum number of children."""
+        config = GtTschConfig(num_channels=8)
+        assert config.num_shared_cells == 3  # ceil(5 / 2)
+
+    def test_explicit_shared_cells_kept(self):
+        assert GtTschConfig(num_shared_cells=2).num_shared_cells == 2
+
+    def test_broadcast_spacing(self):
+        assert GtTschConfig(slotframe_length=32, num_broadcast_cells=4).broadcast_spacing == 8
+        assert GtTschConfig(slotframe_length=20, num_broadcast_cells=5).broadcast_spacing == 4
+
+    def test_weights_default(self):
+        config = GtTschConfig()
+        assert isinstance(config.weights, GameWeights)
+        assert config.weights.gamma > config.weights.beta  # queue cost dominates by default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GtTschConfig(slotframe_length=2)
+        with pytest.raises(ValueError):
+            GtTschConfig(num_broadcast_cells=0)
+        with pytest.raises(ValueError):
+            GtTschConfig(num_broadcast_cells=32, slotframe_length=32)
+        with pytest.raises(ValueError):
+            GtTschConfig(num_channels=2)
+        with pytest.raises(ValueError):
+            GtTschConfig(broadcast_channel_offset=9)
+        with pytest.raises(ValueError):
+            GtTschConfig(queue_ewma_zeta=1.5)
+        with pytest.raises(ValueError):
+            GtTschConfig(q_max=0)
+        with pytest.raises(ValueError):
+            GtTschConfig(sixp_cells_per_neighbor=0)

@@ -1,0 +1,273 @@
+"""Tests for the GT-TSCH game model (Eqs. (2)-(15) of the paper)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.game import (
+    GameWeights,
+    PlayerState,
+    ewma_queue_metric,
+    link_cost,
+    optimal_tx_cells,
+    payoff,
+    payoff_derivative,
+    payoff_second_derivative,
+    queue_cost,
+    unconstrained_optimum,
+    utility,
+)
+
+
+def state(l_min=0.0, l_rx=10.0, rank=0.5, etx=1.5, q=2.0, q_max=8.0):
+    return PlayerState(
+        l_tx_min=l_min,
+        l_rx_parent=l_rx,
+        rank_normalised=rank,
+        etx=etx,
+        queue_metric=q,
+        q_max=q_max,
+    )
+
+
+#: Hypothesis strategy over valid player states with a non-empty strategy set.
+states = st.builds(
+    state,
+    l_min=st.floats(min_value=0.0, max_value=10.0),
+    l_rx=st.floats(min_value=10.0, max_value=30.0),
+    rank=st.floats(min_value=0.01, max_value=1.0),
+    etx=st.floats(min_value=1.0, max_value=8.0),
+    q=st.floats(min_value=0.0, max_value=8.0),
+    q_max=st.just(8.0),
+)
+
+weight_sets = st.builds(
+    GameWeights,
+    alpha=st.floats(min_value=0.5, max_value=32.0),
+    beta=st.floats(min_value=0.0, max_value=8.0),
+    gamma=st.floats(min_value=0.0, max_value=8.0),
+)
+
+
+class TestUtility:
+    def test_eq2_logarithmic_form(self):
+        assert utility(0, 1.0) == 0.0
+        assert utility(math.e - 1, 1.0) == pytest.approx(1.0)
+        assert utility(3, 0.5) == pytest.approx(0.5 * math.log(4))
+
+    def test_increasing_in_cells(self):
+        assert utility(5, 1.0) > utility(4, 1.0)
+
+    def test_strictly_concave(self):
+        """Marginal utility decreases: u(2)-u(1) > u(3)-u(2)."""
+        assert utility(2, 1.0) - utility(1, 1.0) > utility(3, 1.0) - utility(2, 1.0)
+
+    def test_nodes_closer_to_root_gain_more(self):
+        assert utility(4, 1.0) > utility(4, 0.25)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            utility(-1, 1.0)
+
+
+class TestCosts:
+    def test_eq5_link_cost(self):
+        assert link_cost(4, 1.0) == 0.0
+        assert link_cost(4, 2.0) == pytest.approx(4.0)
+        assert link_cost(4, 3.5) == pytest.approx(10.0)
+
+    def test_link_cost_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            link_cost(-1, 2.0)
+        with pytest.raises(ValueError):
+            link_cost(1, 0.5)
+
+    def test_eq7_queue_cost(self):
+        assert queue_cost(4, 8, 8) == 0.0
+        assert queue_cost(4, 0, 8) == pytest.approx(4.0)
+        assert queue_cost(4, 4, 8) == pytest.approx(2.0)
+
+    def test_queue_cost_clamps_overfull_queue(self):
+        assert queue_cost(4, 20, 8) == 0.0
+
+    def test_full_queue_makes_cells_free(self):
+        """A congested node pays no queue cost -- the paper's prioritisation."""
+        assert queue_cost(10, 8, 8) < queue_cost(10, 1, 8)
+
+    def test_queue_cost_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            queue_cost(1, 1, 0)
+        with pytest.raises(ValueError):
+            queue_cost(-1, 1, 8)
+
+
+class TestPayoff:
+    def test_eq8_composition(self):
+        s = state()
+        w = GameWeights(alpha=2.0, beta=3.0, gamma=4.0)
+        expected = (
+            2.0 * utility(5, s.rank_normalised)
+            - 3.0 * link_cost(5, s.etx)
+            - 4.0 * queue_cost(5, s.queue_metric, s.q_max)
+        )
+        assert payoff(5, s, w) == pytest.approx(expected)
+
+    def test_payoff_at_zero_cells_is_zero(self):
+        assert payoff(0, state()) == 0.0
+
+    @given(states, weight_sets, st.floats(min_value=0.0, max_value=30.0))
+    def test_second_derivative_always_negative(self, s, w, l):
+        """Theorem 1 / Eq. (10): the payoff is strictly concave in l."""
+        assert payoff_second_derivative(l, s, w) < 0.0
+
+    @given(states, weight_sets)
+    def test_derivative_consistent_with_finite_differences(self, s, w):
+        l = 3.0
+        h = 1e-5
+        numeric = (payoff(l + h, s, w) - payoff(l - h, s, w)) / (2 * h)
+        assert payoff_derivative(l, s, w) == pytest.approx(numeric, rel=1e-3, abs=1e-4)
+
+
+class TestOptimalTxCells:
+    def test_eq15_interior_solution(self):
+        """When the stationary point lies inside the strategy set, it is chosen."""
+        s = state(l_min=0.0, l_rx=50.0, rank=1.0, etx=1.0, q=4.0, q_max=8.0)
+        w = GameWeights(alpha=8.0, beta=1.0, gamma=4.0)
+        expected = 8.0 * 1.0 / (4.0 * 0.5) - 1.0  # = 3
+        assert optimal_tx_cells(s, w, integral=False) == pytest.approx(expected)
+
+    def test_eq15_lower_constraint_active(self):
+        s = state(l_min=6.0, l_rx=20.0, rank=0.1, etx=3.0, q=0.0)
+        w = GameWeights(alpha=1.0, beta=1.0, gamma=1.0)
+        assert optimal_tx_cells(s, w, integral=False) == pytest.approx(6.0)
+
+    def test_eq15_upper_constraint_active(self):
+        s = state(l_min=0.0, l_rx=2.0, rank=1.0, etx=1.0, q=8.0, q_max=8.0)
+        w = GameWeights(alpha=8.0, beta=1.0, gamma=4.0)
+        assert optimal_tx_cells(s, w, integral=False) == pytest.approx(2.0)
+
+    def test_parent_offering_less_than_minimum_caps_request(self):
+        """Section VII: l_tx = l_rx_p when l_rx_p <= l_tx_min."""
+        s = state(l_min=5.0, l_rx=3.0)
+        assert optimal_tx_cells(s, integral=False) == pytest.approx(3.0)
+
+    def test_perfect_link_and_full_queue_requests_parent_maximum(self):
+        s = state(l_min=1.0, l_rx=12.0, etx=1.0, q=8.0, q_max=8.0)
+        assert optimal_tx_cells(s, integral=False) == pytest.approx(12.0)
+        assert math.isinf(unconstrained_optimum(s))
+
+    def test_integral_result_is_floor(self):
+        s = state(l_min=0.0, l_rx=50.0, rank=1.0, etx=1.0, q=4.0, q_max=8.0)
+        w = GameWeights(alpha=9.0, beta=1.0, gamma=4.0)
+        continuous = optimal_tx_cells(s, w, integral=False)
+        integral = optimal_tx_cells(s, w, integral=True)
+        assert integral == math.floor(continuous + 1e-9)
+
+    def test_result_never_negative(self):
+        s = state(l_min=0.0, l_rx=0.0, rank=0.01, etx=8.0, q=0.0)
+        assert optimal_tx_cells(s) == 0.0
+
+    @given(states, weight_sets)
+    def test_result_within_strategy_set(self, s, w):
+        """The request always lies in [l_tx_min, l_rx_parent] (Eq. (13))."""
+        result = optimal_tx_cells(s, w, integral=False)
+        assert s.l_tx_min - 1e-9 <= result <= s.l_rx_parent + 1e-9
+
+    @given(states, weight_sets)
+    def test_result_maximises_payoff_over_strategy_set(self, s, w):
+        """No sampled strategy beats Eq. (15)'s choice (KKT optimality)."""
+        best = optimal_tx_cells(s, w, integral=False)
+        best_payoff = payoff(best, s, w)
+        span = s.l_rx_parent - s.l_tx_min
+        for index in range(33):
+            candidate = s.l_tx_min + span * index / 32
+            assert payoff(candidate, s, w) <= best_payoff + 1e-6
+
+    @given(states, weight_sets)
+    def test_worse_links_never_increase_the_request(self, s, w):
+        degraded = PlayerState(
+            l_tx_min=s.l_tx_min,
+            l_rx_parent=s.l_rx_parent,
+            rank_normalised=s.rank_normalised,
+            etx=min(s.etx + 2.0, 16.0),
+            queue_metric=s.queue_metric,
+            q_max=s.q_max,
+        )
+        assert optimal_tx_cells(degraded, w, integral=False) <= optimal_tx_cells(
+            s, w, integral=False
+        ) + 1e-9
+
+    @given(states, weight_sets)
+    def test_fuller_queues_never_decrease_the_request(self, s, w):
+        congested = PlayerState(
+            l_tx_min=s.l_tx_min,
+            l_rx_parent=s.l_rx_parent,
+            rank_normalised=s.rank_normalised,
+            etx=s.etx,
+            queue_metric=min(s.queue_metric + 3.0, s.q_max),
+            q_max=s.q_max,
+        )
+        assert optimal_tx_cells(congested, w, integral=False) >= optimal_tx_cells(
+            s, w, integral=False
+        ) - 1e-9
+
+    @given(states, weight_sets)
+    def test_nodes_closer_to_root_request_at_least_as_much(self, s, w):
+        closer = PlayerState(
+            l_tx_min=s.l_tx_min,
+            l_rx_parent=s.l_rx_parent,
+            rank_normalised=min(s.rank_normalised * 2.0, 256.0),
+            etx=s.etx,
+            queue_metric=s.queue_metric,
+            q_max=s.q_max,
+        )
+        assert optimal_tx_cells(closer, w, integral=False) >= optimal_tx_cells(
+            s, w, integral=False
+        ) - 1e-9
+
+
+class TestPlayerStateValidation:
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError):
+            state(q_max=0)
+        with pytest.raises(ValueError):
+            state(etx=0.5)
+        with pytest.raises(ValueError):
+            state(q=-1)
+        with pytest.raises(ValueError):
+            state(l_min=-1)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            GameWeights(alpha=0.0)
+        with pytest.raises(ValueError):
+            GameWeights(beta=-1.0)
+
+
+class TestEwmaQueueMetric:
+    def test_eq6_formula(self):
+        assert ewma_queue_metric(4.0, 8.0, 0.5) == pytest.approx(6.0)
+        assert ewma_queue_metric(4.0, 8.0, 1.0) == pytest.approx(4.0)
+        assert ewma_queue_metric(4.0, 8.0, 0.0) == pytest.approx(8.0)
+
+    def test_converges_to_constant_input(self):
+        value = 0.0
+        for _ in range(100):
+            value = ewma_queue_metric(value, 5.0, 0.7)
+        assert value == pytest.approx(5.0, abs=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ewma_queue_metric(1.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            ewma_queue_metric(-1.0, 1.0, 0.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_result_between_previous_and_current(self, previous, current, zeta):
+        result = ewma_queue_metric(previous, current, zeta)
+        assert min(previous, current) - 1e-9 <= result <= max(previous, current) + 1e-9

@@ -1,0 +1,34 @@
+"""Tests for the ablation runners (fast, reduced configurations)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_ewma_ablation,
+    run_shared_cell_ablation,
+    run_weight_ablation,
+)
+from repro.metrics.collector import NetworkMetrics
+
+FAST = dict(rate_ppm=60.0, seed=2, measurement_s=8.0, warmup_s=12.0)
+
+
+class TestWeightAblation:
+    def test_returns_metrics_per_weight_set(self):
+        results = run_weight_ablation(weight_sets=((8.0, 1.0, 4.0), (2.0, 1.0, 1.0)), **FAST)
+        assert set(results) == {(8.0, 1.0, 4.0), (2.0, 1.0, 1.0)}
+        assert all(isinstance(m, NetworkMetrics) for m in results.values())
+        assert all(m.generated > 0 for m in results.values())
+
+
+class TestEwmaAblation:
+    def test_returns_metrics_per_zeta(self):
+        results = run_ewma_ablation(zetas=(0.0, 0.9), **FAST)
+        assert set(results) == {0.0, 0.9}
+        assert all(m.scheduler == "GT-TSCH" for m in results.values())
+
+
+class TestLoadBalancePeriodAblation:
+    def test_returns_metrics_per_period(self):
+        results = run_shared_cell_ablation(load_balance_periods=(2.0, 8.0), **FAST)
+        assert set(results) == {2.0, 8.0}
+        assert all(0.0 <= m.pdr_percent <= 100.0 for m in results.values())

@@ -1,0 +1,44 @@
+"""Tests for CSV/JSON export of figure results."""
+
+import json
+
+from repro.experiments.export import figure_to_csv, figure_to_json, load_figure_csv
+from repro.experiments.runner import FigureResult
+from repro.metrics.collector import NetworkMetrics
+
+
+def small_figure():
+    gt = NetworkMetrics(scheduler="GT-TSCH")
+    gt.pdr_percent = 99.0
+    gt.received_per_minute = 1800.0
+    orchestra = NetworkMetrics(scheduler="Orchestra")
+    orchestra.pdr_percent = 54.0
+    orchestra.received_per_minute = 900.0
+    return FigureResult(
+        figure="Figure 8",
+        sweep_label="load",
+        sweep_values=[165],
+        results={"GT-TSCH": [gt], "Orchestra": [orchestra]},
+    )
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        path = figure_to_csv(small_figure(), str(tmp_path / "fig8.csv"))
+        rows = load_figure_csv(path)
+        assert len(rows) == 2
+        by_scheduler = {row["scheduler"]: row for row in rows}
+        assert by_scheduler["GT-TSCH"]["pdr_percent"] == 99.0
+        assert by_scheduler["Orchestra"]["received_per_minute"] == 900.0
+        assert by_scheduler["GT-TSCH"]["sweep"] == 165.0
+
+
+class TestJsonExport:
+    def test_document_structure(self, tmp_path):
+        path = figure_to_json(small_figure(), str(tmp_path / "fig8.json"))
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["figure"] == "Figure 8"
+        assert document["sweep_values"] == [165]
+        assert set(document["schedulers"]) == {"GT-TSCH", "Orchestra"}
+        assert len(document["rows"]) == 2

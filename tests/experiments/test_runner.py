@@ -1,0 +1,60 @@
+"""Tests for the figure runner (small, fast configurations)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    FigureResult,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_scenario,
+)
+from repro.experiments.scenarios import GT_TSCH, ORCHESTRA, traffic_load_scenario
+from repro.metrics.collector import NetworkMetrics
+
+#: Short durations so the whole figure machinery is exercised quickly.
+FAST = dict(measurement_s=10.0, warmup_s=15.0)
+
+
+class TestRunScenario:
+    def test_returns_metrics(self):
+        scenario = traffic_load_scenario(rate_ppm=60, scheduler=GT_TSCH, **FAST)
+        metrics = run_scenario(scenario)
+        assert isinstance(metrics, NetworkMetrics)
+        assert metrics.scheduler == GT_TSCH
+        assert metrics.generated > 0
+
+
+class TestFigureRunners:
+    def test_figure8_structure(self):
+        result = run_figure8(rates_ppm=(60,), schedulers=(GT_TSCH,), **FAST)
+        assert isinstance(result, FigureResult)
+        assert result.sweep_values == [60]
+        assert set(result.results) == {GT_TSCH}
+        assert len(result.results[GT_TSCH]) == 1
+        assert result.series(GT_TSCH, "pdr_percent")[0] > 0
+
+    def test_figure8_compares_both_schedulers(self):
+        result = run_figure8(rates_ppm=(60,), schedulers=(GT_TSCH, ORCHESTRA), **FAST)
+        assert set(result.results) == {GT_TSCH, ORCHESTRA}
+        report = result.report()
+        assert "GT-TSCH" in report and "Orchestra" in report
+        assert "PDR (%)" in report
+
+    def test_figure9_sweeps_dodag_size(self):
+        result = run_figure9(dodag_sizes=(6,), schedulers=(GT_TSCH,), rate_ppm=60, **FAST)
+        assert result.sweep_values == [6]
+        assert "nodes per DODAG" in result.sweep_label
+
+    def test_figure10_sweeps_slotframe_length(self):
+        result = run_figure10(unicast_lengths=(8,), schedulers=(GT_TSCH,), rate_ppm=60, **FAST)
+        assert result.sweep_values == [8]
+        assert "slotframe" in result.sweep_label
+
+    def test_rows_are_flat_dicts(self):
+        result = run_figure8(rates_ppm=(60,), schedulers=(GT_TSCH,), **FAST)
+        rows = result.rows()
+        assert len(rows) == 1
+        assert rows[0]["sweep"] == 60
+        assert rows[0]["scheduler"] == GT_TSCH
+        assert "pdr_percent" in rows[0]

@@ -1,0 +1,93 @@
+"""Tests for the experiment scenario definitions."""
+
+import pytest
+
+from repro.core.scheduler import GtTschScheduler
+from repro.experiments.scenarios import (
+    GT_TSCH,
+    MINIMAL,
+    ORCHESTRA,
+    ContikiConfig,
+    dodag_size_scenario,
+    slotframe_scenario,
+    traffic_load_scenario,
+)
+from repro.schedulers.minimal import MinimalScheduler
+from repro.schedulers.orchestra import OrchestraScheduler
+
+
+class TestContikiConfig:
+    def test_table_ii_defaults(self):
+        config = ContikiConfig()
+        assert config.slot_duration_s == pytest.approx(0.015)
+        assert config.hopping_sequence == (17, 23, 15, 25, 19, 11, 13, 21)
+        assert config.eb_period_s == 2.0
+        assert config.max_retries == 4
+        assert config.gt_slotframe_length == 32
+
+    def test_node_config_propagates_values(self):
+        config = ContikiConfig(queue_capacity=12, max_retries=2)
+        node_config = config.node_config()
+        assert node_config.tsch.queue_capacity == 12
+        assert node_config.tsch.max_retries == 2
+
+    def test_gt_config_propagates_values(self):
+        config = ContikiConfig(gt_slotframe_length=64, queue_capacity=10)
+        gt = config.gt_tsch_config()
+        assert gt.slotframe_length == 64
+        assert gt.q_max == 10
+
+    def test_orchestra_config_uses_unicast_length(self):
+        config = ContikiConfig(orchestra_unicast_length=12)
+        assert config.orchestra_config().unicast_slotframe_length == 12
+
+
+class TestScenarioFactories:
+    def test_fig8_scenario_topology(self):
+        scenario = traffic_load_scenario(rate_ppm=120, scheduler=GT_TSCH)
+        assert len(scenario.topology) == 14
+        assert len(scenario.topology.roots()) == 2
+        assert scenario.rate_ppm == 120
+
+    def test_fig9_scenario_sizes(self):
+        scenario = dodag_size_scenario(nodes_per_dodag=9, scheduler=ORCHESTRA)
+        assert len(scenario.topology) == 18
+        assert scenario.rate_ppm == 120.0
+
+    def test_fig10_scenario_slotframe_ratio(self):
+        """GT-TSCH slotframe = 4x the Orchestra unicast slotframe (paper rule)."""
+        scenario = slotframe_scenario(unicast_slotframe_length=16, scheduler=GT_TSCH)
+        assert scenario.contiki.orchestra_unicast_length == 16
+        assert scenario.contiki.gt_slotframe_length == 64
+
+    def test_unknown_scheduler_rejected(self):
+        scenario = traffic_load_scenario(rate_ppm=30, scheduler="bogus")
+        with pytest.raises(ValueError):
+            scenario.build_network()
+
+    def test_build_network_scheduler_types(self):
+        for name, expected in (
+            (GT_TSCH, GtTschScheduler),
+            (ORCHESTRA, OrchestraScheduler),
+            (MINIMAL, MinimalScheduler),
+        ):
+            scenario = traffic_load_scenario(rate_ppm=30, scheduler=name)
+            network = scenario.build_network()
+            assert isinstance(network.nodes[0].scheduler, expected)
+
+    def test_roots_have_no_traffic_generator(self):
+        scenario = traffic_load_scenario(rate_ppm=120, scheduler=GT_TSCH)
+        network = scenario.build_network()
+        assert network.nodes[0].traffic is None
+        assert network.nodes[1].traffic is not None
+        assert network.nodes[1].traffic.rate_ppm == 120
+
+    def test_traffic_start_delay_within_warmup(self):
+        scenario = traffic_load_scenario(rate_ppm=120, scheduler=GT_TSCH, warmup_s=30.0)
+        network = scenario.build_network()
+        assert network.nodes[1].traffic.start_delay_s <= 30.0
+
+    def test_scenario_names_are_descriptive(self):
+        assert "fig8" in traffic_load_scenario(30, GT_TSCH).name
+        assert "fig9" in dodag_size_scenario(7, GT_TSCH).name
+        assert "fig10" in slotframe_scenario(8, GT_TSCH).name

@@ -1,0 +1,172 @@
+"""End-to-end integration tests: the paper's qualitative claims on small networks.
+
+These tests run full simulations (all layers, both schedulers) on reduced
+topologies and shortened time windows so they stay fast, and assert the
+*relationships* the paper reports rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.core.config import GtTschConfig
+from repro.mac.cell import CellPurpose
+from repro.net.topology import line_topology, multi_dodag_topology, star_topology
+
+from tests.conftest import make_gt_network, make_orchestra_network
+
+
+def run_small(network, measurement_s=25.0, warmup_s=20.0):
+    return network.run_experiment(warmup_s=warmup_s, measurement_s=measurement_s, drain_s=3.0)
+
+
+class TestGtTschDeliversUnderLoad:
+    def test_single_dodag_high_load(self):
+        network = make_gt_network(star_topology(3), rate_ppm=165, seed=3)
+        metrics = run_small(network)
+        assert metrics.pdr_percent > 90.0
+        assert metrics.queue_loss_per_node < 5.0
+
+    def test_multihop_chain(self):
+        network = make_gt_network(line_topology(4, spacing=25.0), rate_ppm=60, seed=4)
+        metrics = run_small(network, measurement_s=30.0, warmup_s=30.0)
+        assert metrics.pdr_percent > 85.0
+        assert metrics.avg_hops > 1.5  # traffic really crosses multiple hops
+
+    def test_paper_topology_small_window(self):
+        network = make_gt_network(
+            multi_dodag_topology(num_dodags=2, nodes_per_dodag=5), rate_ppm=120, seed=5
+        )
+        metrics = run_small(network, measurement_s=30.0, warmup_s=30.0)
+        assert metrics.pdr_percent > 90.0
+
+    def test_delay_bounded_at_light_load(self):
+        network = make_gt_network(star_topology(3), rate_ppm=30, seed=6)
+        metrics = run_small(network)
+        assert metrics.end_to_end_delay_ms < 1000.0
+
+
+class TestPaperComparisons:
+    def test_gt_tsch_beats_orchestra_under_heavy_load(self):
+        """The headline claim of Figs. 8a/8f at high rates."""
+        gt = run_small(make_gt_network(star_topology(3), rate_ppm=165, seed=7))
+        orchestra = run_small(make_orchestra_network(star_topology(3), rate_ppm=165, seed=7))
+        assert gt.pdr_percent > orchestra.pdr_percent
+        assert gt.received_per_minute > orchestra.received_per_minute
+
+    def test_both_schedulers_fine_at_light_load(self):
+        """Fig. 8a at 30 ppm: both deliver essentially everything."""
+        gt = run_small(make_gt_network(star_topology(3), rate_ppm=20, seed=8))
+        orchestra = run_small(make_orchestra_network(star_topology(3), rate_ppm=20, seed=8))
+        assert gt.pdr_percent > 90.0
+        assert orchestra.pdr_percent > 90.0
+
+    def test_gt_tsch_lower_delay_under_load(self):
+        gt = run_small(make_gt_network(star_topology(3), rate_ppm=120, seed=9))
+        orchestra = run_small(make_orchestra_network(star_topology(3), rate_ppm=120, seed=9))
+        assert gt.end_to_end_delay_ms < orchestra.end_to_end_delay_ms
+
+    def test_gt_tsch_queue_loss_lower_under_load(self):
+        gt = run_small(make_gt_network(star_topology(3), rate_ppm=165, seed=10))
+        orchestra = run_small(make_orchestra_network(star_topology(3), rate_ppm=165, seed=10))
+        assert gt.queue_loss_per_node <= orchestra.queue_loss_per_node
+
+
+class TestScheduleInvariants:
+    def test_gt_tsch_interference_avoidance_invariants(self):
+        """After convergence: channel uniqueness among siblings, Tx>Rx on
+        forwarding nodes, negotiated cells conflict-free at each node."""
+        network = make_gt_network(
+            multi_dodag_topology(num_dodags=1, nodes_per_dodag=7), rate_ppm=120, seed=11
+        )
+        network.run_seconds(45.0)
+        nodes = network.nodes
+
+        # Sibling child-facing channels are unique per parent.
+        for parent in nodes.values():
+            children = sorted(parent.rpl.children)
+            child_channels = [
+                nodes[child].scheduler.own_child_channel
+                for child in children
+                if nodes[child].scheduler.own_child_channel is not None
+            ]
+            assert len(child_channels) == len(set(child_channels))
+
+        for node in nodes.values():
+            scheduler = node.scheduler
+            # A node's child-facing channel differs from its parent-facing one.
+            if scheduler.own_child_channel is not None and scheduler.parent_channel_offset is not None:
+                assert scheduler.own_child_channel != scheduler.parent_channel_offset
+            # Tx > Rx for every node that forwards traffic.
+            if not node.is_root and scheduler.rx_data_cell_count() > 0:
+                assert scheduler.tx_data_cell_count() > scheduler.rx_data_cell_count()
+            # No two negotiated cells share a slot offset.
+            negotiated = [
+                cell.slot_offset
+                for cell in node.tsch.all_cells()
+                if cell.purpose in (CellPurpose.UNICAST_DATA, CellPurpose.UNICAST_6P)
+            ]
+            assert len(negotiated) == len(set(negotiated))
+
+    def test_metrics_accounting_consistent(self):
+        network = make_gt_network(star_topology(3), rate_ppm=120, seed=12)
+        metrics = run_small(network)
+        assert metrics.delivered + metrics.lost == metrics.generated
+        # The sink counters include warm-up traffic, so they bound the
+        # measured deliveries from above.
+        sink_total = sum(node.stats.data_delivered_as_sink for node in network.roots())
+        assert metrics.delivered <= sink_total
+
+    def test_cold_start_network_forms_and_delivers(self):
+        """Without warm-started RPL state the DODAG still forms via DIOs."""
+        network = make_gt_network(star_topology(3), rate_ppm=30, seed=13, warm_start=False)
+        metrics = run_small(network, measurement_s=30.0, warmup_s=40.0)
+        for node_id in (1, 2, 3):
+            assert network.nodes[node_id].rpl.preferred_parent == 0
+        assert metrics.pdr_percent > 80.0
+
+    def test_determinism_of_full_experiment(self):
+        first = run_small(make_gt_network(star_topology(3), rate_ppm=120, seed=21))
+        second = run_small(make_gt_network(star_topology(3), rate_ppm=120, seed=21))
+        assert first.as_dict() == second.as_dict()
+
+
+class TestFailureInjection:
+    def test_degraded_links_raise_etx_and_still_deliver(self):
+        from repro.phy.propagation import UnitDiskLossyEdgeModel
+        from repro.net.network import Network
+        from repro.net.node import NodeConfig
+        from repro.core.scheduler import GtTschScheduler
+        from repro.net.traffic import PeriodicTrafficGenerator
+
+        # Put the leaf at the lossy edge of the radio range.
+        network = Network(
+            propagation=UnitDiskLossyEdgeModel(
+                reliable_range=10.0, communication_range=45.0, interference_range=70.0,
+                prr_max=0.97, prr_edge=0.6,
+            ),
+            seed=3,
+            default_node_config=NodeConfig(),
+        )
+        topo = star_topology(2, radius=40.0)
+        network.build_from_topology(
+            topo,
+            scheduler_factory=lambda nid, root: GtTschScheduler(GtTschConfig(load_balance_period_s=2.0)),
+            traffic_factory=lambda nid, root: None if root else PeriodicTrafficGenerator(60),
+        )
+        metrics = network.run_experiment(warmup_s=20.0, measurement_s=30.0, drain_s=5.0)
+        leaf = network.nodes[1]
+        assert leaf.tsch.etx.etx(0) > 1.2  # the estimator noticed the lossy link
+        assert metrics.pdr_percent > 60.0  # retransmissions still deliver most packets
+
+    def test_parent_loss_recovers_through_rpl(self):
+        """If the preferred parent's link disappears, the node re-parents."""
+        network = make_gt_network(
+            multi_dodag_topology(num_dodags=1, nodes_per_dodag=4), rate_ppm=30, seed=14
+        )
+        network.run_seconds(20.0)
+        # Move node 3 (child of 1) right next to node 2 and out of node 1's range.
+        node3 = network.nodes[3]
+        new_position = (network.nodes[2].position[0] + 5.0, network.nodes[2].position[1])
+        node3.position = new_position
+        network.medium.register_node(3, new_position)
+        network.run_seconds(60.0)
+        assert node3.rpl.preferred_parent in (0, 2)

@@ -1,0 +1,67 @@
+"""Tests for TSCH cells."""
+
+import pytest
+
+from repro.mac.cell import Cell, CellOption, CellPurpose
+
+
+class TestCellOptions:
+    def test_option_helpers(self):
+        cell = Cell(slot_offset=1, channel_offset=2, options=CellOption.TX | CellOption.SHARED)
+        assert cell.is_tx
+        assert cell.is_shared
+        assert not cell.is_rx
+        assert not cell.is_broadcast
+
+    def test_broadcast_cell(self):
+        cell = Cell(
+            slot_offset=0,
+            channel_offset=0,
+            options=CellOption.TX | CellOption.RX | CellOption.BROADCAST,
+        )
+        assert cell.is_broadcast
+        assert cell.is_tx and cell.is_rx
+
+    def test_cell_requires_an_option(self):
+        with pytest.raises(ValueError):
+            Cell(slot_offset=0, channel_offset=0, options=CellOption.NONE)
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(slot_offset=-1, channel_offset=0, options=CellOption.TX)
+        with pytest.raises(ValueError):
+            Cell(slot_offset=0, channel_offset=-1, options=CellOption.TX)
+
+
+class TestCellPurpose:
+    def test_priority_order_matches_section_iv(self):
+        """Broadcast > Unicast-6P > Unicast-Data > Shared > Sleep."""
+        ordered = sorted(CellPurpose, key=lambda p: p.priority)
+        assert ordered == [
+            CellPurpose.BROADCAST,
+            CellPurpose.UNICAST_6P,
+            CellPurpose.UNICAST_DATA,
+            CellPurpose.SHARED,
+            CellPurpose.SLEEP,
+        ]
+
+    def test_priorities_are_distinct(self):
+        assert len({p.priority for p in CellPurpose}) == len(CellPurpose)
+
+
+class TestCellQueries:
+    def test_matches(self):
+        cell = Cell(slot_offset=3, channel_offset=5, options=CellOption.TX)
+        assert cell.matches(3)
+        assert cell.matches(3, 5)
+        assert not cell.matches(4)
+        assert not cell.matches(3, 6)
+
+    def test_coordinate(self):
+        cell = Cell(slot_offset=3, channel_offset=5, options=CellOption.RX)
+        assert cell.coordinate() == (3, 5)
+
+    def test_repr_mentions_options_and_neighbor(self):
+        cell = Cell(slot_offset=1, channel_offset=2, options=CellOption.TX, neighbor=9)
+        text = repr(cell)
+        assert "TX" in text and "9" in text

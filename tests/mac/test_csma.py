@@ -1,0 +1,78 @@
+"""Tests for the shared-cell CSMA/CA back-off."""
+
+import random
+
+import pytest
+
+from repro.mac.csma import CsmaBackoff
+
+
+class TestCsmaBackoff:
+    def test_initially_allowed_to_transmit(self):
+        backoff = CsmaBackoff(random.Random(1))
+        assert backoff.can_transmit(5)
+        assert backoff.window(5) == 0
+
+    def test_failure_draws_a_window(self):
+        backoff = CsmaBackoff(random.Random(1), min_be=2, max_be=5)
+        window = backoff.on_transmission_failure(5)
+        assert 0 <= window < 2 ** 3  # exponent grew from 2 to 3
+        assert backoff.window(5) == window
+
+    def test_window_counts_down_on_skipped_cells(self):
+        backoff = CsmaBackoff(random.Random(3), min_be=3, max_be=5)
+        window = backoff.on_transmission_failure(1)
+        for _ in range(window):
+            assert not backoff.can_transmit(1) or backoff.window(1) == 0
+            backoff.on_shared_cell_skipped(1)
+        assert backoff.can_transmit(1)
+
+    def test_success_resets_exponent_and_window(self):
+        backoff = CsmaBackoff(random.Random(1))
+        backoff.on_transmission_failure(1)
+        backoff.on_transmission_failure(1)
+        backoff.on_transmission_success(1)
+        assert backoff.can_transmit(1)
+        assert backoff.window(1) == 0
+
+    def test_exponent_capped_at_max_be(self):
+        rng = random.Random(2)
+        backoff = CsmaBackoff(rng, min_be=1, max_be=3)
+        for _ in range(20):
+            window = backoff.on_transmission_failure(1)
+            assert window < 2 ** 3
+
+    def test_windows_grow_statistically_with_failures(self):
+        rng = random.Random(4)
+        backoff = CsmaBackoff(rng, min_be=1, max_be=7)
+        first_windows = [CsmaBackoff(random.Random(i), 1, 7).on_transmission_failure(1) for i in range(50)]
+        # After many consecutive failures the exponent saturates at max_be.
+        for _ in range(10):
+            backoff.on_transmission_failure(1)
+        late_windows = [backoff.on_transmission_failure(1) for _ in range(50)]
+        assert sum(late_windows) / len(late_windows) > sum(first_windows) / len(first_windows)
+
+    def test_per_neighbor_isolation(self):
+        backoff = CsmaBackoff(random.Random(5), min_be=3)
+        backoff.on_transmission_failure(1)
+        assert backoff.can_transmit(2)
+
+    def test_none_neighbor_supported(self):
+        backoff = CsmaBackoff(random.Random(1))
+        backoff.on_transmission_failure(None)
+        assert backoff.window(None) >= 0
+
+    def test_reset_single_and_all(self):
+        backoff = CsmaBackoff(random.Random(6), min_be=4)
+        backoff.on_transmission_failure(1)
+        backoff.on_transmission_failure(2)
+        backoff.reset(1)
+        assert backoff.can_transmit(1)
+        backoff.reset()
+        assert backoff.can_transmit(2)
+
+    def test_invalid_exponents_rejected(self):
+        with pytest.raises(ValueError):
+            CsmaBackoff(random.Random(1), min_be=3, max_be=2)
+        with pytest.raises(ValueError):
+            CsmaBackoff(random.Random(1), min_be=-1)

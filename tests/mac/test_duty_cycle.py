@@ -1,0 +1,85 @@
+"""Tests for Energest-style radio duty-cycle accounting."""
+
+import pytest
+
+from repro.mac.duty_cycle import (
+    IDLE_LISTEN_FRACTION,
+    RX_SLOT_FRACTION,
+    TX_SLOT_FRACTION,
+    DutyCycleMeter,
+)
+
+
+class TestDutyCycleMeter:
+    def test_starts_at_zero(self):
+        meter = DutyCycleMeter()
+        assert meter.duty_cycle == 0.0
+        assert meter.duty_cycle_percent == 0.0
+
+    def test_all_sleep_is_zero(self):
+        meter = DutyCycleMeter()
+        for _ in range(100):
+            meter.record_sleep()
+        assert meter.duty_cycle == 0.0
+        assert meter.sleep_slots == 100
+
+    def test_tx_slot_weight(self):
+        meter = DutyCycleMeter()
+        meter.record_tx()
+        meter.record_sleep()
+        assert meter.duty_cycle == pytest.approx(TX_SLOT_FRACTION / 2)
+
+    def test_rx_with_frame_weight(self):
+        meter = DutyCycleMeter()
+        meter.record_rx(frame_received=True)
+        assert meter.duty_cycle == pytest.approx(RX_SLOT_FRACTION)
+        assert meter.idle_listen_slots == 0
+
+    def test_idle_listen_weight(self):
+        meter = DutyCycleMeter()
+        meter.record_rx(frame_received=False)
+        assert meter.duty_cycle == pytest.approx(IDLE_LISTEN_FRACTION)
+        assert meter.idle_listen_slots == 1
+
+    def test_idle_listen_cheaper_than_reception(self):
+        """The Energest model: an idle Rx slot costs less than a busy one."""
+        assert IDLE_LISTEN_FRACTION < RX_SLOT_FRACTION
+        assert IDLE_LISTEN_FRACTION < TX_SLOT_FRACTION
+
+    def test_mixed_accounting(self):
+        meter = DutyCycleMeter()
+        meter.record_tx()
+        meter.record_rx(True)
+        meter.record_rx(False)
+        meter.record_sleep()
+        expected = (TX_SLOT_FRACTION + RX_SLOT_FRACTION + IDLE_LISTEN_FRACTION) / 4
+        assert meter.duty_cycle == pytest.approx(expected)
+        assert meter.radio_on_slots == 3
+        assert meter.total_slots == 4
+
+    def test_percent(self):
+        meter = DutyCycleMeter()
+        meter.record_rx(True)
+        assert meter.duty_cycle_percent == pytest.approx(100.0 * RX_SLOT_FRACTION)
+
+    def test_snapshot_keys(self):
+        meter = DutyCycleMeter()
+        meter.record_tx()
+        snapshot = meter.snapshot()
+        assert snapshot["tx_slots"] == 1
+        assert snapshot["duty_cycle"] == meter.duty_cycle
+        assert "radio_on_slot_equivalents" in snapshot
+
+    def test_reset(self):
+        meter = DutyCycleMeter()
+        meter.record_tx()
+        meter.record_rx(False)
+        meter.reset()
+        assert meter.total_slots == 0
+        assert meter.duty_cycle == 0.0
+
+    def test_duty_cycle_bounded_by_one(self):
+        meter = DutyCycleMeter()
+        for _ in range(50):
+            meter.record_rx(True)
+        assert meter.duty_cycle <= 1.0

@@ -1,0 +1,70 @@
+"""Tests for the channel-hopping function."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.hopping import (
+    DEFAULT_HOPPING_SEQUENCE,
+    FULL_HOPPING_SEQUENCE,
+    ChannelHopping,
+)
+
+
+class TestHoppingSequences:
+    def test_default_sequence_matches_table_ii(self):
+        assert DEFAULT_HOPPING_SEQUENCE == (17, 23, 15, 25, 19, 11, 13, 21)
+
+    def test_full_sequence_has_16_unique_channels(self):
+        assert len(FULL_HOPPING_SEQUENCE) == 16
+        assert len(set(FULL_HOPPING_SEQUENCE)) == 16
+        assert all(11 <= channel <= 26 for channel in FULL_HOPPING_SEQUENCE)
+
+
+class TestChannelHopping:
+    def test_channel_formula(self):
+        hopping = ChannelHopping((11, 12, 13, 14))
+        assert hopping.channel_for(asn=0, channel_offset=0) == 11
+        assert hopping.channel_for(asn=1, channel_offset=0) == 12
+        assert hopping.channel_for(asn=0, channel_offset=3) == 14
+        assert hopping.channel_for(asn=5, channel_offset=2) == 14  # (5+2) % 4 == 3
+
+    def test_same_offset_visits_every_channel(self):
+        hopping = ChannelHopping()
+        visited = {hopping.channel_for(asn, 0) for asn in range(len(hopping.sequence))}
+        assert visited == set(DEFAULT_HOPPING_SEQUENCE)
+
+    def test_different_offsets_same_asn_use_different_channels(self):
+        """Two cells in the same timeslot with different channel offsets never
+        share a physical channel -- the property GT-TSCH's channel allocation
+        relies on."""
+        hopping = ChannelHopping()
+        for asn in range(32):
+            channels = [hopping.channel_for(asn, off) for off in hopping.offsets()]
+            assert len(set(channels)) == len(channels)
+
+    def test_rejects_empty_or_duplicate_sequences(self):
+        with pytest.raises(ValueError):
+            ChannelHopping(())
+        with pytest.raises(ValueError):
+            ChannelHopping((11, 11, 12))
+
+    def test_rejects_negative_arguments(self):
+        hopping = ChannelHopping()
+        with pytest.raises(ValueError):
+            hopping.channel_for(-1, 0)
+        with pytest.raises(ValueError):
+            hopping.channel_for(0, -1)
+
+    def test_num_channels(self):
+        assert ChannelHopping().num_channels == 8
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=7))
+    def test_channel_always_from_sequence(self, asn, offset):
+        hopping = ChannelHopping()
+        assert hopping.channel_for(asn, offset) in DEFAULT_HOPPING_SEQUENCE
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=7))
+    def test_periodicity(self, asn, offset):
+        hopping = ChannelHopping()
+        period = len(hopping.sequence)
+        assert hopping.channel_for(asn, offset) == hopping.channel_for(asn + period, offset)

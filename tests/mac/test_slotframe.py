@@ -1,0 +1,135 @@
+"""Tests for slotframes and CDU-matrix rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.cell import Cell, CellOption, CellPurpose
+from repro.mac.slotframe import Slotframe, render_cdu_matrix
+
+
+def tx_cell(slot, channel=0, neighbor=None):
+    return Cell(slot_offset=slot, channel_offset=channel, options=CellOption.TX, neighbor=neighbor)
+
+
+class TestSlotframeBasics:
+    def test_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            Slotframe(0, 0)
+
+    def test_add_and_len(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(tx_cell(1))
+        sf.add_cell(tx_cell(2))
+        assert len(sf) == 2
+
+    def test_add_rejects_out_of_range_offset(self):
+        sf = Slotframe(0, 10)
+        with pytest.raises(ValueError):
+            sf.add_cell(tx_cell(10))
+
+    def test_duplicate_add_is_idempotent(self):
+        sf = Slotframe(0, 10)
+        first = sf.add_cell(tx_cell(1, neighbor=5))
+        second = sf.add_cell(tx_cell(1, neighbor=5))
+        assert first is second
+        assert len(sf) == 1
+
+    def test_add_sets_handle(self):
+        sf = Slotframe(3, 10)
+        cell = sf.add_cell(tx_cell(1))
+        assert cell.slotframe_handle == 3
+
+
+class TestSlotframeQueries:
+    def test_cells_at_wraps_with_asn(self):
+        sf = Slotframe(0, 7)
+        cell = sf.add_cell(tx_cell(3))
+        assert sf.cells_at(3) == [cell]
+        assert sf.cells_at(10) == [cell]
+        assert sf.cells_at(4) == []
+
+    def test_find_cell_filters(self):
+        sf = Slotframe(0, 10)
+        a = sf.add_cell(tx_cell(1, channel=2, neighbor=7))
+        assert sf.find_cell(1) is a
+        assert sf.find_cell(1, channel_offset=2) is a
+        assert sf.find_cell(1, neighbor=7) is a
+        assert sf.find_cell(1, neighbor=8) is None
+        assert sf.find_cell(2) is None
+
+    def test_cells_with_neighbor(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(tx_cell(1, neighbor=7))
+        sf.add_cell(tx_cell(2, neighbor=8))
+        sf.add_cell(tx_cell(3, neighbor=7))
+        assert [c.slot_offset for c in sf.cells_with_neighbor(7)] == [1, 3]
+
+    def test_used_and_free_offsets(self):
+        sf = Slotframe(0, 5)
+        sf.add_cell(tx_cell(1))
+        sf.add_cell(tx_cell(3))
+        assert sf.used_slot_offsets() == [1, 3]
+        assert sf.free_slot_offsets() == [0, 2, 4]
+
+    def test_count_cells_by_option_and_purpose(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(Cell(1, 0, CellOption.TX, neighbor=5, purpose=CellPurpose.UNICAST_DATA))
+        sf.add_cell(Cell(2, 0, CellOption.RX, neighbor=5, purpose=CellPurpose.UNICAST_DATA))
+        sf.add_cell(Cell(3, 0, CellOption.RX, neighbor=6, purpose=CellPurpose.UNICAST_6P))
+        assert sf.count_cells(options=CellOption.RX) == 2
+        assert sf.count_cells(neighbor=5) == 2
+        assert sf.count_cells(purpose=CellPurpose.UNICAST_6P) == 1
+
+    def test_occupancy(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(tx_cell(0))
+        sf.add_cell(tx_cell(5))
+        assert sf.occupancy() == pytest.approx(0.2)
+
+
+class TestSlotframeRemoval:
+    def test_remove_cell(self):
+        sf = Slotframe(0, 10)
+        cell = sf.add_cell(tx_cell(1))
+        assert sf.remove_cell(cell)
+        assert len(sf) == 0
+        assert not sf.remove_cell(cell)
+
+    def test_remove_cells_with_neighbor(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(tx_cell(1, neighbor=7))
+        sf.add_cell(tx_cell(2, neighbor=7))
+        sf.add_cell(tx_cell(3, neighbor=8))
+        assert sf.remove_cells_with_neighbor(7) == 2
+        assert len(sf) == 1
+
+    def test_clear(self):
+        sf = Slotframe(0, 10)
+        sf.add_cell(tx_cell(1))
+        sf.clear()
+        assert len(sf) == 0
+
+    @given(st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=20))
+    def test_free_plus_used_covers_slotframe(self, offsets):
+        sf = Slotframe(0, 32)
+        for offset in offsets:
+            sf.add_cell(tx_cell(offset))
+        assert sorted(sf.used_slot_offsets() + sf.free_slot_offsets()) == list(range(32))
+
+
+class TestCduRendering:
+    def test_render_contains_labels(self):
+        sf = Slotframe(0, 6)
+        sf.add_cell(Cell(1, 2, CellOption.TX, neighbor=4))
+        sf.add_cell(Cell(3, 0, CellOption.RX, neighbor=None))
+        grid = render_cdu_matrix([sf], num_channels=4)
+        assert grid[2][1] == "Tx->4"
+        assert grid[0][3] == "Rx->*"
+        assert grid[0][0] == ""
+
+    def test_render_merges_multiple_cells(self):
+        sf = Slotframe(0, 4)
+        sf.add_cell(Cell(1, 1, CellOption.TX, neighbor=2))
+        sf.add_cell(Cell(1, 1, CellOption.RX, neighbor=3))
+        grid = render_cdu_matrix([sf], num_channels=2)
+        assert "Tx->2" in grid[1][1] and "Rx->3" in grid[1][1]

@@ -1,0 +1,114 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, NetworkMetrics
+from repro.net.topology import star_topology
+
+from tests.conftest import make_gt_network
+
+
+class TestMeasurementWindow:
+    def test_nothing_recorded_outside_window(self):
+        network = make_gt_network(star_topology(2), rate_ppm=120)
+        network.run_seconds(10.0)  # warm-up: no measurement opened
+        metrics = network.metrics.finalize(network.nodes.values(), network.clock.now, "GT-TSCH")
+        assert metrics.generated == 0
+        assert metrics.delivered == 0
+
+    def test_generation_and_delivery_counted_in_window(self):
+        network = make_gt_network(star_topology(3), rate_ppm=120)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        assert metrics.generated > 0
+        assert 0 < metrics.delivered <= metrics.generated
+        assert metrics.lost == metrics.generated - metrics.delivered
+
+    def test_pdr_and_throughput_consistent(self):
+        network = make_gt_network(star_topology(3), rate_ppm=120)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        assert metrics.pdr_percent == pytest.approx(
+            100.0 * metrics.delivered / metrics.generated
+        )
+        assert metrics.received_per_minute == pytest.approx(
+            metrics.delivered / (metrics.duration_s / 60.0)
+        )
+        assert metrics.packet_loss_per_minute == pytest.approx(
+            metrics.lost / (metrics.duration_s / 60.0)
+        )
+
+    def test_delay_statistics_present_when_delivered(self):
+        network = make_gt_network(star_topology(3), rate_ppm=60)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        assert metrics.end_to_end_delay_ms > 0.0
+        assert metrics.delay_p95_ms >= metrics.end_to_end_delay_ms * 0.5
+        assert metrics.delay_max_ms >= metrics.delay_p95_ms
+        assert metrics.avg_hops >= 1.0
+
+    def test_duty_cycle_reported_per_node_average(self):
+        network = make_gt_network(star_topology(3), rate_ppm=60)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        assert 0.0 < metrics.radio_duty_cycle_percent < 100.0
+        assert len(metrics.per_node) == 4
+
+    def test_duplicate_delivery_not_double_counted(self):
+        collector = MetricsCollector()
+
+        class FakeQueueOwner:
+            class event_queue:
+                now = 1.0
+
+        class FakeNode:
+            node_id = 0
+            event_queue = FakeQueueOwner.event_queue
+
+        class FakePacket:
+            packet_id = 1
+            created_at = 0.0
+            hops = 2
+
+        node = FakeNode()
+        packet = FakePacket()
+        collector.measuring = True
+        collector.on_data_generated(node, packet)
+        collector.on_data_delivered(node, packet)
+        collector.on_data_delivered(node, packet)
+        assert len(collector._delivered) == 1
+
+    def test_delivery_of_unmeasured_packet_ignored(self):
+        collector = MetricsCollector()
+
+        class FakeNode:
+            node_id = 0
+
+            class event_queue:
+                now = 1.0
+
+        class FakePacket:
+            packet_id = 99
+            created_at = 0.0
+            hops = 1
+
+        collector.on_data_delivered(FakeNode(), FakePacket())
+        assert collector._delivered == {}
+
+
+class TestNetworkMetrics:
+    def test_as_dict_contains_all_panel_keys(self):
+        metrics = NetworkMetrics(scheduler="X")
+        data = metrics.as_dict()
+        for key in (
+            "pdr_percent",
+            "end_to_end_delay_ms",
+            "packet_loss_per_minute",
+            "radio_duty_cycle_percent",
+            "queue_loss_per_node",
+            "received_per_minute",
+        ):
+            assert key in data
+
+    def test_empty_run_produces_zeroes(self):
+        collector = MetricsCollector()
+        metrics = collector.finalize([], now=10.0, scheduler_name="empty")
+        assert metrics.pdr_percent == 0.0
+        assert metrics.received_per_minute == 0.0
+        assert metrics.scheduler == "empty"

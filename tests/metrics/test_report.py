@@ -1,0 +1,50 @@
+"""Tests for metric table rendering."""
+
+from repro.metrics.collector import NetworkMetrics
+from repro.metrics.report import (
+    PANEL_KEYS,
+    format_comparison_table,
+    format_figure_report,
+    format_metrics_table,
+)
+
+
+def metrics(scheduler, pdr, delay=100.0, throughput=500.0):
+    m = NetworkMetrics(scheduler=scheduler)
+    m.pdr_percent = pdr
+    m.end_to_end_delay_ms = delay
+    m.received_per_minute = throughput
+    return m
+
+
+class TestPanels:
+    def test_panel_keys_cover_six_metrics(self):
+        assert len(PANEL_KEYS) == 6
+
+
+class TestFormatting:
+    def test_metrics_table_contains_values(self):
+        text = format_metrics_table([metrics("GT-TSCH", 99.0), metrics("Orchestra", 55.0)], title="t")
+        assert "GT-TSCH" in text
+        assert "Orchestra" in text
+        assert "99.00" in text
+        assert "55.00" in text
+
+    def test_comparison_table_rows_match_sweep(self):
+        results = {
+            "GT-TSCH": [metrics("GT-TSCH", 99.0), metrics("GT-TSCH", 98.0)],
+            "Orchestra": [metrics("Orchestra", 80.0), metrics("Orchestra", 50.0)],
+        }
+        text = format_comparison_table("load (ppm)", [30, 165], results, "pdr_percent", "PDR (%)")
+        lines = text.splitlines()
+        assert "PDR (%)" in lines[0]
+        assert any(line.startswith("30") for line in lines)
+        assert any(line.startswith("165") for line in lines)
+        assert "50.00" in text
+
+    def test_figure_report_contains_all_panels(self):
+        results = {"GT-TSCH": [metrics("GT-TSCH", 99.0)]}
+        text = format_figure_report("Figure 8", "load", [30], results)
+        assert "Figure 8" in text
+        for _, label in PANEL_KEYS:
+            assert label in text

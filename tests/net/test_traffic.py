@@ -1,0 +1,114 @@
+"""Tests for application traffic generators."""
+
+import random
+
+import pytest
+
+from repro.net.traffic import PeriodicTrafficGenerator, PoissonTrafficGenerator
+from repro.sim.events import EventQueue
+
+
+class FakeNode:
+    def __init__(self):
+        self.generated_times = []
+        self.queue = None
+
+    def generate_data(self):
+        self.generated_times.append(self.queue.now)
+
+
+def attach(generator, seed=1):
+    node = FakeNode()
+    queue = EventQueue()
+    node.queue = queue
+    generator.attach(node, queue, random.Random(seed))
+    return node, queue
+
+
+class TestPeriodicTrafficGenerator:
+    def test_rate_is_respected(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=60, jitter_fraction=0.0)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(60.0)
+        assert 59 <= len(node.generated_times) <= 61
+
+    def test_period_property(self):
+        assert PeriodicTrafficGenerator(rate_ppm=120).period_s == pytest.approx(0.5)
+        assert PeriodicTrafficGenerator(rate_ppm=0).period_s == float("inf")
+
+    def test_zero_rate_never_fires(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=0)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(100.0)
+        assert node.generated_times == []
+
+    def test_start_delay(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=60, start_delay_s=10.0)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(30.0)
+        assert node.generated_times
+        assert min(node.generated_times) >= 10.0
+
+    def test_stop(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=600)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(1.0)
+        count = len(node.generated_times)
+        generator.stop()
+        queue.run_until(10.0)
+        assert len(node.generated_times) == count
+
+    def test_jitter_varies_intervals(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=120, jitter_fraction=0.3)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(30.0)
+        gaps = {
+            round(b - a, 4)
+            for a, b in zip(node.generated_times, node.generated_times[1:])
+        }
+        assert len(gaps) > 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicTrafficGenerator(rate_ppm=-1)
+        with pytest.raises(ValueError):
+            PeriodicTrafficGenerator(rate_ppm=10, jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            PeriodicTrafficGenerator(rate_ppm=10, start_delay_s=-1.0)
+
+    def test_generated_counter(self):
+        generator = PeriodicTrafficGenerator(rate_ppm=120, jitter_fraction=0.0)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(10.0)
+        assert generator.generated == len(node.generated_times)
+
+
+class TestPoissonTrafficGenerator:
+    def test_mean_rate_approximately_respected(self):
+        generator = PoissonTrafficGenerator(rate_ppm=120)
+        node, queue = attach(generator, seed=3)
+        generator.start()
+        queue.run_until(300.0)
+        expected = 120 * 5
+        assert 0.7 * expected <= len(node.generated_times) <= 1.3 * expected
+
+    def test_intervals_are_irregular(self):
+        generator = PoissonTrafficGenerator(rate_ppm=60)
+        node, queue = attach(generator, seed=5)
+        generator.start()
+        queue.run_until(120.0)
+        gaps = [b - a for a, b in zip(node.generated_times, node.generated_times[1:])]
+        assert len({round(g, 3) for g in gaps}) > 10
+
+    def test_start_delay(self):
+        generator = PoissonTrafficGenerator(rate_ppm=600, start_delay_s=5.0)
+        node, queue = attach(generator)
+        generator.start()
+        queue.run_until(20.0)
+        assert min(node.generated_times) >= 5.0

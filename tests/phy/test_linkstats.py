@@ -1,0 +1,93 @@
+"""Tests for ETX estimation and per-link statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.linkstats import ETX_MAX, ETX_MIN, EtxEstimator, LinkStats
+
+
+class TestLinkStats:
+    def test_prr_zero_without_attempts(self):
+        assert LinkStats().prr == 0.0
+
+    def test_prr_ratio(self):
+        stats = LinkStats(tx_attempts=10, tx_successes=7)
+        assert stats.prr == pytest.approx(0.7)
+
+
+class TestEtxEstimator:
+    def test_initial_etx_used_for_unknown_links(self):
+        estimator = EtxEstimator(initial_etx=2.0)
+        assert estimator.etx(42) == 2.0
+
+    def test_successful_single_attempts_drive_etx_towards_one(self):
+        estimator = EtxEstimator(alpha=0.5, initial_etx=2.0)
+        for _ in range(30):
+            estimator.record_tx(1, success=True, attempts=1)
+        assert estimator.etx(1) == pytest.approx(1.0, abs=0.01)
+
+    def test_failures_drive_etx_up(self):
+        estimator = EtxEstimator(alpha=0.5, initial_etx=2.0)
+        for _ in range(30):
+            estimator.record_tx(1, success=False, attempts=5)
+        assert estimator.etx(1) > 4.0
+
+    def test_etx_clamped_to_bounds(self):
+        estimator = EtxEstimator(alpha=0.0)
+        estimator.record_tx(1, success=False, attempts=100)
+        assert estimator.etx(1) <= ETX_MAX
+        estimator.record_tx(2, success=True, attempts=1)
+        assert estimator.etx(2) >= ETX_MIN
+
+    def test_prr_is_inverse_of_etx(self):
+        estimator = EtxEstimator(alpha=0.0)
+        estimator.record_tx(1, success=True, attempts=2)
+        assert estimator.prr(1) == pytest.approx(1.0 / estimator.etx(1))
+
+    def test_record_rx_tracks_counters(self):
+        estimator = EtxEstimator()
+        estimator.record_rx(3, now=1.5)
+        assert estimator.stats(3).rx_frames == 1
+        assert estimator.stats(3).last_rx_time == 1.5
+
+    def test_stats_counters_accumulate(self):
+        estimator = EtxEstimator()
+        estimator.record_tx(1, success=True, attempts=3, now=2.0)
+        estimator.record_tx(1, success=False, attempts=2, now=3.0)
+        stats = estimator.stats(1)
+        assert stats.tx_attempts == 5
+        assert stats.tx_successes == 1
+        assert stats.last_tx_time == 3.0
+
+    def test_known_neighbors(self):
+        estimator = EtxEstimator()
+        estimator.record_tx(1, True)
+        estimator.record_rx(2)
+        assert estimator.known_neighbors() == {1, 2}
+
+    def test_reset_forgets_neighbor(self):
+        estimator = EtxEstimator(initial_etx=2.0)
+        estimator.record_tx(1, success=False, attempts=5)
+        estimator.reset(1)
+        assert estimator.etx(1) == 2.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EtxEstimator(alpha=1.0)
+        with pytest.raises(ValueError):
+            EtxEstimator(initial_etx=0.5)
+        with pytest.raises(ValueError):
+            EtxEstimator().record_tx(1, success=True, attempts=0)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=8)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_etx_always_within_bounds(self, outcomes):
+        estimator = EtxEstimator(alpha=0.9)
+        for success, attempts in outcomes:
+            value = estimator.record_tx(7, success=success, attempts=attempts)
+            assert ETX_MIN <= value <= ETX_MAX

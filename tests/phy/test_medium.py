@@ -1,0 +1,164 @@
+"""Tests for per-slot medium arbitration (collisions, ACKs, hidden terminals)."""
+
+import random
+
+import pytest
+
+from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
+from repro.phy.medium import Medium, TransmissionIntent
+from repro.phy.propagation import FixedPrrModel, UnitDiskLossyEdgeModel
+
+
+def perfect_medium(positions, interference_pairs=None):
+    """A medium where every registered link is perfect (PRR 1)."""
+    model = FixedPrrModel(default_prr=0.0)
+    keys = list(positions.items())
+    for i, (_, pa) in enumerate(keys):
+        for j, (_, pb) in enumerate(keys):
+            if i < j:
+                model.set_link(pa, pb, 1.0)
+    if interference_pairs:
+        for a, b in interference_pairs:
+            model.add_interference(positions[a], positions[b])
+    medium = Medium(model, random.Random(1))
+    for node_id, position in positions.items():
+        medium.register_node(node_id, position)
+    return medium
+
+
+def unicast(sender, receiver, channel):
+    packet = make_data_packet(sender, receiver, created_at=0.0)
+    packet.link_source = sender
+    packet.link_destination = receiver
+    return TransmissionIntent(sender=sender, packet=packet, channel=channel)
+
+
+class TestLinkQueries:
+    def test_link_prr_and_neighbors(self):
+        medium = Medium(UnitDiskLossyEdgeModel(), random.Random(0))
+        medium.register_node(0, (0, 0))
+        medium.register_node(1, (10, 0))
+        medium.register_node(2, (200, 0))
+        assert medium.link_prr(0, 1) > 0.9
+        assert medium.link_prr(0, 2) == 0.0
+        assert medium.neighbors_of(0) == [1]
+
+    def test_self_link_is_zero(self):
+        medium = Medium(UnitDiskLossyEdgeModel(), random.Random(0))
+        medium.register_node(0, (0, 0))
+        assert medium.link_prr(0, 0) == 0.0
+        assert not medium.interferes(0, 0)
+
+    def test_moving_a_node_invalidates_cache(self):
+        medium = Medium(UnitDiskLossyEdgeModel(), random.Random(0))
+        medium.register_node(0, (0, 0))
+        medium.register_node(1, (10, 0))
+        assert medium.link_prr(0, 1) > 0.0
+        medium.register_node(1, (500, 0))
+        assert medium.link_prr(0, 1) == 0.0
+
+
+class TestSlotResolution:
+    def test_single_unicast_delivery_and_ack(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0)})
+        results = medium.resolve_slot([unicast(0, 1, channel=15)], {1: 15})
+        assert results[0].delivered
+        assert results[0].acked
+        assert results[0].receivers == [1]
+
+    def test_no_delivery_when_listener_on_other_channel(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0)})
+        results = medium.resolve_slot([unicast(0, 1, channel=15)], {1: 20})
+        assert not results[0].delivered
+        assert not results[0].acked
+
+    def test_no_delivery_when_destination_not_listening(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0)})
+        results = medium.resolve_slot([unicast(0, 1, channel=15)], {})
+        assert not results[0].delivered
+
+    def test_collision_when_two_senders_same_channel(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0), 2: (2, 0)})
+        intents = [unicast(0, 1, 15), unicast(2, 1, 15)]
+        results = medium.resolve_slot(intents, {1: 15})
+        assert not results[0].delivered
+        assert not results[1].delivered
+        assert results[0].collided or results[1].collided
+        assert medium.total_collisions >= 1
+
+    def test_no_collision_on_different_channels(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (3, 0)})
+        intents = [unicast(0, 1, 15), unicast(2, 3, 20)]
+        results = medium.resolve_slot(intents, {1: 15, 3: 20})
+        assert results[0].delivered
+        assert results[1].delivered
+
+    def test_hidden_terminal_collision(self):
+        """Two senders out of each other's range still collide at the listener.
+
+        This is interference problem 4 of Section III (the hidden-terminal
+        case motivating GT-TSCH's three-hop channel uniqueness).
+        """
+        model = FixedPrrModel(default_prr=0.0)
+        positions = {0: (0.0, 0.0), 1: (10.0, 0.0), 2: (20.0, 0.0)}
+        model.set_link(positions[0], positions[1], 1.0)
+        model.set_link(positions[2], positions[1], 1.0)
+        # Senders 0 and 2 cannot hear each other (no link), but both reach 1.
+        medium = Medium(model, random.Random(1))
+        for node_id, position in positions.items():
+            medium.register_node(node_id, position)
+        results = medium.resolve_slot([unicast(0, 1, 15), unicast(2, 1, 15)], {1: 15})
+        assert not results[0].delivered
+        assert not results[1].delivered
+
+    def test_broadcast_reaches_all_listeners(self):
+        medium = perfect_medium({0: (0, 0), 1: (1, 0), 2: (2, 0)})
+        packet = Packet(
+            ptype=PacketType.DIO,
+            source=0,
+            destination=BROADCAST_ADDRESS,
+            link_source=0,
+            link_destination=BROADCAST_ADDRESS,
+        )
+        intent = TransmissionIntent(sender=0, packet=packet, channel=15, expects_ack=False)
+        results = medium.resolve_slot([intent], {1: 15, 2: 15})
+        assert sorted(results[0].receivers) == [1, 2]
+        assert not results[0].acked
+
+    def test_lossy_link_statistics(self):
+        model = FixedPrrModel(default_prr=0.0)
+        model.set_link((0.0, 0.0), (1.0, 0.0), 0.5)
+        medium = Medium(model, random.Random(7))
+        medium.register_node(0, (0.0, 0.0))
+        medium.register_node(1, (1.0, 0.0))
+        delivered = 0
+        for _ in range(400):
+            results = medium.resolve_slot([unicast(0, 1, 15)], {1: 15})
+            delivered += int(results[0].delivered)
+        assert 140 < delivered < 260  # ~50 % with generous slack
+
+    def test_transmitter_not_in_listeners(self):
+        """Half-duplex: the sender itself never appears as a receiver."""
+        medium = perfect_medium({0: (0, 0), 1: (1, 0)})
+        results = medium.resolve_slot([unicast(0, 1, 15)], {1: 15})
+        assert 0 not in results[0].receivers
+
+    def test_empty_slot(self):
+        medium = perfect_medium({0: (0, 0)})
+        assert medium.resolve_slot([], {0: 15}) == []
+
+    def test_interference_only_node_does_not_decode(self):
+        """A node in interference range but out of communication range corrupts
+        receptions without being able to decode anything itself."""
+        model = FixedPrrModel(default_prr=0.0)
+        a, b, c = (0.0, 0.0), (1.0, 0.0), (2.0, 0.0)
+        model.set_link(a, b, 1.0)
+        model.add_interference(c, b)  # c's energy reaches b, but no usable link
+        medium = Medium(model, random.Random(1))
+        medium.register_node(0, a)
+        medium.register_node(1, b)
+        medium.register_node(2, c)
+        # c transmits to an unrelated destination on the same channel.
+        intents = [unicast(0, 1, 15), unicast(2, 0, 15)]
+        results = medium.resolve_slot(intents, {1: 15})
+        assert not results[0].delivered

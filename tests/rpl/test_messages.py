@@ -1,0 +1,47 @@
+"""Tests for RPL message construction."""
+
+from repro.net.packet import BROADCAST_ADDRESS, PacketType
+from repro.rpl.messages import make_dao, make_dio
+
+
+class TestMakeDio:
+    def test_basic_fields(self):
+        dio = make_dio(sender=3, dodag_id=0, rank=768, version=2, now=1.0)
+        assert dio.ptype is PacketType.DIO
+        assert dio.link_source == 3
+        assert dio.is_broadcast
+        assert dio.payload["dodag_id"] == 0
+        assert dio.payload["rank"] == 768
+        assert dio.payload["version"] == 2
+        assert dio.created_at == 1.0
+
+    def test_l_rx_option_is_optional(self):
+        plain = make_dio(sender=1, dodag_id=0, rank=512)
+        assert "l_rx" not in plain.payload
+        with_option = make_dio(sender=1, dodag_id=0, rank=512, l_rx=5)
+        assert with_option.payload["l_rx"] == 5
+
+    def test_extra_fields_merged(self):
+        dio = make_dio(sender=1, dodag_id=0, rank=512, extra={"custom": 7})
+        assert dio.payload["custom"] == 7
+
+    def test_broadcast_addressing(self):
+        dio = make_dio(sender=1, dodag_id=0, rank=512)
+        assert dio.destination == BROADCAST_ADDRESS
+        assert dio.link_destination == BROADCAST_ADDRESS
+
+
+class TestMakeDao:
+    def test_basic_fields(self):
+        dao = make_dao(sender=5, parent=2, dodag_id=0, rank=768, now=2.5)
+        assert dao.ptype is PacketType.DAO
+        assert dao.source == 5
+        assert dao.destination == 2
+        assert dao.link_destination == 2
+        assert dao.payload["dodag_id"] == 0
+        assert dao.payload["rank"] == 768
+        assert not dao.is_broadcast
+
+    def test_dao_is_control(self):
+        dao = make_dao(sender=5, parent=2, dodag_id=0, rank=768)
+        assert dao.is_control

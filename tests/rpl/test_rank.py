@@ -1,0 +1,94 @@
+"""Tests for Rank arithmetic and MRHOF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpl.rank import (
+    INFINITE_RANK,
+    MIN_HOP_RANK_INCREASE,
+    MrhofObjectiveFunction,
+    RankCalculator,
+)
+
+
+class TestMrhof:
+    def test_link_cost_scales_with_etx(self):
+        of = MrhofObjectiveFunction()
+        assert of.link_cost(1.0) == MIN_HOP_RANK_INCREASE
+        assert of.link_cost(2.0) == 2 * MIN_HOP_RANK_INCREASE
+
+    def test_link_cost_floors_at_etx_one(self):
+        of = MrhofObjectiveFunction()
+        assert of.link_cost(0.5) == MIN_HOP_RANK_INCREASE
+
+    def test_link_cost_capped_at_max_link_metric(self):
+        of = MrhofObjectiveFunction(max_link_metric=4.0)
+        assert of.link_cost(10.0) == 4.0 * MIN_HOP_RANK_INCREASE
+
+    def test_rank_via_parent(self):
+        of = MrhofObjectiveFunction()
+        assert of.rank_via(256, 1.0) == 512
+        assert of.rank_via(256, 2.0) == 768
+
+    def test_rank_via_infinite_parent_is_infinite(self):
+        of = MrhofObjectiveFunction()
+        assert of.rank_via(INFINITE_RANK, 1.0) == INFINITE_RANK
+
+    def test_rank_never_exceeds_infinite(self):
+        of = MrhofObjectiveFunction()
+        assert of.rank_via(INFINITE_RANK - 10, 4.0) == INFINITE_RANK
+
+    def test_hysteresis_blocks_marginal_switches(self):
+        of = MrhofObjectiveFunction(parent_switch_threshold=192)
+        assert not of.is_worth_switching(current_rank=1000, candidate_rank=900)
+        assert of.is_worth_switching(current_rank=1000, candidate_rank=800 - 1)
+
+    def test_switching_from_infinite_rank_always_worth_it(self):
+        of = MrhofObjectiveFunction()
+        assert of.is_worth_switching(INFINITE_RANK, 768)
+        assert not of.is_worth_switching(INFINITE_RANK, INFINITE_RANK)
+
+    @given(
+        st.integers(min_value=MIN_HOP_RANK_INCREASE, max_value=INFINITE_RANK - 1),
+        st.floats(min_value=1.0, max_value=16.0),
+    )
+    def test_rank_via_is_monotone_in_parent_rank(self, parent_rank, etx):
+        of = MrhofObjectiveFunction()
+        assert of.rank_via(parent_rank, etx) >= parent_rank
+
+
+class TestRankCalculator:
+    def test_hop_distance(self):
+        calc = RankCalculator()
+        assert calc.hop_distance(256) == 0.0
+        assert calc.hop_distance(768) == pytest.approx(2.0)
+        assert calc.hop_distance(INFINITE_RANK) == float("inf")
+
+    def test_normalised_rank_eq3(self):
+        """Eq. (3): Rank~ = MinHopRankIncrease / (Rank - Rank_min)."""
+        calc = RankCalculator()
+        assert calc.normalised_rank(512) == pytest.approx(1.0)
+        assert calc.normalised_rank(768) == pytest.approx(0.5)
+        assert calc.normalised_rank(1280) == pytest.approx(0.25)
+
+    def test_normalised_rank_decreases_with_depth(self):
+        """Nodes closer to the root get a larger utility weight."""
+        calc = RankCalculator()
+        shallow = calc.normalised_rank(512)
+        deep = calc.normalised_rank(2048)
+        assert shallow > deep
+
+    def test_root_and_unreachable_edge_cases(self):
+        calc = RankCalculator()
+        assert calc.normalised_rank(256) == 1.0  # root
+        assert calc.normalised_rank(INFINITE_RANK) == 0.0
+
+    def test_explicit_rank_min(self):
+        calc = RankCalculator()
+        assert calc.normalised_rank(1024, rank_min=512) == pytest.approx(0.5)
+
+    @given(st.integers(min_value=257, max_value=INFINITE_RANK - 1))
+    def test_normalised_rank_positive_and_bounded(self, rank):
+        calc = RankCalculator()
+        value = calc.normalised_rank(rank)
+        assert 0.0 < value <= MIN_HOP_RANK_INCREASE

@@ -1,0 +1,118 @@
+"""Tests for the Trickle timer (RFC 6206)."""
+
+import random
+
+import pytest
+
+from repro.rpl.trickle import TrickleTimer
+from repro.sim.events import EventQueue
+
+
+def make_timer(queue, fired, i_min=2.0, doublings=3, redundancy=0, seed=1):
+    return TrickleTimer(
+        queue,
+        random.Random(seed),
+        lambda: fired.append(queue.now),
+        i_min=i_min,
+        doublings=doublings,
+        redundancy=redundancy,
+    )
+
+
+class TestTrickleTimer:
+    def test_fires_within_second_half_of_first_interval(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=2.0)
+        timer.start()
+        queue.run_until(2.0)
+        assert len(fired) == 1
+        assert 1.0 <= fired[0] <= 2.0
+
+    def test_interval_doubles_up_to_i_max(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=1.0, doublings=2)
+        timer.start()
+        queue.run_until(1.0)
+        assert timer.interval == 2.0
+        queue.run_until(3.0)
+        assert timer.interval == 4.0
+        queue.run_until(7.0)
+        assert timer.interval == 4.0  # capped at i_min * 2**2
+
+    def test_fires_once_per_interval(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=1.0, doublings=8)
+        timer.start()
+        queue.run_until(31.0)  # intervals 1+2+4+8+16 = 31
+        assert len(fired) == 5
+
+    def test_redundancy_suppresses_transmission(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=2.0, redundancy=2)
+        timer.start()
+        timer.hear_consistent()
+        timer.hear_consistent()
+        queue.run_until(2.0)
+        assert fired == []
+        assert timer.suppressions == 1
+
+    def test_counter_resets_each_interval(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=2.0, redundancy=2)
+        timer.start()
+        timer.hear_consistent()
+        timer.hear_consistent()
+        queue.run_until(2.0)  # suppressed
+        queue.run_until(6.0)  # next interval, counter reset -> fires
+        assert len(fired) == 1
+
+    def test_inconsistency_resets_interval(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=1.0, doublings=4)
+        timer.start()
+        queue.run_until(7.0)
+        grown = timer.interval
+        assert grown > 1.0
+        timer.hear_inconsistent()
+        assert timer.interval == 1.0
+
+    def test_inconsistency_at_minimum_is_noop(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=1.0)
+        timer.start()
+        timer.hear_inconsistent()
+        assert timer.interval == 1.0
+        queue.run_until(1.0)
+        assert len(fired) == 1
+
+    def test_stop(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired)
+        timer.start()
+        timer.stop()
+        queue.run_until(100.0)
+        assert fired == []
+        assert not timer.running
+
+    def test_invalid_parameters(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            TrickleTimer(queue, random.Random(1), lambda: None, i_min=0.0)
+        with pytest.raises(ValueError):
+            TrickleTimer(queue, random.Random(1), lambda: None, doublings=-1)
+
+    def test_transmission_counter(self):
+        queue = EventQueue()
+        fired = []
+        timer = make_timer(queue, fired, i_min=1.0, doublings=1)
+        timer.start()
+        queue.run_until(10.0)
+        assert timer.transmissions == len(fired)

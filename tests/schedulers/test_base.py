@@ -1,0 +1,39 @@
+"""Tests for the scheduling-function base interface."""
+
+from repro.schedulers.base import SchedulingFunction
+from repro.sixtop.messages import SixPCommand, SixPMessage, SixPMessageType, SixPReturnCode
+
+from tests.conftest import make_gt_network
+
+
+class TestSchedulingFunctionDefaults:
+    def test_default_callbacks_are_noops(self):
+        sf = SchedulingFunction()
+        sf.start()
+        sf.on_parent_changed(None, 1)
+        sf.on_child_added(2)
+        sf.on_child_removed(2)
+        sf.on_eb_received(None)
+        sf.on_dio_received(None)
+        sf.on_packet_enqueued(None)
+        sf.on_tx_done(None, True)
+        assert sf.eb_fields() == {}
+        assert sf.dio_fields() == {}
+
+    def test_default_sixp_handler_rejects(self):
+        sf = SchedulingFunction()
+        message = SixPMessage(
+            message_type=SixPMessageType.REQUEST, command=SixPCommand.ADD, seqnum=0
+        )
+        code, fields = sf.on_sixp_request(1, message)
+        assert code is SixPReturnCode.ERR
+        assert fields == {}
+
+    def test_describe_schedule_detached(self):
+        assert "detached" in SchedulingFunction().describe_schedule()
+
+    def test_describe_schedule_lists_cells(self, gt_star_network):
+        gt_star_network.start()
+        text = gt_star_network.nodes[0].scheduler.describe_schedule()
+        assert "slotframe 0" in text
+        assert "Cell(" in text

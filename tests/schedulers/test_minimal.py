@@ -1,0 +1,77 @@
+"""Tests for the 6TiSCH minimal-configuration scheduler."""
+
+import pytest
+
+from repro.mac.cell import CellOption
+from repro.net.topology import star_topology
+from repro.net.network import Network
+from repro.net.node import NodeConfig
+from repro.net.traffic import PeriodicTrafficGenerator
+from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+
+
+def make_minimal_network(rate_ppm=0.0, seed=5, num_shared_cells=1):
+    network = Network(seed=seed, default_node_config=NodeConfig())
+    topology = star_topology(3)
+
+    def traffic_factory(node_id, is_root):
+        if is_root or rate_ppm <= 0:
+            return None
+        return PeriodicTrafficGenerator(rate_ppm=rate_ppm)
+
+    network.build_from_topology(
+        topology,
+        scheduler_factory=lambda node_id, is_root: MinimalScheduler(
+            MinimalSchedulerConfig(num_shared_cells=num_shared_cells)
+        ),
+        traffic_factory=traffic_factory,
+    )
+    return network
+
+
+class TestMinimalConfig:
+    def test_defaults(self):
+        config = MinimalSchedulerConfig()
+        assert config.slotframe_length == 7
+        assert config.num_shared_cells == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinimalSchedulerConfig(slotframe_length=0)
+        with pytest.raises(ValueError):
+            MinimalSchedulerConfig(num_shared_cells=0)
+        with pytest.raises(ValueError):
+            MinimalSchedulerConfig(slotframe_length=4, num_shared_cells=5)
+
+
+class TestMinimalSchedule:
+    def test_single_shared_cell_installed(self):
+        network = make_minimal_network()
+        network.start()
+        node = network.nodes[1]
+        cells = node.tsch.all_cells()
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.is_tx and cell.is_rx and cell.is_shared and cell.is_broadcast
+        assert cell.slot_offset == 0
+
+    def test_multiple_shared_cells_spread(self):
+        network = make_minimal_network(num_shared_cells=3)
+        network.start()
+        node = network.nodes[2]
+        offsets = sorted(cell.slot_offset for cell in node.tsch.all_cells())
+        assert len(offsets) == 3
+        assert len(set(offsets)) == 3
+
+    def test_light_traffic_flows_through_shared_cell(self):
+        network = make_minimal_network(rate_ppm=10)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=30.0, drain_s=3.0)
+        assert metrics.generated > 0
+        assert metrics.delivered > 0
+
+    def test_saturates_under_heavier_load_than_gt_tsch(self):
+        """The minimal schedule has a single contention cell: at 120 ppm per
+        node it cannot keep up, which is why real deployments need an SF."""
+        network = make_minimal_network(rate_ppm=120)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=30.0, drain_s=3.0)
+        assert metrics.pdr_percent < 90.0

@@ -1,0 +1,145 @@
+"""Tests for the Orchestra baseline scheduler."""
+
+import pytest
+
+from repro.mac.cell import CellOption, CellPurpose
+from repro.net.topology import line_topology, star_topology
+from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler, orchestra_hash
+
+from tests.conftest import make_orchestra_network
+
+
+class TestOrchestraHash:
+    def test_deterministic(self):
+        assert orchestra_hash(42) == orchestra_hash(42)
+
+    def test_spreads_values(self):
+        assert len({orchestra_hash(i) % 8 for i in range(50)}) > 3
+
+    def test_32bit_range(self):
+        assert 0 <= orchestra_hash(123456789) < 2 ** 32
+
+
+class TestOrchestraConfig:
+    def test_defaults(self):
+        config = OrchestraConfig()
+        assert config.unicast_slotframe_length == 8
+        assert not config.sender_based
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrchestraConfig(unicast_slotframe_length=1)
+        with pytest.raises(ValueError):
+            OrchestraConfig(num_channels=1)
+
+
+class TestSlotframeSetup:
+    def test_three_slotframes_installed(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[1]
+        assert set(node.tsch.slotframes) == {
+            OrchestraScheduler.EB_HANDLE,
+            OrchestraScheduler.COMMON_HANDLE,
+            OrchestraScheduler.UNICAST_HANDLE,
+        }
+
+    def test_slotframe_lengths_follow_config(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[0]
+        config = node.scheduler.config
+        assert node.tsch.get_slotframe(0).length == config.eb_slotframe_length
+        assert node.tsch.get_slotframe(1).length == config.common_slotframe_length
+        assert node.tsch.get_slotframe(2).length == config.unicast_slotframe_length
+
+    def test_receiver_based_rx_cell_at_own_hash(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[2]
+        unicast = node.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+        own_slot = orchestra_hash(2) % node.scheduler.config.unicast_slotframe_length
+        rx_cells = [cell for cell in unicast.all_cells() if cell.is_rx and not cell.is_tx]
+        assert any(cell.slot_offset == own_slot for cell in rx_cells)
+
+    def test_common_cell_is_shared_broadcast(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[1]
+        common = node.tsch.get_slotframe(OrchestraScheduler.COMMON_HANDLE)
+        cells = list(common.all_cells())
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.is_broadcast and cell.is_shared and cell.is_tx and cell.is_rx
+
+
+class TestTopologyTracking:
+    def test_parent_tx_cell_installed_on_parent_known(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[1]
+        unicast = node.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+        parent_cells = [cell for cell in unicast.all_cells() if cell.neighbor == 0 and cell.is_tx]
+        assert len(parent_cells) == 1
+        expected_slot = orchestra_hash(0) % node.scheduler.config.unicast_slotframe_length
+        assert parent_cells[0].slot_offset == expected_slot
+        assert parent_cells[0].is_shared  # receiver-based cells contend
+
+    def test_all_children_of_one_parent_share_its_cell(self, orchestra_star_network):
+        """The root cause of Orchestra's congestion collapse: every child
+        derives the same cell from the parent's id."""
+        orchestra_star_network.start()
+        coordinates = set()
+        for node_id in (1, 2, 3):
+            node = orchestra_star_network.nodes[node_id]
+            unicast = node.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+            for cell in unicast.all_cells():
+                if cell.neighbor == 0 and cell.is_tx:
+                    coordinates.add(cell.coordinate())
+        assert len(coordinates) == 1
+
+    def test_parent_switch_moves_tx_cell(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[1]
+        node.scheduler.on_parent_changed(0, 3)
+        unicast = node.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+        assert not [c for c in unicast.all_cells() if c.neighbor == 0 and c.is_tx]
+        assert [c for c in unicast.all_cells() if c.neighbor == 3 and c.is_tx]
+
+    def test_eb_rx_cell_follows_time_source(self, orchestra_star_network):
+        orchestra_star_network.start()
+        node = orchestra_star_network.nodes[1]
+        eb_sf = node.tsch.get_slotframe(OrchestraScheduler.EB_HANDLE)
+        rx_cells = [cell for cell in eb_sf.all_cells() if cell.is_rx]
+        assert len(rx_cells) == 1
+        assert rx_cells[0].slot_offset == orchestra_hash(0) % node.scheduler.config.eb_slotframe_length
+
+    def test_child_cells_added_and_removed(self, orchestra_star_network):
+        orchestra_star_network.start()
+        root = orchestra_star_network.nodes[0]
+        root.scheduler.on_child_added(1)
+        unicast = root.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+        assert [c for c in unicast.all_cells() if c.neighbor == 1]
+        root.scheduler.on_child_removed(1)
+        assert not [c for c in unicast.all_cells() if c.neighbor == 1]
+
+    def test_sender_based_variant_listens_per_child(self):
+        network = make_orchestra_network(
+            star_topology(2), orchestra_config=OrchestraConfig(sender_based=True)
+        )
+        network.start()
+        root = network.nodes[0]
+        root.scheduler.on_child_added(1)
+        unicast = root.tsch.get_slotframe(OrchestraScheduler.UNICAST_HANDLE)
+        rx_for_child = [c for c in unicast.all_cells() if c.neighbor == 1 and c.is_rx]
+        assert rx_for_child
+        assert rx_for_child[0].slot_offset == orchestra_hash(1) % 8
+
+
+class TestOrchestraEndToEnd:
+    def test_light_traffic_delivers(self):
+        network = make_orchestra_network(star_topology(3), rate_ppm=30)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        assert metrics.pdr_percent > 80.0
+
+    def test_no_sixp_traffic(self):
+        """Orchestra is autonomous: it never negotiates cells over 6P."""
+        network = make_orchestra_network(star_topology(3), rate_ppm=60)
+        network.run_seconds(20.0)
+        for node in network.nodes.values():
+            assert node.sixtop.requests_sent == 0

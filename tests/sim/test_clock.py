@@ -1,0 +1,56 @@
+"""Tests for the simulation clock (seconds <-> ASN)."""
+
+import pytest
+
+from repro.sim.clock import DEFAULT_SLOT_DURATION_S, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_asn_zero(self):
+        clock = SimClock()
+        assert clock.asn == 0
+        assert clock.now == 0.0
+
+    def test_default_slot_duration_matches_paper(self):
+        assert DEFAULT_SLOT_DURATION_S == pytest.approx(0.015)
+
+    def test_advance_slot_increments_asn(self):
+        clock = SimClock()
+        assert clock.advance_slot() == 1
+        assert clock.advance_slot() == 2
+        assert clock.asn == 2
+
+    def test_now_tracks_slot_duration(self):
+        clock = SimClock(slot_duration_s=0.01)
+        for _ in range(10):
+            clock.advance_slot()
+        assert clock.now == pytest.approx(0.1)
+
+    def test_seconds_to_slots_rounds_to_whole_slots(self):
+        clock = SimClock(slot_duration_s=0.015)
+        assert clock.seconds_to_slots(0.015) == 1
+        assert clock.seconds_to_slots(1.0) == 67
+        assert clock.seconds_to_slots(0.48) == 32
+
+    def test_seconds_to_slots_never_returns_zero(self):
+        clock = SimClock()
+        assert clock.seconds_to_slots(0.0) == 1
+        assert clock.seconds_to_slots(-5.0) == 1
+        assert clock.seconds_to_slots(1e-9) == 1
+
+    def test_slots_to_seconds_roundtrip(self):
+        clock = SimClock(slot_duration_s=0.015)
+        assert clock.slots_to_seconds(100) == pytest.approx(1.5)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance_slot()
+        clock.reset()
+        assert clock.asn == 0
+        assert clock.now == 0.0
+
+    def test_rejects_non_positive_slot_duration(self):
+        with pytest.raises(ValueError):
+            SimClock(slot_duration_s=0.0)
+        with pytest.raises(ValueError):
+            SimClock(slot_duration_s=-0.01)

@@ -1,0 +1,188 @@
+"""Tests for the event queue and periodic timers."""
+
+import random
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, PeriodicTimer
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, fired.append, "b")
+        queue.schedule(1.0, fired.append, "a")
+        queue.schedule(3.0, fired.append, "c")
+        queue.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in ("first", "second", "third"):
+            queue.schedule(1.0, fired.append, label)
+        queue.run_until(1.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_run_until_is_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, fired.append, "x")
+        queue.run_until(1.0)
+        assert fired == ["x"]
+
+    def test_events_after_window_stay_pending(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, fired.append, "later")
+        assert queue.run_until(1.0) == 0
+        assert fired == []
+        assert len(queue) == 1
+
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, fired.append, "x")
+        event.cancel()
+        queue.run_until(2.0)
+        assert fired == []
+
+    def test_schedule_in_is_relative_to_now(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: queue.schedule_in(1.0, fired.append, "nested"))
+        queue.run_until(3.0)
+        assert fired == ["nested"]
+        assert queue.now == 3.0
+
+    def test_callbacks_can_schedule_within_window(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                queue.schedule_in(0.5, chain, n + 1)
+
+        queue.schedule(0.5, chain, 1)
+        queue.run_until(10.0)
+        assert fired == [1, 2, 3]
+
+    def test_past_schedule_clamped_to_now(self):
+        queue = EventQueue()
+        queue.run_until(5.0)
+        fired = []
+        queue.schedule(1.0, fired.append, "late")
+        queue.run_until(5.0)
+        assert fired == ["late"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_len_counts_only_pending(self):
+        queue = EventQueue()
+        keep = queue.schedule(1.0, lambda: None)
+        drop = queue.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(0.5)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.now == 0.0
+
+    def test_kwargs_are_passed(self):
+        queue = EventQueue()
+        result = {}
+        queue.schedule(1.0, result.update, value=42)
+        queue.run_until(1.0)
+        assert result == {"value": 42}
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        queue = EventQueue()
+        count = []
+        timer = PeriodicTimer(queue, 1.0, lambda: count.append(1))
+        timer.start()
+        queue.run_until(5.5)
+        assert len(count) == 5
+
+    def test_start_offset(self):
+        queue = EventQueue()
+        times = []
+        timer = PeriodicTimer(queue, 2.0, lambda: times.append(queue.now), start_offset=0.5)
+        timer.start()
+        queue.run_until(5.0)
+        assert times == pytest.approx([0.5, 2.5, 4.5])
+
+    def test_stop(self):
+        queue = EventQueue()
+        count = []
+        timer = PeriodicTimer(queue, 1.0, lambda: count.append(1))
+        timer.start()
+        queue.run_until(2.5)
+        timer.stop()
+        queue.run_until(10.0)
+        assert len(count) == 2
+        assert not timer.running
+
+    def test_callback_returning_false_stops_timer(self):
+        queue = EventQueue()
+        count = []
+
+        def callback():
+            count.append(1)
+            return False
+
+        timer = PeriodicTimer(queue, 1.0, callback)
+        timer.start()
+        queue.run_until(10.0)
+        assert len(count) == 1
+        assert not timer.running
+
+    def test_double_start_is_idempotent(self):
+        queue = EventQueue()
+        count = []
+        timer = PeriodicTimer(queue, 1.0, lambda: count.append(1))
+        timer.start()
+        timer.start()
+        queue.run_until(3.5)
+        assert len(count) == 3
+
+    def test_rejects_non_positive_period(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            PeriodicTimer(queue, 0.0, lambda: None)
+
+    def test_jitter_requires_rng(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            PeriodicTimer(queue, 1.0, lambda: None, jitter=0.2)
+
+    def test_jittered_periods_stay_within_bounds(self):
+        queue = EventQueue()
+        times = []
+        timer = PeriodicTimer(
+            queue,
+            1.0,
+            lambda: times.append(queue.now),
+            start_offset=0.0,
+            jitter=0.25,
+            rng=random.Random(3),
+        )
+        timer.start()
+        queue.run_until(20.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps, "timer should have fired repeatedly"
+        assert all(0.75 - 1e-9 <= gap <= 1.25 + 1e-9 for gap in gaps)
+        # Jitter must actually vary the period.
+        assert len({round(gap, 6) for gap in gaps}) > 1

@@ -1,0 +1,93 @@
+"""Tests for 6P message encoding/decoding."""
+
+import pytest
+
+from repro.net.packet import PacketType
+from repro.sixtop.messages import (
+    ASK_CHANNEL_COMMAND_CODE,
+    CellDescriptor,
+    SixPCommand,
+    SixPMessage,
+    SixPMessageType,
+    SixPReturnCode,
+    make_sixp_packet,
+)
+
+
+class TestCommandCodes:
+    def test_ask_channel_code_matches_paper(self):
+        """Fig. 4: the ASK-CHANNEL command uses code 0x0A."""
+        assert ASK_CHANNEL_COMMAND_CODE == 0x0A
+        assert SixPCommand.ASK_CHANNEL.value == 0x0A
+
+    def test_rfc8480_codes(self):
+        assert SixPCommand.ADD.value == 0x01
+        assert SixPCommand.DELETE.value == 0x02
+
+
+class TestCellDescriptor:
+    def test_as_tuple(self):
+        assert CellDescriptor(3, 5).as_tuple() == (3, 5)
+
+    def test_hashable_and_equal(self):
+        assert CellDescriptor(1, 2) == CellDescriptor(1, 2)
+        assert len({CellDescriptor(1, 2), CellDescriptor(1, 2)}) == 1
+
+
+class TestSixPMessageRoundtrip:
+    def test_request_roundtrip(self):
+        message = SixPMessage(
+            message_type=SixPMessageType.REQUEST,
+            command=SixPCommand.ADD,
+            seqnum=7,
+            sf_id=0x0A,
+            num_cells=3,
+            cell_list=[CellDescriptor(1, 2), CellDescriptor(4, 5)],
+            metadata={"purpose": "data"},
+        )
+        decoded = SixPMessage.from_payload(message.to_payload())
+        assert decoded.message_type is SixPMessageType.REQUEST
+        assert decoded.command is SixPCommand.ADD
+        assert decoded.seqnum == 7
+        assert decoded.num_cells == 3
+        assert decoded.cell_list == [CellDescriptor(1, 2), CellDescriptor(4, 5)]
+        assert decoded.metadata == {"purpose": "data"}
+        assert decoded.return_code is None
+
+    def test_response_roundtrip(self):
+        message = SixPMessage(
+            message_type=SixPMessageType.RESPONSE,
+            command=SixPCommand.ASK_CHANNEL,
+            seqnum=1,
+            return_code=SixPReturnCode.SUCCESS,
+            channel_offset=4,
+        )
+        decoded = SixPMessage.from_payload(message.to_payload())
+        assert decoded.return_code is SixPReturnCode.SUCCESS
+        assert decoded.channel_offset == 4
+        assert decoded.command is SixPCommand.ASK_CHANNEL
+
+    def test_error_response_roundtrip(self):
+        message = SixPMessage(
+            message_type=SixPMessageType.RESPONSE,
+            command=SixPCommand.ADD,
+            seqnum=2,
+            return_code=SixPReturnCode.ERR_NORES,
+        )
+        decoded = SixPMessage.from_payload(message.to_payload())
+        assert decoded.return_code is SixPReturnCode.ERR_NORES
+        assert decoded.channel_offset is None
+
+
+class TestMakePacket:
+    def test_packet_wrapping(self):
+        message = SixPMessage(
+            message_type=SixPMessageType.REQUEST, command=SixPCommand.ADD, seqnum=0
+        )
+        packet = make_sixp_packet(3, 9, message, now=1.5)
+        assert packet.ptype is PacketType.SIXP
+        assert packet.link_source == 3
+        assert packet.link_destination == 9
+        assert packet.created_at == 1.5
+        assert not packet.is_broadcast
+        assert SixPMessage.from_payload(packet.payload).command is SixPCommand.ADD
