@@ -13,7 +13,7 @@ import pytest
 from repro.experiments.runner import run_figure10
 from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
 
-from benchmarks.conftest import BENCH_MEASUREMENT_S, BENCH_SEED, save_report
+from benchmarks.conftest import BENCH_JOBS, BENCH_MEASUREMENT_S, BENCH_SEEDS, save_report
 
 UNICAST_LENGTHS = (8, 12, 16, 20)
 
@@ -31,7 +31,8 @@ def test_fig10_slotframe_length_sweep(benchmark):
             unicast_lengths=UNICAST_LENGTHS,
             schedulers=(GT_TSCH, ORCHESTRA),
             rate_ppm=120.0,
-            seed=BENCH_SEED,
+            seeds=BENCH_SEEDS,
+            jobs=BENCH_JOBS,
             measurement_s=BENCH_MEASUREMENT_S,
             warmup_s=FIG10_WARMUP_S,
         )

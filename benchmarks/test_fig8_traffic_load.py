@@ -12,7 +12,13 @@ import pytest
 from repro.experiments.runner import run_figure8
 from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
 
-from benchmarks.conftest import BENCH_MEASUREMENT_S, BENCH_SEED, BENCH_WARMUP_S, save_report
+from benchmarks.conftest import (
+    BENCH_JOBS,
+    BENCH_MEASUREMENT_S,
+    BENCH_SEEDS,
+    BENCH_WARMUP_S,
+    save_report,
+)
 
 RATES_PPM = (30, 75, 120, 165)
 
@@ -25,7 +31,8 @@ def test_fig8_traffic_load_sweep(benchmark):
         return run_figure8(
             rates_ppm=RATES_PPM,
             schedulers=(GT_TSCH, ORCHESTRA),
-            seed=BENCH_SEED,
+            seeds=BENCH_SEEDS,
+            jobs=BENCH_JOBS,
             measurement_s=BENCH_MEASUREMENT_S,
             warmup_s=BENCH_WARMUP_S,
         )

@@ -11,7 +11,13 @@ import pytest
 from repro.experiments.runner import run_figure9
 from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
 
-from benchmarks.conftest import BENCH_MEASUREMENT_S, BENCH_SEED, BENCH_WARMUP_S, save_report
+from benchmarks.conftest import (
+    BENCH_JOBS,
+    BENCH_MEASUREMENT_S,
+    BENCH_SEEDS,
+    BENCH_WARMUP_S,
+    save_report,
+)
 
 DODAG_SIZES = (6, 7, 8, 9)
 
@@ -25,7 +31,8 @@ def test_fig9_dodag_size_sweep(benchmark):
             dodag_sizes=DODAG_SIZES,
             schedulers=(GT_TSCH, ORCHESTRA),
             rate_ppm=120.0,
-            seed=BENCH_SEED,
+            seeds=BENCH_SEEDS,
+            jobs=BENCH_JOBS,
             measurement_s=BENCH_MEASUREMENT_S,
             warmup_s=BENCH_WARMUP_S,
         )

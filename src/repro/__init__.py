@@ -24,6 +24,11 @@ Quick start::
     print(metrics.pdr_percent, metrics.end_to_end_delay_ms)
 """
 
+#: Package version; also folded into the experiment result-cache fingerprint
+#: so cached metrics never cross a release boundary.  Keep in sync with
+#: pyproject.toml.
+__version__ = "0.2.0"
+
 from repro.core.game import GameWeights, PlayerState, optimal_tx_cells, payoff
 from repro.core.config import GtTschConfig
 from repro.core.scheduler import GtTschScheduler

@@ -5,10 +5,21 @@
   length sweep).
 * :mod:`repro.experiments.runner` -- functions that run one scenario or a
   whole figure and return the metric series the paper plots.
+* :mod:`repro.experiments.parallel` -- the execution engine: multiprocessing
+  fan-out over scenarios plus an on-disk, content-addressed result cache.
 * :mod:`repro.experiments.ablation` -- ablations over GT-TSCH design choices
   that the paper fixes (payoff weights, EWMA smoothing, shared cells).
+
+``python -m repro.experiments`` exposes the figure runners on the command
+line (``--figure 8 --seeds 1 2 3 --jobs 0`` runs Fig. 8 across three seeds on
+every core).
 """
 
+from repro.experiments.parallel import (
+    ResultCache,
+    run_scenarios,
+    scenario_fingerprint,
+)
 from repro.experiments.scenarios import (
     ContikiConfig,
     Scenario,
@@ -29,8 +40,13 @@ from repro.experiments.ablation import (
     run_weight_ablation,
 )
 from repro.experiments.export import figure_to_csv, figure_to_json, load_figure_csv
+from repro.metrics.aggregate import MetricsAggregate
 
 __all__ = [
+    "MetricsAggregate",
+    "ResultCache",
+    "run_scenarios",
+    "scenario_fingerprint",
     "ContikiConfig",
     "Scenario",
     "traffic_load_scenario",

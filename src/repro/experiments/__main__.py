@@ -1,0 +1,190 @@
+"""Command-line entry point for the figure runners.
+
+Examples::
+
+    # Fig. 8, three seeds, one worker per core, results cached on disk
+    python -m repro.experiments --figure 8 --seeds 1 2 3 --jobs 0
+
+    # every figure, fresh run, CSV + JSON under ./results
+    python -m repro.experiments --figure all --no-cache --export-dir results
+
+    # a quick custom sweep (two load points, GT-TSCH only, short durations)
+    python -m repro.experiments --figure 8 --values 60 120 \
+        --schedulers GT-TSCH --measurement-s 10 --warmup-s 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments.export import figure_to_csv, figure_to_json
+from repro.experiments.parallel import ResultCache
+from repro.experiments.runner import (
+    DEFAULT_SCHEDULERS,
+    FigureResult,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+)
+from repro.experiments.scenarios import GT_TSCH, MINIMAL, ORCHESTRA
+
+#: Scheduler names the scenarios accept.
+KNOWN_SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)
+
+#: figure id -> (runner, name of its sweep-values keyword, value parser)
+FIGURES = {
+    "8": (run_figure8, "rates_ppm", float),
+    "9": (run_figure9, "dodag_sizes", int),
+    "10": (run_figure10, "unicast_lengths", int),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures (Figs. 8-10).",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=["8", "9", "10", "all"],
+        default="all",
+        help="which figure to run (default: all)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1],
+        metavar="SEED",
+        help="seeds to average each figure point over (default: 1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; 0 means one per core (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate instead of reusing cached results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/gt-tsch-repro)",
+    )
+    parser.add_argument(
+        "--measurement-s", type=float, default=60.0, help="measurement window (default: 60)"
+    )
+    parser.add_argument(
+        "--warmup-s", type=float, default=30.0, help="warm-up window (default: 30)"
+    )
+    parser.add_argument(
+        "--values",
+        nargs="+",
+        default=None,
+        metavar="VALUE",
+        help="override the swept values of the chosen figure (not valid with --figure all)",
+    )
+    parser.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=list(DEFAULT_SCHEDULERS),
+        metavar="NAME",
+        help="schedulers to compare (default: GT-TSCH Orchestra)",
+    )
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        metavar="DIR",
+        help="write figure<N>.csv / figure<N>.json under this directory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["csv", "json", "both"],
+        default="both",
+        help="export format when --export-dir is given (default: both)",
+    )
+    return parser
+
+
+def run_one(
+    figure_id: str, args: argparse.Namespace, cache: Optional[ResultCache]
+) -> FigureResult:
+    runner, values_kw, value_type = FIGURES[figure_id]
+    kwargs = {
+        "schedulers": args.schedulers,
+        "seeds": args.seeds,
+        "jobs": args.jobs,
+        "cache": cache,
+        "measurement_s": args.measurement_s,
+        "warmup_s": args.warmup_s,
+    }
+    if args.values is not None:
+        try:
+            kwargs[values_kw] = [value_type(value) for value in args.values]
+        except ValueError:
+            raise SystemExit(
+                f"--values for figure {figure_id} must be "
+                f"{value_type.__name__}s, got: {' '.join(args.values)}"
+            )
+    return runner(**kwargs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    figure_ids: List[str] = list(FIGURES) if args.figure == "all" else [args.figure]
+    if args.values is not None and len(figure_ids) != 1:
+        print("--values requires a single --figure", file=sys.stderr)
+        return 2
+    unknown = [name for name in args.schedulers if name not in KNOWN_SCHEDULERS]
+    if unknown:
+        print(
+            f"unknown scheduler(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(KNOWN_SCHEDULERS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    for figure_id in figure_ids:
+        started = time.perf_counter()
+        hits_before = cache.hits if cache is not None else 0
+        result = run_one(figure_id, args, cache)
+        elapsed = time.perf_counter() - started
+        cells = len(result.sweep_values) * len(args.schedulers) * len(args.seeds)
+        cache_note = (
+            f", cache hits {cache.hits - hits_before}/{cells}"
+            if cache is not None
+            else ""
+        )
+        print(result.report())
+        print(
+            f"[figure {figure_id}] {len(result.sweep_values)} points x "
+            f"{len(args.schedulers)} schedulers x {len(args.seeds)} seeds "
+            f"in {elapsed:.1f}s (jobs={args.jobs}{cache_note})"
+        )
+        if args.export_dir:
+            os.makedirs(args.export_dir, exist_ok=True)
+            if args.format in ("csv", "both"):
+                path = figure_to_csv(
+                    result, os.path.join(args.export_dir, f"figure{figure_id}.csv")
+                )
+                print(f"[figure {figure_id}] wrote {path}")
+            if args.format in ("json", "both"):
+                path = figure_to_json(
+                    result, os.path.join(args.export_dir, f"figure{figure_id}.json")
+                )
+                print(f"[figure {figure_id}] wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,12 +31,31 @@ CSV_FIELDS = (
 )
 
 
+def _fieldnames(rows: list) -> list:
+    """CSV columns: the canonical fields plus any aggregate (std/CI) columns.
+
+    Figure results averaged over more than one seed carry ``n_seeds`` and
+    per-metric ``_std`` / ``_ci95`` columns; single-seed and single-run
+    results keep the historical layout.
+    """
+    fields = list(CSV_FIELDS)
+    extras = []
+    for row in rows:
+        for key in row:
+            if key not in fields and key not in extras:
+                extras.append(key)
+    return fields + sorted(extras)
+
+
 def figure_to_csv(result: "FigureResult", path: str) -> str:
     """Write one row per (sweep value, scheduler) pair; returns the path."""
+    rows = result.rows()
     with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS, extrasaction="ignore")
+        writer = csv.DictWriter(
+            handle, fieldnames=_fieldnames(rows), extrasaction="ignore"
+        )
         writer.writeheader()
-        for row in result.rows():
+        for row in rows:
             writer.writerow(row)
     return path
 
@@ -48,6 +67,7 @@ def figure_to_json(result: "FigureResult", path: str) -> str:
         "sweep_label": result.sweep_label,
         "sweep_values": list(result.sweep_values),
         "schedulers": list(result.results),
+        "seeds": list(getattr(result, "seeds", []) or []),
         "rows": result.rows(),
     }
     with open(path, "w", encoding="utf-8") as handle:

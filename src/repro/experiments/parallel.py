@@ -1,0 +1,208 @@
+"""Parallel, cached execution of experiment scenarios.
+
+This is the execution engine underneath the figure runners: it takes a flat
+list of fully-specified :class:`~repro.experiments.scenarios.Scenario`
+objects and returns one :class:`~repro.metrics.collector.NetworkMetrics` per
+scenario, optionally
+
+* fanning the scenarios out over a ``multiprocessing`` pool (every scenario
+  is an independent, seeded simulation, so workers are embarrassingly
+  parallel and the results are bit-identical to a serial run), and
+* memoising each result on disk under a content hash of the scenario, so
+  re-running a figure, extending a sweep, or adding seeds only simulates the
+  cells that have never been run before.
+
+The figure-level fan-out (sweep value x scheduler x seed) lives in
+:mod:`repro.experiments.runner`; this module is deliberately ignorant of
+figures and only sees scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+from typing import List, Optional, Sequence, Union
+
+from repro.experiments.scenarios import Scenario
+from repro.metrics.collector import NetworkMetrics
+
+#: Bump to invalidate every cached result (e.g. when the simulator's
+#: semantics change in a way the scenario fingerprint cannot see).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def run_scenario(scenario: Scenario) -> NetworkMetrics:
+    """Build, run and measure one scenario (in the current process)."""
+    network = scenario.build_network()
+    return network.run_experiment(
+        warmup_s=scenario.warmup_s,
+        measurement_s=scenario.measurement_s,
+        drain_s=scenario.drain_s,
+        scheduler_name=scenario.scheduler,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario fingerprinting
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Reduce a scenario field to a JSON-serialisable canonical form."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return {"__class__": type(obj).__name__, **fields}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value) for key, value in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    # Non-dataclass objects (custom propagation models, ...): fall back to
+    # their repr, which must be value-based for the fingerprint to be stable
+    # -- the default object repr embeds a memory address, which would make
+    # every run a silent cache miss.
+    if type(obj).__repr__ is object.__repr__:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__name__}: define a value-based "
+            "__repr__ (or make it a dataclass) so results can be cached"
+        )
+    return repr(obj)
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Stable content hash of everything that determines a scenario's result.
+
+    The package version is part of the hash, so cached results never survive
+    a release boundary; within one version, simulator code changes still
+    require a ``CACHE_SCHEMA_VERSION`` bump (or ``--no-cache``) to invalidate
+    old entries.
+    """
+    import repro
+
+    document = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "version": getattr(repro, "__version__", "0"),
+        "scenario": _canonical(scenario),
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# on-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of finished scenario metrics.
+
+    Results are pickled under ``<root>/<fingerprint>.pkl``.  The root defaults
+    to ``$REPRO_CACHE_DIR`` or ``~/.cache/gt-tsch-repro``.  Writes are atomic
+    (temp file + rename) so concurrent experiment processes can share a root.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or os.environ.get(CACHE_DIR_ENV) or os.path.join(
+            os.path.expanduser("~"), ".cache", "gt-tsch-repro"
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, scenario: Scenario) -> str:
+        return os.path.join(self.root, scenario_fingerprint(scenario) + ".pkl")
+
+    def get(self, scenario: Scenario) -> Optional[NetworkMetrics]:
+        """Cached metrics for this exact scenario, or ``None``."""
+        path = self._path(scenario)
+        try:
+            with open(path, "rb") as handle:
+                metrics = pickle.load(handle)
+        except Exception:
+            # Any unreadable entry (missing file, truncated write, stale
+            # pickle referencing renamed classes, ...) is simply a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, scenario: Scenario, metrics: NetworkMetrics) -> str:
+        """Store metrics for this scenario; returns the cache file path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(scenario)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(metrics, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def resolve_cache(cache: Union[None, bool, ResultCache]) -> Optional[ResultCache]:
+    """Normalise the ``cache`` argument of the runner entry points."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    return cache
+
+
+# ----------------------------------------------------------------------
+# pool execution
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
+) -> List[NetworkMetrics]:
+    """Run many scenarios, returning metrics aligned with the input order.
+
+    ``jobs=1`` runs serially in-process; ``jobs>1`` fans out over a
+    ``multiprocessing`` pool (``jobs<=0`` / ``None`` use every core).  Each
+    scenario is a self-contained seeded simulation, so the parallel path is
+    bit-identical to the serial one.  With a cache, previously-computed
+    scenarios are loaded instead of re-run and fresh results are stored.
+    """
+    cache = resolve_cache(cache)
+    results: List[Optional[NetworkMetrics]] = [None] * len(scenarios)
+    pending: List[int] = []
+    for index, scenario in enumerate(scenarios):
+        cached = cache.get(scenario) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+
+    if pending:
+        todo = [scenarios[index] for index in pending]
+        workers = min(resolve_jobs(jobs), len(todo))
+        if workers <= 1:
+            fresh = [run_scenario(scenario) for scenario in todo]
+        else:
+            with multiprocessing.Pool(processes=workers) as pool:
+                fresh = pool.map(run_scenario, todo)
+        for index, metrics in zip(pending, fresh):
+            results[index] = metrics
+            if cache is not None:
+                cache.put(scenarios[index], metrics)
+
+    return results  # type: ignore[return-value]

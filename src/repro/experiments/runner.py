@@ -2,16 +2,26 @@
 
 Each ``run_figureN`` function reproduces one figure of the paper's evaluation
 section: it sweeps the figure's x-axis, runs every scheduler at every swept
-value, and returns a :class:`FigureResult` whose ``report()`` prints the same
-six series (PDR, delay, packet loss, duty cycle, queue loss, throughput) the
-figure plots.
+value for every requested seed, and returns a :class:`FigureResult` whose
+``report()`` prints the same six series (PDR, delay, packet loss, duty cycle,
+queue loss, throughput) the figure plots.
+
+Execution goes through :mod:`repro.experiments.parallel`: every
+``(sweep value x scheduler x seed)`` cell is an independent scenario, so a
+figure can be fanned out over a process pool (``jobs``) and memoised on disk
+(``cache``) without changing the numbers — the parallel path is bit-identical
+to the serial one for the same seeds.  Each figure point is a
+:class:`~repro.metrics.aggregate.MetricsAggregate` (mean / stddev / 95% CI
+across seeds), which collapses to the single run's exact values when only one
+seed is requested.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.experiments.parallel import ResultCache, run_scenario, run_scenarios
 from repro.experiments.scenarios import (
     GT_TSCH,
     ORCHESTRA,
@@ -20,22 +30,16 @@ from repro.experiments.scenarios import (
     slotframe_scenario,
     traffic_load_scenario,
 )
+from repro.metrics.aggregate import MetricsAggregate
 from repro.metrics.collector import NetworkMetrics
 from repro.metrics.report import format_figure_report
 
 #: Scheduler line-up used in the paper's comparisons.
 DEFAULT_SCHEDULERS = (GT_TSCH, ORCHESTRA)
 
-
-def run_scenario(scenario: Scenario) -> NetworkMetrics:
-    """Build, run and measure one scenario."""
-    network = scenario.build_network()
-    return network.run_experiment(
-        warmup_s=scenario.warmup_s,
-        measurement_s=scenario.measurement_s,
-        drain_s=scenario.drain_s,
-        scheduler_name=scenario.scheduler,
-    )
+#: Either a raw single-run metrics object or a cross-seed aggregate; both
+#: expose the same ``as_dict()`` keys.
+MetricsLike = Union[NetworkMetrics, MetricsAggregate]
 
 
 @dataclass
@@ -45,8 +49,11 @@ class FigureResult:
     figure: str
     sweep_label: str
     sweep_values: List
-    #: scheduler name -> list of metrics, aligned with ``sweep_values``.
-    results: Dict[str, List[NetworkMetrics]] = field(default_factory=dict)
+    #: scheduler name -> list of per-point metrics (aggregated across seeds
+    #: by the figure runners), aligned with ``sweep_values``.
+    results: Dict[str, List[MetricsLike]] = field(default_factory=dict)
+    #: Seeds each point was averaged over (empty for directly-built results).
+    seeds: List[int] = field(default_factory=list)
 
     def series(self, scheduler: str, metric_key: str) -> List[float]:
         """One plotted line: the metric values of one scheduler across the sweep."""
@@ -59,12 +66,20 @@ class FigureResult:
         )
 
     def rows(self) -> List[dict]:
-        """Flat list of dict rows (sweep value + scheduler + metrics), CSV-friendly."""
+        """Flat list of dict rows (sweep value + scheduler + metrics), CSV-friendly.
+
+        Results aggregated over more than one seed additionally carry
+        ``n_seeds`` and per-metric ``_std`` / ``_ci95`` dispersion columns;
+        single-seed rows keep the historical single-run layout.
+        """
         rows = []
         for scheduler, series in self.results.items():
             for value, metrics in zip(self.sweep_values, series):
                 row = {"sweep": value, **metrics.as_dict()}
                 row["scheduler"] = scheduler
+                stats = getattr(metrics, "stats_dict", None)
+                if stats is not None and getattr(metrics, "n", 0) > 1:
+                    row.update(stats())
                 rows.append(row)
         return rows
 
@@ -75,17 +90,39 @@ def _run_sweep(
     sweep_values: Sequence,
     scenario_for: Callable[[object, str], Scenario],
     schedulers: Sequence[str],
+    seeds: Sequence[int] = (1,),
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
 ) -> FigureResult:
-    result = FigureResult(
-        figure=figure, sweep_label=sweep_label, sweep_values=list(sweep_values)
-    )
+    """Fan a figure out into scenarios, execute, and aggregate across seeds."""
+    seeds = list(seeds)
+    sweep_values = list(sweep_values)
+    scenarios: List[Scenario] = []
     for scheduler in schedulers:
-        series: List[NetworkMetrics] = []
         for value in sweep_values:
-            scenario = scenario_for(value, scheduler)
-            series.append(run_scenario(scenario))
+            base = scenario_for(value, scheduler)
+            for seed in seeds:
+                scenarios.append(replace(base, seed=seed))
+
+    metrics = run_scenarios(scenarios, jobs=jobs, cache=cache)
+
+    result = FigureResult(
+        figure=figure, sweep_label=sweep_label, sweep_values=sweep_values, seeds=seeds
+    )
+    index = 0
+    for scheduler in schedulers:
+        series: List[MetricsLike] = []
+        for _ in sweep_values:
+            runs = metrics[index : index + len(seeds)]
+            index += len(seeds)
+            series.append(MetricsAggregate.from_runs(runs, seeds))
         result.results[scheduler] = series
     return result
+
+
+def _resolve_seeds(seeds: Optional[Sequence[int]], seed: int) -> Sequence[int]:
+    """``seeds`` wins when given; otherwise fall back to the single ``seed``."""
+    return list(seeds) if seeds is not None else [seed]
 
 
 def run_figure8(
@@ -94,6 +131,9 @@ def run_figure8(
     seed: int = 1,
     measurement_s: float = 60.0,
     warmup_s: float = 30.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
 ) -> FigureResult:
     """Fig. 8: performance vs per-node traffic load (30-165 ppm), 14 nodes."""
     return _run_sweep(
@@ -108,6 +148,9 @@ def run_figure8(
             warmup_s=warmup_s,
         ),
         schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -118,6 +161,9 @@ def run_figure9(
     seed: int = 1,
     measurement_s: float = 60.0,
     warmup_s: float = 30.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
 ) -> FigureResult:
     """Fig. 9: performance vs DODAG size (6-9 nodes per DODAG), 120 ppm."""
     return _run_sweep(
@@ -133,6 +179,9 @@ def run_figure9(
             warmup_s=warmup_s,
         ),
         schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -143,6 +192,9 @@ def run_figure10(
     seed: int = 1,
     measurement_s: float = 60.0,
     warmup_s: float = 30.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
 ) -> FigureResult:
     """Fig. 10: performance vs unicast slotframe length (8-20)."""
     return _run_sweep(
@@ -158,4 +210,7 @@ def run_figure10(
             warmup_s=warmup_s,
         ),
         schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
     )

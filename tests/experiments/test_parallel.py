@@ -1,0 +1,165 @@
+"""Tests for the parallel experiment engine: parity, caching, CLI."""
+
+import csv
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_cli
+from repro.experiments.parallel import (
+    ResultCache,
+    run_scenario,
+    run_scenarios,
+    scenario_fingerprint,
+)
+from repro.experiments.runner import run_figure8
+from repro.experiments.scenarios import GT_TSCH, ORCHESTRA, traffic_load_scenario
+from repro.metrics.aggregate import MetricsAggregate
+
+#: Short durations so the whole engine is exercised quickly.
+FAST = dict(measurement_s=5.0, warmup_s=8.0)
+
+
+def fast_scenario(rate_ppm=120.0, scheduler=GT_TSCH, seed=1):
+    return traffic_load_scenario(
+        rate_ppm=rate_ppm, scheduler=scheduler, seed=seed, **FAST
+    )
+
+
+class TestFingerprint:
+    def test_stable_for_equal_scenarios(self):
+        assert scenario_fingerprint(fast_scenario()) == scenario_fingerprint(
+            fast_scenario()
+        )
+
+    def test_sensitive_to_every_knob(self):
+        base = scenario_fingerprint(fast_scenario())
+        assert scenario_fingerprint(fast_scenario(seed=2)) != base
+        assert scenario_fingerprint(fast_scenario(rate_ppm=60.0)) != base
+        assert scenario_fingerprint(fast_scenario(scheduler=ORCHESTRA)) != base
+        longer = replace(fast_scenario(), measurement_s=6.0)
+        assert scenario_fingerprint(longer) != base
+
+    def test_rejects_objects_with_address_based_repr(self):
+        class Opaque:
+            pass
+
+        scenario = replace(fast_scenario(), propagation=Opaque())
+        with pytest.raises(TypeError, match="value-based"):
+            scenario_fingerprint(scenario)
+
+
+class TestResultCache:
+    def test_second_run_hits_without_simulating(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = fast_scenario()
+        first = run_scenarios([scenario], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+        # A fresh cache object on the same root must serve the result without
+        # ever building a network.
+        reread = ResultCache(root=str(tmp_path))
+        monkeypatch.setattr(
+            "repro.experiments.parallel.run_scenario",
+            lambda scenario: pytest.fail("cache miss: scenario was re-simulated"),
+        )
+        second = run_scenarios([scenario], cache=reread)
+        assert reread.hits == 1
+        assert second[0].as_dict() == first[0].as_dict()
+
+    def test_changed_scenario_invalidates(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        run_scenarios([fast_scenario()], cache=cache)
+        run_scenarios([fast_scenario(seed=2)], cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_cache_true_uses_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        run_scenarios([fast_scenario()], cache=True)
+        assert list((tmp_path / "env-cache").glob("*.pkl"))
+
+
+class TestParallelParity:
+    def test_run_scenarios_parallel_is_bit_identical(self):
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2)]
+        serial = run_scenarios(scenarios, jobs=1)
+        parallel = run_scenarios(scenarios, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.as_dict() == b.as_dict()
+            assert a.per_node == b.per_node
+
+    def test_figure_parallel_matches_serial_and_aggregates(self):
+        kwargs = dict(
+            rates_ppm=(60, 120), schedulers=(GT_TSCH,), seeds=(1, 2), **FAST
+        )
+        serial = run_figure8(jobs=1, **kwargs)
+        parallel = run_figure8(jobs=2, **kwargs)
+        assert serial.seeds == [1, 2]
+        for point_serial, point_parallel in zip(
+            serial.results[GT_TSCH], parallel.results[GT_TSCH]
+        ):
+            assert isinstance(point_serial, MetricsAggregate)
+            assert point_serial.n == 2
+            assert point_serial.as_dict() == point_parallel.as_dict()
+            assert [run.as_dict() for run in point_serial.runs] == [
+                run.as_dict() for run in point_parallel.runs
+            ]
+
+    def test_single_seed_matches_direct_run(self):
+        # The aggregate over one seed must reproduce run_scenario exactly,
+        # so the new engine is transparent for the historical single-seed path.
+        result = run_figure8(rates_ppm=(60,), schedulers=(GT_TSCH,), seeds=(1,), **FAST)
+        direct = run_scenario(fast_scenario(rate_ppm=60.0))
+        assert result.results[GT_TSCH][0].as_dict() == direct.as_dict()
+        # Single-seed rows keep the historical single-run layout (no
+        # dispersion columns), so archived CSVs stay diffable.
+        assert "n_seeds" not in result.rows()[0]
+        assert result.rows()[0]["generated"] == direct.generated
+
+    def test_figure_cache_hits_every_cell_on_rerun(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        kwargs = dict(rates_ppm=(60,), schedulers=(GT_TSCH,), seeds=(1, 2), **FAST)
+        run_figure8(jobs=2, cache=cache, **kwargs)
+        assert (cache.hits, cache.misses) == (0, 2)
+        run_figure8(jobs=2, cache=cache, **kwargs)
+        assert cache.hits == 2
+
+    def test_rows_carry_dispersion_columns(self):
+        result = run_figure8(rates_ppm=(60,), schedulers=(GT_TSCH,), seeds=(1, 2), **FAST)
+        row = result.rows()[0]
+        assert row["n_seeds"] == 2
+        assert "pdr_percent_std" in row
+        assert "pdr_percent_ci95" in row
+
+
+class TestCli:
+    def test_cli_runs_figure_and_exports(self, tmp_path):
+        export_dir = tmp_path / "out"
+        exit_code = experiments_cli(
+            [
+                "--figure", "8",
+                "--values", "60",
+                "--schedulers", GT_TSCH,
+                "--seeds", "1", "2",
+                "--jobs", "2",
+                "--no-cache",
+                "--measurement-s", "5",
+                "--warmup-s", "8",
+                "--export-dir", str(export_dir),
+            ]
+        )
+        assert exit_code == 0
+        with open(export_dir / "figure8.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["scheduler"] == GT_TSCH
+        assert float(rows[0]["n_seeds"]) == 2
+        with open(export_dir / "figure8.json") as handle:
+            document = json.load(handle)
+        assert document["seeds"] == [1, 2]
+        assert len(document["rows"]) == 1
+
+    def test_cli_rejects_values_with_all_figures(self, capsys):
+        assert experiments_cli(["--figure", "all", "--values", "60"]) == 2

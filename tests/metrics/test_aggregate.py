@@ -1,0 +1,82 @@
+"""Tests for cross-seed metric aggregation (hand-computed statistics)."""
+
+import math
+
+import pytest
+
+from repro.metrics.aggregate import MetricsAggregate, NUMERIC_KEYS, t_critical_95
+from repro.metrics.collector import NetworkMetrics
+
+
+def run_with(pdr: float, delay: float = 100.0) -> NetworkMetrics:
+    metrics = NetworkMetrics(scheduler="GT-TSCH")
+    metrics.pdr_percent = pdr
+    metrics.end_to_end_delay_ms = delay
+    metrics.generated = 100
+    metrics.delivered = int(pdr)
+    return metrics
+
+
+class TestStatistics:
+    def test_mean_std_ci_hand_computed(self):
+        # pdr values 90, 94, 98: mean 94, sample std 4, CI95 = t(2) * 4 / sqrt(3).
+        aggregate = MetricsAggregate.from_runs(
+            [run_with(90.0), run_with(94.0), run_with(98.0)], seeds=[1, 2, 3]
+        )
+        assert aggregate.n == 3
+        assert aggregate.mean("pdr_percent") == pytest.approx(94.0)
+        assert aggregate.std("pdr_percent") == pytest.approx(4.0)
+        assert aggregate.ci95("pdr_percent") == pytest.approx(
+            4.303 * 4.0 / math.sqrt(3.0)
+        )
+
+    def test_two_runs(self):
+        # 80 and 100: mean 90, std = sqrt(((-10)^2 + 10^2) / 1) = sqrt(200).
+        aggregate = MetricsAggregate.from_runs([run_with(80.0), run_with(100.0)])
+        assert aggregate.mean("pdr_percent") == pytest.approx(90.0)
+        assert aggregate.std("pdr_percent") == pytest.approx(math.sqrt(200.0))
+        assert aggregate.ci95("pdr_percent") == pytest.approx(
+            12.706 * math.sqrt(200.0) / math.sqrt(2.0)
+        )
+
+    def test_single_run_is_exact_with_zero_dispersion(self):
+        run = run_with(93.7, delay=123.456)
+        aggregate = MetricsAggregate.from_runs([run], seeds=[7])
+        # Bit-identical to the underlying run, not merely approximately equal.
+        assert aggregate.as_dict() == run.as_dict()
+        assert aggregate.std("pdr_percent") == 0.0
+        assert aggregate.ci95("pdr_percent") == 0.0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsAggregate.from_runs([])
+
+    def test_t_critical_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(200) == pytest.approx(1.96)
+
+
+class TestDictViews:
+    def test_as_dict_matches_network_metrics_keys(self):
+        aggregate = MetricsAggregate.from_runs([run_with(90.0), run_with(98.0)])
+        data = aggregate.as_dict()
+        assert set(data) == set(NetworkMetrics().as_dict())
+        assert data["scheduler"] == "GT-TSCH"
+        assert data["pdr_percent"] == pytest.approx(94.0)
+
+    def test_stats_dict_columns(self):
+        aggregate = MetricsAggregate.from_runs([run_with(90.0), run_with(98.0)])
+        stats = aggregate.stats_dict()
+        assert stats["n_seeds"] == 2
+        for key in NUMERIC_KEYS:
+            assert f"{key}_std" in stats
+            assert f"{key}_ci95" in stats
+        assert stats["pdr_percent_std"] == pytest.approx(math.sqrt(32.0))
+
+    def test_values_in_seed_order(self):
+        aggregate = MetricsAggregate.from_runs(
+            [run_with(90.0), run_with(98.0)], seeds=[5, 9]
+        )
+        assert aggregate.values("pdr_percent") == [90.0, 98.0]
+        assert aggregate.seeds == [5, 9]
