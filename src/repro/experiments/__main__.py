@@ -11,15 +11,26 @@ Examples::
     # a quick custom sweep (two load points, GT-TSCH only, short durations)
     python -m repro.experiments --figure 8 --values 60 120 \
         --schedulers GT-TSCH --measurement-s 10 --warmup-s 15
+
+    # profile a figure run (cProfile, top 25 by cumulative time)
+    python -m repro.experiments --figure 8 --no-cache --profile
+
+    # inspect / clear the on-disk result cache
+    python -m repro.experiments cache --info
+    python -m repro.experiments cache --clear
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import os
+import pstats
 import sys
 import time
 from typing import List, Optional, Sequence
+
+from repro.sim.clock import SimClock
 
 from repro.experiments.export import figure_to_csv, figure_to_json
 from repro.experiments.parallel import ResultCache
@@ -30,7 +41,7 @@ from repro.experiments.runner import (
     run_figure9,
     run_figure10,
 )
-from repro.experiments.scenarios import GT_TSCH, MINIMAL, ORCHESTRA
+from repro.experiments.scenarios import DEFAULT_DRAIN_S, GT_TSCH, MINIMAL, ORCHESTRA
 
 #: Scheduler names the scenarios accept.
 KNOWN_SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)
@@ -112,7 +123,49 @@ def build_parser() -> argparse.ArgumentParser:
         default="both",
         help="export format when --export-dir is given (default: both)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 25 functions by cumulative time",
+    )
     return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description="Inspect or clear the on-disk scenario result cache.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--info", action="store_true", help="print cache location, entry count and size"
+    )
+    group.add_argument(
+        "--clear", action="store_true", help="delete every cached scenario result"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/gt-tsch-repro)",
+    )
+    return parser
+
+
+def cache_main(argv: Sequence[str]) -> int:
+    """``python -m repro.experiments cache --info|--clear``."""
+    args = build_cache_parser().parse_args(argv)
+    cache = ResultCache(root=args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cache: removed {removed} entries from {cache.root}")
+        return 0
+    info = cache.info()
+    size_mib = info["total_bytes"] / (1024 * 1024)
+    print(f"cache root:    {info['root']}")
+    print(f"cache entries: {info['entries']}")
+    print(f"cache size:    {info['total_bytes']} bytes ({size_mib:.2f} MiB)")
+    return 0
 
 
 def run_one(
@@ -139,7 +192,24 @@ def run_one(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0] == "cache":
+        return cache_main(raw_argv[1:])
+    args = build_parser().parse_args(raw_argv)
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            exit_code = _run_figures(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(25)
+        return exit_code
+    return _run_figures(args)
+
+
+def _run_figures(args: argparse.Namespace) -> int:
     figure_ids: List[str] = list(FIGURES) if args.figure == "all" else [args.figure]
     if args.values is not None and len(figure_ids) != 1:
         print("--values requires a single --figure", file=sys.stderr)
@@ -154,22 +224,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    # Simulated slots per scenario cell: warm-up + measurement + drain, with
+    # the same rounding the clock applies (used for the slots/sec report).
+    clock = SimClock()
+    slots_per_cell = (
+        clock.seconds_to_slots(args.warmup_s)
+        + clock.seconds_to_slots(args.measurement_s)
+        + clock.seconds_to_slots(DEFAULT_DRAIN_S)
+    )
     for figure_id in figure_ids:
         started = time.perf_counter()
         hits_before = cache.hits if cache is not None else 0
         result = run_one(figure_id, args, cache)
         elapsed = time.perf_counter() - started
         cells = len(result.sweep_values) * len(args.schedulers) * len(args.seeds)
-        cache_note = (
-            f", cache hits {cache.hits - hits_before}/{cells}"
-            if cache is not None
-            else ""
-        )
+        hits = cache.hits - hits_before if cache is not None else 0
+        cache_note = f", cache hits {hits}/{cells}" if cache is not None else ""
+        simulated_cells = cells - hits
+        throughput_note = ""
+        if simulated_cells and elapsed > 0:
+            slots_per_s = simulated_cells * slots_per_cell / elapsed
+            throughput_note = f", {slots_per_s:,.0f} slots/s"
         print(result.report())
         print(
             f"[figure {figure_id}] {len(result.sweep_values)} points x "
             f"{len(args.schedulers)} schedulers x {len(args.seeds)} seeds "
-            f"in {elapsed:.1f}s (jobs={args.jobs}{cache_note})"
+            f"in {elapsed:.1f}s (jobs={args.jobs}{cache_note}{throughput_note})"
         )
         if args.export_dir:
             os.makedirs(args.export_dir, exist_ok=True)

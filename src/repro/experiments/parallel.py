@@ -33,7 +33,10 @@ from repro.metrics.collector import NetworkMetrics
 
 #: Bump to invalidate every cached result (e.g. when the simulator's
 #: semantics change in a way the scenario fingerprint cannot see).
-CACHE_SCHEMA_VERSION = 1
+#: 2: duty-cycle accounting switched to integer slot counters (the weighted
+#:    radio-on time is now derived, which changes float rounding in the last
+#:    digits versus the old per-slot accumulator).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -131,6 +134,42 @@ class ResultCache:
             return None
         self.hits += 1
         return metrics
+
+    def info(self) -> dict:
+        """Summary of the on-disk cache: entry count and total size in bytes."""
+        entries = 0
+        total_bytes = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            try:
+                total_bytes += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue
+            entries += 1
+        return {"root": self.root, "entries": entries, "total_bytes": total_bytes}
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number of entries removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if not (name.endswith(".pkl") or name.endswith(".tmp")):
+                continue
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                continue
+            if name.endswith(".pkl"):
+                removed += 1
+        return removed
 
     def put(self, scenario: Scenario, metrics: NetworkMetrics) -> str:
         """Store metrics for this scenario; returns the cache file path."""

@@ -43,6 +43,9 @@ GT_TSCH = "GT-TSCH"
 ORCHESTRA = "Orchestra"
 MINIMAL = "6TiSCH-minimal"
 
+#: Default drain phase (seconds) appended after the measurement window.
+DEFAULT_DRAIN_S = 5.0
+
 
 @dataclass
 class ContikiConfig:
@@ -114,7 +117,7 @@ class Scenario:
     seed: int = 1
     warmup_s: float = 30.0
     measurement_s: float = 60.0
-    drain_s: float = 5.0
+    drain_s: float = DEFAULT_DRAIN_S
     #: Radio model; the default reproduces Cooja's UDGM with a lossy edge.
     propagation: Optional[UnitDiskLossyEdgeModel] = None
     warm_start: bool = True

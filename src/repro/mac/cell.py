@@ -92,23 +92,13 @@ class Cell:
             raise ValueError("channel_offset must be non-negative")
         if self.options == CellOption.NONE:
             raise ValueError("a cell must have at least one option")
-
-    # -- option helpers -------------------------------------------------
-    @property
-    def is_tx(self) -> bool:
-        return bool(self.options & CellOption.TX)
-
-    @property
-    def is_rx(self) -> bool:
-        return bool(self.options & CellOption.RX)
-
-    @property
-    def is_shared(self) -> bool:
-        return bool(self.options & CellOption.SHARED)
-
-    @property
-    def is_broadcast(self) -> bool:
-        return bool(self.options & CellOption.BROADCAST)
+        # Cells are immutable once installed, so the option tests the TSCH
+        # engine performs on every planned slot are resolved here once instead
+        # of going through Flag arithmetic per query.
+        self.is_tx = bool(self.options & CellOption.TX)
+        self.is_rx = bool(self.options & CellOption.RX)
+        self.is_shared = bool(self.options & CellOption.SHARED)
+        self.is_broadcast = bool(self.options & CellOption.BROADCAST)
 
     def matches(self, slot_offset: int, channel_offset: Optional[int] = None) -> bool:
         """True when the cell sits at the given CDU coordinates."""

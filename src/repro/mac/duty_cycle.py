@@ -15,6 +15,12 @@ actual radio-on time within each 15 ms timeslot, not whole slots:
 slot the radio is realistically powered (the defaults below follow the
 IEEE 802.15.4e timeslot template used by Contiki-NG for 15 ms slots); the raw
 slot counters are kept as well for tests and diagnostics.
+
+Only integer slot counters are accumulated; the weighted radio-on time is
+derived from them on demand.  This keeps the meter exact under the simulation
+kernel's bulk accounting (crediting ``k`` sleep or idle-listen slots at once
+is indistinguishable from recording them one by one), where a floating-point
+accumulator would drift with the order of additions.
 """
 
 from __future__ import annotations
@@ -41,8 +47,6 @@ class DutyCycleMeter:
     idle_listen_slots: int = 0
     sleep_slots: int = 0
     total_slots: int = 0
-    #: Accumulated radio-on time expressed in slot units (weighted).
-    radio_on_slot_equivalents: float = 0.0
     tx_fraction: float = TX_SLOT_FRACTION
     rx_fraction: float = RX_SLOT_FRACTION
     idle_fraction: float = IDLE_LISTEN_FRACTION
@@ -51,22 +55,39 @@ class DutyCycleMeter:
         """The node transmitted (and listened for an ACK) this slot."""
         self.tx_slots += 1
         self.total_slots += 1
-        self.radio_on_slot_equivalents += self.tx_fraction
 
     def record_rx(self, frame_received: bool) -> None:
         """The node listened this slot; ``frame_received`` marks a decode."""
         self.rx_slots += 1
-        if frame_received:
-            self.radio_on_slot_equivalents += self.rx_fraction
-        else:
+        if not frame_received:
             self.idle_listen_slots += 1
-            self.radio_on_slot_equivalents += self.idle_fraction
         self.total_slots += 1
 
     def record_sleep(self) -> None:
         """The node kept its radio off this slot."""
         self.sleep_slots += 1
         self.total_slots += 1
+
+    # -- bulk accounting (used by the slot-skipping simulation kernel) -----
+    def record_sleep_bulk(self, count: int) -> None:
+        """Credit ``count`` consecutive sleep slots at once."""
+        self.sleep_slots += count
+        self.total_slots += count
+
+    def record_idle_listen_bulk(self, count: int) -> None:
+        """Credit ``count`` consecutive idle-listen slots at once."""
+        self.rx_slots += count
+        self.idle_listen_slots += count
+        self.total_slots += count
+
+    @property
+    def radio_on_slot_equivalents(self) -> float:
+        """Accumulated radio-on time expressed in slot units (weighted)."""
+        return (
+            self.tx_slots * self.tx_fraction
+            + (self.rx_slots - self.idle_listen_slots) * self.rx_fraction
+            + self.idle_listen_slots * self.idle_fraction
+        )
 
     @property
     def radio_on_slots(self) -> int:
@@ -104,4 +125,3 @@ class DutyCycleMeter:
         self.idle_listen_slots = 0
         self.sleep_slots = 0
         self.total_slots = 0
-        self.radio_on_slot_equivalents = 0.0

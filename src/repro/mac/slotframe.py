@@ -5,11 +5,17 @@ at slot offset ``o`` is active at every ASN with ``asn % m == o``.  A node may
 run several slotframes simultaneously (Orchestra runs three); when cells from
 different slotframes coincide at the same ASN, the TSCH engine breaks the tie
 by slotframe handle then by cell priority, mirroring Contiki-NG behaviour.
+
+Cells are stored in a dense per-offset lookup table, so :meth:`cells_at` is a
+single O(1) index with no allocation -- it runs for every node at every
+simulated timeslot.  Every mutation bumps :attr:`version`, which the TSCH
+engine and the network's slot-skipping kernel use to invalidate their derived
+schedule caches (sorted active-cell lists, active-offset indexes).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
 
@@ -22,7 +28,19 @@ class Slotframe:
             raise ValueError("slotframe length must be positive")
         self.handle = handle
         self.length = length
-        self._cells_by_slot: Dict[int, List[Cell]] = {}
+        #: Monotonic mutation counter; bumped by every cell add/remove.
+        self.version = 0
+        #: Invoked after every mutation; the owning TSCH engine hooks this to
+        #: invalidate its derived schedule caches without polling.
+        self.on_change: Optional[Callable[[], None]] = None
+        #: Dense lookup table: ``_table[offset]`` lists the cells installed at
+        #: that slot offset (insertion order).
+        self._table: List[List[Cell]] = [[] for _ in range(length)]
+
+    def _mutated(self) -> None:
+        self.version += 1
+        if self.on_change is not None:
+            self.on_change()
 
     # ------------------------------------------------------------------
     # mutation
@@ -45,48 +63,56 @@ class Slotframe:
         )
         if existing is not None:
             return existing
-        self._cells_by_slot.setdefault(cell.slot_offset, []).append(cell)
+        self._table[cell.slot_offset].append(cell)
+        self._mutated()
         return cell
 
     def remove_cell(self, cell: Cell) -> bool:
         """Remove a previously installed cell.  Returns True when found."""
-        bucket = self._cells_by_slot.get(cell.slot_offset)
-        if not bucket:
+        if cell.slot_offset >= self.length:
             return False
+        bucket = self._table[cell.slot_offset]
         try:
             bucket.remove(cell)
         except ValueError:
             return False
-        if not bucket:
-            del self._cells_by_slot[cell.slot_offset]
+        self._mutated()
         return True
 
     def remove_cells_with_neighbor(self, neighbor: int) -> int:
         """Remove every cell dedicated to ``neighbor`` (e.g. after a parent switch)."""
         removed = 0
-        for slot in list(self._cells_by_slot):
-            keep = [c for c in self._cells_by_slot[slot] if c.neighbor != neighbor]
-            removed += len(self._cells_by_slot[slot]) - len(keep)
-            if keep:
-                self._cells_by_slot[slot] = keep
-            else:
-                del self._cells_by_slot[slot]
+        for offset, bucket in enumerate(self._table):
+            if not bucket:
+                continue
+            keep = [c for c in bucket if c.neighbor != neighbor]
+            removed += len(bucket) - len(keep)
+            self._table[offset] = keep
+        if removed:
+            self._mutated()
         return removed
 
     def clear(self) -> None:
         """Remove every cell."""
-        self._cells_by_slot.clear()
+        self._table = [[] for _ in range(self.length)]
+        self._mutated()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def cells_at(self, asn: int) -> List[Cell]:
-        """Cells active at the given absolute slot number."""
-        return list(self._cells_by_slot.get(asn % self.length, ()))
+        """Cells active at the given absolute slot number.
+
+        Returns the internal per-offset bucket (O(1), no copy); callers must
+        treat it as read-only.
+        """
+        return self._table[asn % self.length]
 
     def cells_at_offset(self, slot_offset: int) -> List[Cell]:
-        """Cells installed at a given slot offset."""
-        return list(self._cells_by_slot.get(slot_offset, ()))
+        """Cells installed at a given slot offset (read-only view)."""
+        if slot_offset >= self.length:
+            return []
+        return self._table[slot_offset]
 
     def find_cell(
         self,
@@ -96,7 +122,9 @@ class Slotframe:
         options: Optional[CellOption] = None,
     ) -> Optional[Cell]:
         """First installed cell matching the given attributes, if any."""
-        for cell in self._cells_by_slot.get(slot_offset, ()):
+        if slot_offset >= self.length:
+            return None
+        for cell in self._table[slot_offset]:
             if channel_offset is not None and cell.channel_offset != channel_offset:
                 continue
             if neighbor is not None and cell.neighbor != neighbor:
@@ -108,8 +136,8 @@ class Slotframe:
 
     def all_cells(self) -> Iterator[Cell]:
         """Iterate over every installed cell (slot order, then insertion order)."""
-        for slot in sorted(self._cells_by_slot):
-            for cell in self._cells_by_slot[slot]:
+        for bucket in self._table:
+            for cell in bucket:
                 yield cell
 
     def cells_with_neighbor(self, neighbor: Optional[int]) -> List[Cell]:
@@ -118,12 +146,11 @@ class Slotframe:
 
     def used_slot_offsets(self) -> List[int]:
         """Sorted slot offsets that have at least one cell installed."""
-        return sorted(self._cells_by_slot)
+        return [offset for offset, bucket in enumerate(self._table) if bucket]
 
     def free_slot_offsets(self) -> List[int]:
         """Slot offsets with no cell installed (GT-TSCH's sleep timeslots)."""
-        used = set(self._cells_by_slot)
-        return [offset for offset in range(self.length) if offset not in used]
+        return [offset for offset, bucket in enumerate(self._table) if not bucket]
 
     def count_cells(
         self,
@@ -145,10 +172,10 @@ class Slotframe:
 
     def occupancy(self) -> float:
         """Fraction of slot offsets with at least one cell installed."""
-        return len(self._cells_by_slot) / self.length
+        return sum(1 for bucket in self._table if bucket) / self.length
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._cells_by_slot.values())
+        return sum(len(bucket) for bucket in self._table)
 
     def __iter__(self) -> Iterator[Cell]:
         return self.all_cells()

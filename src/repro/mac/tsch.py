@@ -20,6 +20,7 @@ association dynamics do not influence them.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -73,6 +74,194 @@ class SlotPlan:
         return self.action == "rx"
 
 
+#: Shared immutable "do nothing" plan.  Most (node, slot) pairs in a sweep are
+#: idle, so :meth:`TschEngine.plan_slot` returns this singleton instead of
+#: allocating a fresh ``SlotPlan`` per idle slot.  Treat it as read-only.
+SLEEP_PLAN = SlotPlan(action="sleep")
+
+#: Shared empty active-cell list (read-only) returned for idle residues.
+_NO_CELLS: List["Cell"] = []
+
+
+def next_offset_occurrence(asn: int, length: int, offsets: Sequence[int]) -> Optional[int]:
+    """Smallest ASN >= ``asn`` whose residue modulo ``length`` is in ``offsets``.
+
+    ``offsets`` must be sorted.  Returns ``None`` when empty.
+    """
+    if not offsets:
+        return None
+    residue = asn % length
+    index = bisect_left(offsets, residue)
+    if index < len(offsets):
+        return asn + (offsets[index] - residue)
+    return asn + (offsets[0] + length - residue)
+
+
+class ScheduleProfile:
+    """Derived, read-only facts about one node's installed schedule.
+
+    Built lazily from the slotframes and invalidated through the engine's
+    :attr:`~TschEngine.schedule_version`; the network's slot-skipping kernel
+    uses it to answer, without planning the slot:
+
+    * which ASNs the node has *any* cell at (:attr:`frame_offsets` feeds the
+      network-wide active-offset index),
+    * at which ASNs a node holding queued packets could possibly transmit
+      (:meth:`next_tx_asn`), and
+    * how many of a run of guaranteed transmission-free slots the node spends
+      idle-listening rather than sleeping (:meth:`count_idle_listen`) -- the
+      node listens whenever any active cell carries the RX option, exactly the
+      fall-through decision of :meth:`TschEngine.plan_slot`.
+    """
+
+    __slots__ = ("version", "has_cells", "has_rx", "frame_offsets", "_frames", "_single")
+
+    def __init__(self, slotframes: Sequence[Slotframe], version: int) -> None:
+        self.version = version
+        #: ``(length, sorted offsets with any cell)`` per slotframe.
+        self.frame_offsets: List[tuple] = []
+        #: Per slotframe: (length, rx offsets, rx prefix counts, TX offsets).
+        self._frames: List[tuple] = []
+        for sf in slotframes:
+            used: List[int] = []
+            rx_offsets: List[int] = []
+            #: Offsets whose cells can carry a link-layer broadcast frame.
+            broadcast_tx: List[int] = []
+            #: Offsets whose cells can carry a unicast frame to *any* neighbor
+            #: (shared neighbor-less cells, e.g. Orchestra's common cell).
+            anycast_tx: List[int] = []
+            #: neighbor id -> offsets of cells dedicated to that neighbor.
+            neighbor_tx: Dict[int, List[int]] = {}
+            for offset in range(sf.length):
+                bucket = sf.cells_at_offset(offset)
+                if not bucket:
+                    continue
+                used.append(offset)
+                if any(cell.is_rx for cell in bucket):
+                    rx_offsets.append(offset)
+                for cell in bucket:
+                    if not cell.is_tx:
+                        continue
+                    # Mirror _packet_for_cell: which queued packet kinds could
+                    # this cell carry?
+                    if cell.is_broadcast:
+                        if offset not in broadcast_tx:
+                            broadcast_tx.append(offset)
+                        if cell.is_shared and cell.neighbor is None:
+                            if offset not in anycast_tx:
+                                anycast_tx.append(offset)
+                    elif cell.neighbor is None:
+                        if offset not in anycast_tx:
+                            anycast_tx.append(offset)
+                    else:
+                        bucket_offsets = neighbor_tx.setdefault(cell.neighbor, [])
+                        if offset not in bucket_offsets:
+                            bucket_offsets.append(offset)
+            rx_set = set(rx_offsets)
+            prefix = [0] * (sf.length + 1)
+            for offset in range(sf.length):
+                prefix[offset + 1] = prefix[offset] + (1 if offset in rx_set else 0)
+            self.frame_offsets.append((sf.length, used))
+            self._frames.append(
+                (sf.length, rx_offsets, prefix, broadcast_tx, anycast_tx, neighbor_tx)
+            )
+        self.has_cells = any(offsets for _, offsets in self.frame_offsets)
+        self.has_rx = any(frame[1] for frame in self._frames)
+        self._single = len(self._frames) == 1
+
+    def next_tx_asn(
+        self,
+        asn: int,
+        destinations: Optional[set] = None,
+        has_broadcast: bool = True,
+        has_unicast: bool = True,
+    ) -> Optional[int]:
+        """Earliest ASN >= ``asn`` at which a queued packet could be sent.
+
+        ``destinations`` is the set of unicast link destinations currently
+        queued (``None`` means "unknown; assume any"), and the two flags say
+        whether broadcast / unicast frames are pending at all.  A cell counts
+        when :meth:`TschEngine._packet_for_cell` could match one of those
+        packets to it; CSMA back-off state is deliberately ignored, which only
+        makes the answer conservative (earlier), never wrong.
+        """
+        best: Optional[int] = None
+        for length, _, _, broadcast_tx, anycast_tx, neighbor_tx in self._frames:
+            if has_broadcast and broadcast_tx:
+                occurrence = next_offset_occurrence(asn, length, broadcast_tx)
+                if occurrence is not None and (best is None or occurrence < best):
+                    best = occurrence
+            if has_unicast:
+                if anycast_tx:
+                    occurrence = next_offset_occurrence(asn, length, anycast_tx)
+                    if occurrence is not None and (best is None or occurrence < best):
+                        best = occurrence
+                if neighbor_tx:
+                    if destinations is None:
+                        candidates = neighbor_tx.values()
+                    else:
+                        candidates = [
+                            neighbor_tx[d] for d in destinations if d in neighbor_tx
+                        ]
+                    for offsets in candidates:
+                        occurrence = next_offset_occurrence(asn, length, offsets)
+                        if occurrence is not None and (best is None or occurrence < best):
+                            best = occurrence
+        return best
+
+    @staticmethod
+    def _count_residues(prefix: List[int], length: int, start_asn: int, end_asn: int) -> int:
+        """Count ASNs in [start_asn, end_asn) whose residue is marked in ``prefix``."""
+        span = end_asn - start_asn
+        full, rem = divmod(span, length)
+        count = full * prefix[length]
+        start = start_asn % length
+        if start + rem <= length:
+            count += prefix[start + rem] - prefix[start]
+        else:
+            count += (prefix[length] - prefix[start]) + prefix[start + rem - length]
+        return count
+
+    def count_idle_listen(self, start_asn: int, end_asn: int) -> int:
+        """Number of ASNs in [start_asn, end_asn) where this node idle-listens.
+
+        Only valid over windows the kernel has proven transmission-free: the
+        node listens exactly when any of its active cells has the RX option.
+        """
+        if not self.has_rx:
+            return 0
+        if self._single:
+            length, _, prefix = self._frames[0][:3]
+            return self._count_residues(prefix, length, start_asn, end_asn)
+        # Multiple slotframes: walk the merged arithmetic progressions of RX
+        # occurrences, deduplicating ASNs covered by several frames.  Costs
+        # O(listen slots), independent of the window length.
+        heads: List[List[int]] = []
+        for frame in self._frames:
+            length, rx_offsets = frame[0], frame[1]
+            for offset in rx_offsets:
+                occurrence = start_asn + (offset - start_asn) % length
+                if occurrence < end_asn:
+                    heads.append([occurrence, length])
+        count = 0
+        previous = -1
+        while heads:
+            best_index = 0
+            best = heads[0][0]
+            for index in range(1, len(heads)):
+                if heads[index][0] < best:
+                    best = heads[index][0]
+                    best_index = index
+            if best != previous:
+                count += 1
+                previous = best
+            head = heads[best_index]
+            head[0] += head[1]
+            if head[0] >= end_asn:
+                heads.pop(best_index)
+        return count
+
+
 @dataclass
 class MacStats:
     """Link-layer counters exposed to the metrics layer."""
@@ -102,6 +291,32 @@ class TschEngine:
         self.etx = EtxEstimator(alpha=config.etx_alpha, initial_etx=config.initial_etx)
         self.stats = MacStats()
         self.slotframes: Dict[int, Slotframe] = {}
+        #: Monotonic counter bumped by every schedule mutation (cell add or
+        #: remove in any slotframe, slotframe add or remove); pushed by the
+        #: slotframes' ``on_change`` hooks, so reading it is O(1).
+        self._version = 0
+        #: Invoked after every schedule mutation; the network hooks this to
+        #: invalidate its active-offset index.
+        self.on_schedule_change: Optional[Callable[[], None]] = None
+        #: Slotframes sorted by handle (the planning precedence order).
+        self._frames: Optional[List[Slotframe]] = None
+        #: Memoised sorted active-cell lists keyed by slot-offset residue(s).
+        #: ``cache_enabled=False`` switches :meth:`plan_slot` to the reference
+        #: per-slot gather-and-sort (the naive kernel's ground truth; results
+        #: are identical either way, only the cost differs).
+        self.cache_enabled = True
+        self._active_cache: Dict[object, List[Cell]] = {}
+        self._active_cache_version = -1
+        #: Interned RX slot plans keyed by (cell identity, physical channel):
+        #: a listening plan is fully determined by those two, so the engine
+        #: reuses one immutable SlotPlan per combination.
+        self._rx_plan_cache: Dict[Tuple[int, int], SlotPlan] = {}
+        #: For single-slotframe nodes with an empty queue, the whole plan is a
+        #: pure function of (slot-offset residue, hopping phase); this caches
+        #: it so the common listen/sleep decision is one dict lookup.
+        self._idle_plan_cache: Dict[Tuple[int, int], SlotPlan] = {}
+        self._hop_period = len(self.hopping.sequence)
+        self._profile: Optional[ScheduleProfile] = None
         #: Neighbors towards which *data* transmissions on shared cells are
         #: temporarily suppressed.  A scheduling function sets this while it
         #: awaits a 6P response from that neighbor: the response arrives on
@@ -129,18 +344,126 @@ class TschEngine:
                 )
             return existing
         slotframe = Slotframe(handle, length)
+        slotframe.on_change = self._on_schedule_mutated
         self.slotframes[handle] = slotframe
+        self._frames = None
+        self._on_schedule_mutated()
         return slotframe
 
     def get_slotframe(self, handle: int) -> Optional[Slotframe]:
         return self.slotframes.get(handle)
 
     def remove_slotframe(self, handle: int) -> None:
-        self.slotframes.pop(handle, None)
+        removed = self.slotframes.pop(handle, None)
+        if removed is not None:
+            removed.on_change = None
+            self._frames = None
+            self._on_schedule_mutated()
 
     def clear_schedule(self) -> None:
         """Remove every slotframe (used when re-initialising a scheduler)."""
+        for slotframe in self.slotframes.values():
+            slotframe.on_change = None
         self.slotframes.clear()
+        self._frames = None
+        self._on_schedule_mutated()
+
+    # ------------------------------------------------------------------
+    # schedule caching (used by plan_slot and the slot-skipping kernel)
+    # ------------------------------------------------------------------
+    def _on_schedule_mutated(self) -> None:
+        """Record a schedule mutation and propagate it upwards."""
+        self._version += 1
+        if self._rx_plan_cache:
+            self._rx_plan_cache.clear()
+        if self._idle_plan_cache:
+            self._idle_plan_cache.clear()
+        if self.on_schedule_change is not None:
+            self.on_schedule_change()
+
+    @property
+    def schedule_version(self) -> int:
+        """Monotonic counter covering every schedule mutation.
+
+        Any cell installed or removed in any slotframe, and any slotframe
+        added or removed, strictly increases this value; derived caches (the
+        engine's own, and the network-wide active-offset index) compare it to
+        decide whether they are stale.
+        """
+        return self._version
+
+    def _sorted_frames(self) -> List[Slotframe]:
+        frames = self._frames
+        if frames is None:
+            frames = [self.slotframes[handle] for handle in sorted(self.slotframes)]
+            self._frames = frames
+        return frames
+
+    def _active_cells(self, asn: int) -> List[Cell]:
+        """Sorted active cells at ``asn`` (memoised per offset residue).
+
+        The result is exactly what the planning loop historically built per
+        slot: cells of every slotframe at this ASN, ordered by GT-TSCH purpose
+        priority, then slotframe handle, then slot offset.  Treat as
+        read-only.
+        """
+        if not self.cache_enabled:
+            active: List[Cell] = []
+            for handle in sorted(self.slotframes):
+                # list() preserves the original cells_at contract (a fresh
+                # list per call), keeping the reference loop cost-faithful.
+                active.extend(list(self.slotframes[handle].cells_at(asn)))
+            active.sort(
+                key=lambda c: (c.purpose.priority, c.slotframe_handle, c.slot_offset)
+            )
+            return active
+        version = self._version
+        if version != self._active_cache_version:
+            self._active_cache.clear()
+            self._active_cache_version = version
+        frames = self._sorted_frames()
+        if len(frames) == 1:
+            frame = frames[0]
+            key: object = asn % frame.length
+            bucket = frame.cells_at(asn)
+            if not bucket:
+                return bucket
+        else:
+            # Key by the combination of non-empty buckets, not the raw residue
+            # tuple: with coprime slotframe lengths the residues cycle with
+            # the lcm of the lengths (thousands of slots), while the distinct
+            # non-empty combinations number a handful.
+            key_parts: List[tuple] = []
+            buckets: List[List[Cell]] = []
+            for frame in frames:
+                residue = asn % frame.length
+                bucket = frame.cells_at(residue)
+                if bucket:
+                    key_parts.append((frame.handle, residue))
+                    buckets.append(bucket)
+            if not buckets:
+                return _NO_CELLS
+            key = key_parts[0] if len(key_parts) == 1 else tuple(key_parts)
+        cached = self._active_cache.get(key)
+        if cached is None:
+            if len(frames) == 1:
+                cached = list(bucket)
+            else:
+                cached = [cell for bucket in buckets for cell in bucket]
+            cached.sort(
+                key=lambda c: (c.purpose.priority, c.slotframe_handle, c.slot_offset)
+            )
+            self._active_cache[key] = cached
+        return cached
+
+    def schedule_profile(self) -> ScheduleProfile:
+        """Current :class:`ScheduleProfile` (rebuilt when the schedule changes)."""
+        version = self.schedule_version
+        profile = self._profile
+        if profile is None or profile.version != version:
+            profile = ScheduleProfile(self._sorted_frames(), version)
+            self._profile = profile
+        return profile
 
     # ------------------------------------------------------------------
     # queue interface (used by the node / upper layers)
@@ -178,16 +501,32 @@ class TschEngine:
         Ties between cells are broken by GT-TSCH purpose priority, then by
         slotframe handle.
         """
-        active: List[Cell] = []
-        for handle in sorted(self.slotframes):
-            active.extend(self.slotframes[handle].cells_at(asn))
-        if not active:
-            return SlotPlan(action="sleep")
+        if self.cache_enabled and not len(self.queue):
+            # With nothing queued, the decision cannot involve transmission,
+            # CSMA state or the queue: for a single-slotframe schedule it is a
+            # pure function of the slot residue and the hopping phase.
+            frames = self._frames
+            if frames is None:
+                frames = self._sorted_frames()
+            if len(frames) == 1:
+                key = (asn % frames[0].length, asn % self._hop_period)
+                plan = self._idle_plan_cache.get(key)
+                if plan is None:
+                    plan = self._plan_slot_impl(asn)
+                    self._idle_plan_cache[key] = plan
+                return plan
+        return self._plan_slot_impl(asn)
 
-        active.sort(key=lambda c: (c.purpose.priority, c.slotframe_handle, c.slot_offset))
+    def _plan_slot_impl(self, asn: int) -> SlotPlan:
+        active = self._active_cells(asn)
+        if not active:
+            return SLEEP_PLAN
 
         tx_choice: Optional[Tuple[Cell, Packet]] = None
-        for cell in active:
+        # An empty queue cannot feed any TX cell; skip straight to listening
+        # (the reference path scans every cell, as the seed loop did).
+        cells_to_scan = active if (len(self.queue) or not self.cache_enabled) else ()
+        for cell in cells_to_scan:
             if not cell.is_tx:
                 continue
             packet = self._packet_for_cell(cell)
@@ -216,9 +555,16 @@ class TschEngine:
         for cell in active:
             if cell.is_rx:
                 channel = self.hopping.channel_for(asn, cell.channel_offset)
-                return SlotPlan(action="rx", cell=cell, channel=channel)
+                if not self.cache_enabled:
+                    return SlotPlan(action="rx", cell=cell, channel=channel)
+                key = (id(cell), channel)
+                plan = self._rx_plan_cache.get(key)
+                if plan is None:
+                    plan = SlotPlan(action="rx", cell=cell, channel=channel)
+                    self._rx_plan_cache[key] = plan
+                return plan
 
-        return SlotPlan(action="sleep")
+        return SLEEP_PLAN
 
     def _packet_for_cell(self, cell: Cell) -> Optional[Packet]:
         """Pick the queued packet (if any) that this TX cell may carry."""

@@ -17,13 +17,35 @@ nodes, and advances the whole system one TSCH timeslot at a time:
 ``run_experiment`` wraps the warm-up / measurement / drain phasing used by
 every benchmark so the figures measure steady-state behaviour, as the paper
 does.
+
+The slot loop comes in two flavours.  The naive loop (``fast=False``) visits
+every single timeslot.  The default slot-skipping kernel exploits the fact
+that the schedule is periodic and mutations are observable (every
+:class:`~repro.mac.slotframe.Slotframe` mutation bumps a version counter): it
+maintains a network-wide *active-offset index* (the union of installed slot
+offsets modulo each slotframe length) to compute :meth:`Network.next_active_asn`,
+combines it with :meth:`EventQueue.peek_time`, and jumps the clock directly
+over two kinds of provably-boring runs of slots:
+
+* **idle runs** -- no node has any cell at those ASNs and no timer is due:
+  every node sleeps, which is credited in bulk;
+* **transmission-free runs** -- cells are active but no node that holds a
+  queued packet reaches a TX-capable cell before the run ends: nodes with an
+  active RX cell idle-listen, everyone else sleeps, both credited in bulk
+  from each node's :class:`~repro.mac.tsch.ScheduleProfile`.
+
+Neither kind of slot fires callbacks, draws random numbers, or touches the
+medium in the naive loop, and the duty-cycle meter counts integer slots, so
+the kernel's finalized metrics are bit-identical to the naive loop's.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.mac.tsch import SlotPlan
+from repro.mac.tsch import SlotPlan, next_offset_occurrence
+from repro.net.packet import BROADCAST_ADDRESS
 from repro.metrics.collector import MetricsCollector, NetworkMetrics
 from repro.net.node import Node, NodeConfig
 from repro.net.topology import TopologyBuilder
@@ -48,6 +70,7 @@ class Network:
         propagation: Optional[PropagationModel] = None,
         seed: int = 0,
         default_node_config: Optional[NodeConfig] = None,
+        fast: bool = True,
     ) -> None:
         self.rngs = RngRegistry(seed)
         self.default_node_config = default_node_config or NodeConfig()
@@ -59,6 +82,17 @@ class Network:
         self.metrics = MetricsCollector()
         self.nodes: Dict[int, Node] = {}
         self._started = False
+        #: Use the slot-skipping kernel in :meth:`run_slots` (bit-identical to
+        #: the naive loop; ``fast=False`` is the escape hatch).
+        self.fast = fast
+        #: slotframe length -> sorted union of installed slot offsets, across
+        #: every node; rebuilt whenever any schedule version changes.
+        self._active_index: Dict[int, List[int]] = {}
+        self._active_index_dirty = True
+        #: Flat node list, kept in sync with :attr:`nodes` (hot-loop iteration).
+        self._node_list: List[Node] = []
+        self._single_length = 0
+        self._single_offsets: List[int] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -87,8 +121,11 @@ class Network:
         node.set_metrics(self.metrics)
         if traffic is not None:
             node.set_traffic_generator(traffic)
+        node.tsch.on_schedule_change = self._on_schedule_change
         self.nodes[node_id] = node
         self.medium.register_node(node_id, position)
+        self._active_index_dirty = True
+        self._node_list = list(self.nodes.values())
         return node
 
     def build_from_topology(
@@ -147,19 +184,24 @@ class Network:
         # 1. fire asynchronous timers due at or before this slot boundary.
         self.events.run_until(now)
 
-        # 2. every node plans its slot.
-        plans: Dict[int, SlotPlan] = {}
+        # 2. every node plans its slot.  Sleeping nodes are accounted right
+        # away (their slot cannot be affected by the arbitration below).
+        tx_plans: List[SlotPlan] = []
         intents = []
         intent_owners: List[int] = []
+        rx_nodes: List[Node] = []
         listeners: Dict[int, int] = {}
-        for node_id, node in self.nodes.items():
+        for node in self._node_list:
             plan = node.tsch.plan_slot(asn)
-            plans[node_id] = plan
-            if plan.is_tx:
+            if plan.action == "sleep":
+                node.tsch.duty_cycle.record_sleep()
+            elif plan.action == "tx":
                 intents.append(node.tsch.build_intent(plan))
-                intent_owners.append(node_id)
-            elif plan.is_rx:
-                listeners[node_id] = plan.channel
+                intent_owners.append(node.node_id)
+                tx_plans.append(plan)
+            else:
+                rx_nodes.append(node)
+                listeners[node.node_id] = plan.channel
 
         # 3. the medium arbitrates.
         results = self.medium.resolve_slot(intents, listeners)
@@ -177,10 +219,61 @@ class Network:
                     self.nodes[receiver].tsch.on_frame_received(packet, asn, now)
 
         # 4b. transmitters process their outcome (ACK, retransmission, drop).
+        for node_id, plan, result in zip(intent_owners, tx_plans, results):
+            self.nodes[node_id].tsch.on_transmission_result(plan, result, asn, now)
+
+        # 4c. duty-cycle accounting (sleeping nodes were credited in step 2).
+        for node_id in intent_owners:
+            self.nodes[node_id].tsch.duty_cycle.record_tx()
+        if nodes_that_received:
+            for node in rx_nodes:
+                node.tsch.duty_cycle.record_rx(node.node_id in nodes_that_received)
+        else:
+            for node in rx_nodes:
+                node.tsch.duty_cycle.record_rx(False)
+
+        self.clock.advance_slot()
+
+    def step_slot_reference(self) -> None:
+        """The seed's slot loop, preserved verbatim as the naive kernel.
+
+        ``run_slots(fast=False)`` drives the network through this method with
+        every schedule cache disabled: each slot plans every node with the
+        original gather-and-sort, arbitrates the medium, and accounts every
+        node through :meth:`~repro.mac.tsch.TschEngine.account_slot`.  It is
+        the ground truth the skip-equivalence tests compare the kernel
+        against, and the baseline the kernel-speed benchmark measures.
+        """
+        asn = self.clock.asn
+        now = self.clock.now
+        self.events.run_until(now)
+
+        plans: Dict[int, SlotPlan] = {}
+        intents = []
+        intent_owners: List[int] = []
+        listeners: Dict[int, int] = {}
+        for node_id, node in self.nodes.items():
+            plan = node.tsch.plan_slot(asn)
+            plans[node_id] = plan
+            if plan.is_tx:
+                intents.append(node.tsch.build_intent(plan))
+                intent_owners.append(node_id)
+            elif plan.is_rx:
+                listeners[node_id] = plan.channel
+
+        results = self.medium.resolve_slot(intents, listeners)
+
+        nodes_that_received = set()
+        for result in results:
+            packet = result.intent.packet
+            for receiver in result.receivers:
+                nodes_that_received.add(receiver)
+                if packet.is_broadcast or packet.link_destination == receiver:
+                    self.nodes[receiver].tsch.on_frame_received(packet, asn, now)
+
         for node_id, result in zip(intent_owners, results):
             self.nodes[node_id].tsch.on_transmission_result(plans[node_id], result, asn, now)
 
-        # 4c. duty-cycle accounting.
         for node_id, plan in plans.items():
             self.nodes[node_id].tsch.account_slot(
                 plan, frame_received=node_id in nodes_that_received
@@ -188,10 +281,218 @@ class Network:
 
         self.clock.advance_slot()
 
-    def run_slots(self, num_slots: int) -> None:
-        """Run the network for a fixed number of timeslots."""
+    # ------------------------------------------------------------------
+    # slot-skipping kernel
+    # ------------------------------------------------------------------
+    def _on_schedule_change(self) -> None:
+        """Some node's schedule mutated; the active-offset index is stale."""
+        self._active_index_dirty = True
+
+    def _refresh_active_index(self) -> None:
+        """Rebuild the active-offset index if any node's schedule changed."""
+        if not self._active_index_dirty:
+            return
+        union: Dict[int, set] = {}
+        for node in self.nodes.values():
+            for length, offsets in node.tsch.schedule_profile().frame_offsets:
+                if offsets:
+                    union.setdefault(length, set()).update(offsets)
+        self._active_index = {
+            length: sorted(offsets) for length, offsets in union.items()
+        }
+        # Unpacked single-slotframe-length form for the kernel's hot loop.
+        if len(self._active_index) == 1:
+            ((self._single_length, self._single_offsets),) = self._active_index.items()
+        else:
+            self._single_length = 0
+            self._single_offsets = []
+        self._active_index_dirty = False
+
+    def next_active_asn(self, asn: int) -> Optional[int]:
+        """Smallest ASN >= ``asn`` at which any node has a cell installed.
+
+        ``None`` means no node has any cell at all (every future slot is
+        idle).  Derived from the per-network active-offset index, which is
+        invalidated automatically when any scheduler adds or removes cells.
+        """
+        self._refresh_active_index()
+        best: Optional[int] = None
+        for length, offsets in self._active_index.items():
+            occurrence = next_offset_occurrence(asn, length, offsets)
+            if occurrence is not None and (best is None or occurrence < best):
+                best = occurrence
+                if best == asn:
+                    break
+        return best
+
+    def _next_event_asn(self, asn: int, limit: int) -> int:
+        """First ASN in [``asn``, ``limit``] whose slot boundary fires a timer.
+
+        Replicates the naive loop's per-slot test (``event_time <= asn *
+        slot_duration``, evaluated with the same float arithmetic), so the
+        kernel fires every timer at exactly the slot the naive loop would.
+        """
+        event_time = self.events.peek_time()
+        if event_time is None:
+            return limit
+        slot = self.clock.slot_duration_s
+        candidate = int(event_time / slot)
+        if candidate < asn:
+            candidate = asn
+        while event_time > candidate * slot:
+            candidate += 1
+        while candidate > asn and event_time <= (candidate - 1) * slot:
+            candidate -= 1
+        return candidate if candidate < limit else limit
+
+    def _next_risky_asn(self, asn: int, limit: int) -> int:
+        """First ASN in [``asn``, ``limit``] at which a transmission is possible.
+
+        A slot is "risky" when some node that currently holds queued packets
+        reaches a TX-capable cell: such a slot can mutate queues, CSMA state
+        and the medium, so it must be stepped.  The test is conservative (the
+        packet may not match the cell), which only costs a stepped slot, never
+        correctness.  Queues cannot change inside a transmission-free,
+        event-free run, so the answer stays valid across the whole jump.
+        """
+        best = limit
+        for node in self._node_list:
+            queue = node.tsch.queue
+            if not len(queue):
+                continue
+            destinations = set()
+            has_broadcast = False
+            has_unicast = False
+            for packet in queue:
+                destination = packet.link_destination
+                if destination == BROADCAST_ADDRESS:
+                    has_broadcast = True
+                else:
+                    has_unicast = True
+                    destinations.add(destination)
+            occurrence = node.tsch.schedule_profile().next_tx_asn(
+                asn, destinations, has_broadcast, has_unicast
+            )
+            if occurrence is not None and occurrence < best:
+                best = occurrence
+                if best <= asn:
+                    break
+        return best
+
+    def _skip_slots(self, start_asn: int, target_asn: int) -> None:
+        """Leap the clock over the transmission-free run [``start_asn``,
+        ``target_asn``) in one jump.
+
+        Nodes whose schedule has RX cells inside the run are credited their
+        idle-listen slots, everyone else sleeps; the accounting is
+        integer-exact, so the finalized duty-cycle equals the naive loop's.
+        (Fully idle runs — no cells at all — are handled by an inlined bulk
+        sleep in :meth:`run_slots`.)
+        """
+        count = target_asn - start_asn
+        for node in self._node_list:
+            profile = node.tsch.schedule_profile()
+            meter = node.tsch.duty_cycle
+            if not profile.has_rx:
+                meter.record_sleep_bulk(count)
+                continue
+            idle = profile.count_idle_listen(start_asn, target_asn)
+            meter.record_idle_listen_bulk(idle)
+            meter.record_sleep_bulk(count - idle)
+        self.clock.advance_slots(count)
+        # The naive loop's run_until() advances the event clock at every slot
+        # boundary it visits; mirror its final position.
+        self.events.advance_to((target_asn - 1) * self.clock.slot_duration_s)
+
+    def run_slots(self, num_slots: int, fast: Optional[bool] = None) -> None:
+        """Run the network for a fixed number of timeslots.
+
+        With ``fast`` unset the network's :attr:`fast` flag decides between
+        the slot-skipping kernel and the naive slot-by-slot loop; results are
+        bit-identical either way.
+        """
         self.start()
-        for _ in range(num_slots):
+        if fast is None:
+            fast = self.fast
+        # The naive loop doubles as the reference implementation: it visits
+        # every slot, plans with the uncached gather-and-sort and arbitrates
+        # through the general medium path, which is the ground truth the
+        # skip-equivalence tests compare the kernel against.
+        for node in self.nodes.values():
+            node.tsch.cache_enabled = fast
+        self.medium.fast_paths = fast
+        if not fast:
+            for _ in range(num_slots):
+                self.step_slot_reference()
+            return
+        # The loop below is the hot kernel; the helpers it inlines
+        # (_next_event_asn / next_active_asn / _next_risky_asn / _skip_slots)
+        # remain the readable reference for what each block computes.
+        clock = self.clock
+        events = self.events
+        node_list = self._node_list
+        slot = clock.slot_duration_s
+        end_asn = clock.asn + num_slots
+        while clock.asn < end_asn:
+            asn = clock.asn
+            # --- first slot boundary with a due timer (see _next_event_asn)
+            heap = events._heap
+            if heap and not heap[0].event.cancelled:
+                event_time = heap[0].time
+            else:
+                event_time = events.peek_time()
+            if event_time is None:
+                boundary = end_asn
+            else:
+                boundary = int(event_time / slot)
+                if boundary < asn:
+                    boundary = asn
+                while event_time > boundary * slot:
+                    boundary += 1
+                while boundary > asn and event_time <= (boundary - 1) * slot:
+                    boundary -= 1
+                if boundary > end_asn:
+                    boundary = end_asn
+                if boundary == asn:
+                    # Fire this slot boundary's timers up front, exactly as
+                    # step_slot would, then re-evaluate: the slot often stays
+                    # skippable (e.g. a traffic tick on a node whose TX cell
+                    # is slots away).  step_slot's own run_until is a no-op.
+                    events.run_until(asn * slot)
+                    boundary = self._next_event_asn(asn, end_asn)
+            if boundary > asn:
+                # --- next ASN with any installed cell (see next_active_asn)
+                if self._active_index_dirty:
+                    self._refresh_active_index()
+                length = self._single_length
+                if length:
+                    offsets = self._single_offsets
+                    residue = asn % length
+                    index = bisect_left(offsets, residue)
+                    if index < len(offsets):
+                        active = asn + (offsets[index] - residue)
+                    else:
+                        active = asn + (offsets[0] + length - residue)
+                    target = active if active < boundary else boundary
+                else:
+                    active = self.next_active_asn(asn)
+                    target = boundary if active is None else min(active, boundary)
+                if target > asn:
+                    # Fully idle run: every node sleeps.  Inlined equivalent
+                    # of DutyCycleMeter.record_sleep_bulk per node (this is
+                    # the kernel's hottest jump).
+                    count = target - asn
+                    for node in node_list:
+                        meter = node.tsch.duty_cycle
+                        meter.sleep_slots += count
+                        meter.total_slots += count
+                    clock.asn = target
+                    events.advance_to((target - 1) * slot)
+                    continue
+                risky = self._next_risky_asn(asn, boundary)
+                if risky > asn:
+                    self._skip_slots(asn, risky)
+                    continue
             self.step_slot()
 
     def run_seconds(self, seconds: float) -> None:

@@ -73,10 +73,16 @@ class Medium:
         self.propagation = propagation
         self.rng = rng
         self.ack_prr_scale = ack_prr_scale
+        #: When False, arbitration always takes the general grouped path (the
+        #: reference implementation); the single-transmitter shortcut below is
+        #: identical in results and RNG draws, it only skips the bookkeeping.
+        self.fast_paths = True
         self._positions: Dict[int, Position] = {}
-        # Caches keyed by ordered node-id pair.
+        # Caches keyed by ordered node-id pair; the topology is static after
+        # build, so propagation queries are answered at most once per pair.
         self._prr_cache: Dict[Tuple[int, int], float] = {}
         self._interf_cache: Dict[Tuple[int, int], bool] = {}
+        self._neighbors_cache: Dict[Tuple[int, float], List[int]] = {}
         #: Counters for diagnostics / tests.
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -89,6 +95,7 @@ class Medium:
         self._positions[node_id] = position
         self._prr_cache.clear()
         self._interf_cache.clear()
+        self._neighbors_cache.clear()
 
     def position_of(self, node_id: int) -> Position:
         return self._positions[node_id]
@@ -122,12 +129,22 @@ class Medium:
         return self._interf_cache[key]
 
     def neighbors_of(self, node_id: int, min_prr: float = 0.0) -> List[int]:
-        """Node ids with a usable link from ``node_id`` (PRR > ``min_prr``)."""
-        return [
-            other
-            for other in self._positions
-            if other != node_id and self.link_prr(node_id, other) > min_prr
-        ]
+        """Node ids with a usable link from ``node_id`` (PRR > ``min_prr``).
+
+        Memoised per ``(node, threshold)``; the cache is dropped whenever a
+        node registers or moves.  Callers get the cached list itself and must
+        treat it as read-only.
+        """
+        key = (node_id, min_prr)
+        neighbors = self._neighbors_cache.get(key)
+        if neighbors is None:
+            neighbors = [
+                other
+                for other in self._positions
+                if other != node_id and self.link_prr(node_id, other) > min_prr
+            ]
+            self._neighbors_cache[key] = neighbors
+        return neighbors
 
     # ------------------------------------------------------------------
     # per-slot arbitration
@@ -155,6 +172,27 @@ class Medium:
         results = [TransmissionResult(intent=intent) for intent in intents]
         self.total_transmissions += len(intents)
         if not intents:
+            return results
+
+        if len(intents) == 1 and self.fast_paths:
+            # Fast path for the overwhelmingly common single-transmitter slot:
+            # no collision is possible, so listeners resolve directly against
+            # the one intent (identical arbitration and RNG draws as below).
+            intent = intents[0]
+            result = results[0]
+            for listener, channel in listeners.items():
+                if channel != intent.channel:
+                    continue
+                if not self.interferes(intent.sender, listener):
+                    continue
+                prr = self.link_prr(intent.sender, listener)
+                if prr <= 0.0:
+                    continue
+                if self.rng.random() <= prr:
+                    result.receivers.append(listener)
+                    if intent.packet.link_destination == listener:
+                        result.delivered = True
+            self._resolve_acks(results)
             return results
 
         # Group transmitting senders per physical channel.
@@ -190,7 +228,11 @@ class Medium:
                 if intent.packet.link_destination == listener:
                     results[index].delivered = True
 
-        # Resolve ACKs for unicast frames that reached their destination.
+        self._resolve_acks(results)
+        return results
+
+    def _resolve_acks(self, results: List[TransmissionResult]) -> None:
+        """Resolve ACKs for unicast frames that reached their destination."""
         for result in results:
             intent = result.intent
             if not intent.expects_ack or intent.packet.is_broadcast:
@@ -200,4 +242,3 @@ class Medium:
             destination = intent.packet.link_destination
             ack_prr = min(1.0, self.link_prr(destination, intent.sender) * self.ack_prr_scale)
             result.acked = self.rng.random() <= ack_prr
-        return results

@@ -26,10 +26,13 @@ class Event:
     """A single scheduled callback.
 
     Events are created through :meth:`EventQueue.schedule` and can be
-    cancelled; a cancelled event stays in the heap but is skipped when popped.
+    cancelled; a cancelled event is skipped when popped, and the owning queue
+    compacts its heap once cancelled entries outnumber live ones (Trickle
+    resets and 6P timeout cancellations would otherwise accumulate for the
+    whole run).
     """
 
-    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "label")
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "label", "_queue")
 
     def __init__(
         self,
@@ -45,10 +48,17 @@ class Event:
         self.kwargs = kwargs or {}
         self.cancelled = False
         self.label = label
+        #: Owning queue, set by :meth:`EventQueue.schedule`; lets the queue
+        #: keep an exact count of cancelled-but-still-heaped entries.
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so it will be silently dropped when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_event_cancelled()
 
     def fire(self) -> Any:
         """Invoke the callback (used by the queue; not normally called directly)."""
@@ -67,10 +77,18 @@ class EventQueue:
     figures).
     """
 
+    #: Compaction never triggers below this heap size (the bookkeeping is not
+    #: worth it for a handful of entries).
+    COMPACT_MIN_SIZE = 16
+
     def __init__(self) -> None:
         self._heap: List[_QueueEntry] = []
         self._counter = itertools.count()
         self._now = 0.0
+        #: Number of cancelled events still sitting in the heap.
+        self._cancelled = 0
+        #: Total number of heap compactions performed (diagnostics / tests).
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -78,7 +96,31 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return len(self._heap) - self._cancelled
+
+    def _on_event_cancelled(self) -> None:
+        """A live heap entry was cancelled; compact when they dominate."""
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the heap in one pass.
+
+        Entries order by ``(time, sequence)``, so filtering the backing list
+        and re-heapifying preserves both the firing order and the
+        insertion-order tie-break of live events.
+        """
+        for entry in self._heap:
+            if entry.event.cancelled:
+                entry.event._queue = None
+        self._heap = [entry for entry in self._heap if not entry.event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def schedule(
         self,
@@ -94,6 +136,7 @@ class EventQueue:
             # immediately rather than silently travel back in time.
             time = self._now
         event = Event(time, callback, args, kwargs, label=label)
+        event._queue = self
         heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
         return event
 
@@ -111,7 +154,9 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, if any."""
         while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            entry.event._queue = None
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
@@ -128,7 +173,9 @@ class EventQueue:
             if next_time is None or next_time > time:
                 break
             entry = heapq.heappop(self._heap)
+            entry.event._queue = None
             if entry.event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             entry.event.fire()
@@ -137,9 +184,23 @@ class EventQueue:
             self._now = time
         return fired
 
+    def advance_to(self, time: float) -> None:
+        """Advance the queue clock without firing anything.
+
+        The slot-skipping kernel calls this after leaping over idle slots so
+        ``now`` matches what slot-by-slot :meth:`run_until` calls would have
+        left behind.  Must only be used for instants known to precede every
+        pending event.
+        """
+        if time > self._now:
+            self._now = time
+
     def clear(self) -> None:
         """Drop all pending events and reset the clock to zero."""
+        for entry in self._heap:
+            entry.event._queue = None
         self._heap.clear()
+        self._cancelled = 0
         self._now = 0.0
 
 

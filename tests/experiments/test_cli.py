@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.__main__ import cache_main, main
+from repro.experiments.parallel import ResultCache
+from repro.experiments.scenarios import MINIMAL, traffic_load_scenario
+from repro.metrics.collector import NetworkMetrics
+
+
+def _tiny_args(extra=()):
+    return [
+        "--figure",
+        "8",
+        "--values",
+        "30",
+        "--schedulers",
+        MINIMAL,
+        "--measurement-s",
+        "2",
+        "--warmup-s",
+        "2",
+        "--no-cache",
+        *extra,
+    ]
+
+
+class TestCacheSubcommand:
+    def test_info_reports_entries_and_size(self, tmp_path, capsys):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = traffic_load_scenario(rate_ppm=30, scheduler=MINIMAL)
+        cache.put(scenario, NetworkMetrics(scheduler=MINIMAL))
+        assert cache_main(["--info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "cache entries: 1" in out
+
+    def test_clear_removes_entries(self, tmp_path, capsys):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = traffic_load_scenario(rate_ppm=30, scheduler=MINIMAL)
+        cache.put(scenario, NetworkMetrics(scheduler=MINIMAL))
+        assert main(["cache", "--clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert cache.info()["entries"] == 0
+        assert cache.get(scenario) is None
+
+    def test_info_on_missing_directory(self, tmp_path, capsys):
+        missing = os.path.join(str(tmp_path), "nope")
+        assert cache_main(["--info", "--cache-dir", missing]) == 0
+        assert "cache entries: 0" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_profile_prints_cumulative_table(self, capsys):
+        assert main(_tiny_args(["--profile"])) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "run_figure8" in out
+
+    def test_plain_run_reports_slots_per_second(self, capsys):
+        assert main(_tiny_args()) == 0
+        out = capsys.readouterr().out
+        assert "slots/s" in out

@@ -133,3 +133,49 @@ class TestCduRendering:
         sf.add_cell(Cell(1, 1, CellOption.RX, neighbor=3))
         grid = render_cdu_matrix([sf], num_channels=2)
         assert "Tx->2" in grid[1][1] and "Rx->3" in grid[1][1]
+
+
+class TestVersionTracking:
+    def test_version_bumps_on_every_mutation(self):
+        sf = Slotframe(handle=0, length=10)
+        v0 = sf.version
+        cell = sf.add_cell(Cell(slot_offset=1, channel_offset=0, options=CellOption.TX))
+        assert sf.version > v0
+        v1 = sf.version
+        sf.remove_cell(cell)
+        assert sf.version > v1
+        v2 = sf.version
+        sf.add_cell(Cell(slot_offset=2, channel_offset=0, options=CellOption.RX, neighbor=7))
+        sf.remove_cells_with_neighbor(7)
+        assert sf.version > v2
+        v3 = sf.version
+        sf.clear()
+        assert sf.version > v3
+
+    def test_duplicate_add_does_not_bump_version(self):
+        sf = Slotframe(handle=0, length=10)
+        cell = Cell(slot_offset=1, channel_offset=0, options=CellOption.TX)
+        sf.add_cell(cell)
+        version = sf.version
+        sf.add_cell(Cell(slot_offset=1, channel_offset=0, options=CellOption.TX))
+        assert sf.version == version
+
+    def test_on_change_callback_fires(self):
+        sf = Slotframe(handle=0, length=10)
+        calls = []
+        sf.on_change = lambda: calls.append(True)
+        sf.add_cell(Cell(slot_offset=1, channel_offset=0, options=CellOption.TX))
+        assert calls
+
+    def test_add_cell_out_of_range_raises_value_error(self):
+        sf = Slotframe(handle=0, length=10)
+        with pytest.raises(ValueError):
+            sf.add_cell(Cell(slot_offset=12, channel_offset=0, options=CellOption.TX))
+
+    def test_cells_at_is_constant_time_lookup(self):
+        sf = Slotframe(handle=0, length=10)
+        cell = sf.add_cell(Cell(slot_offset=4, channel_offset=0, options=CellOption.RX))
+        # The same bucket object is returned for every equivalent ASN.
+        assert sf.cells_at(4) is sf.cells_at(14)
+        assert sf.cells_at(4) == [cell]
+        assert sf.cells_at(5) == []

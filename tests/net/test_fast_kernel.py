@@ -1,0 +1,174 @@
+"""Skip-equivalence and unit tests for the slot-skipping simulation kernel.
+
+The kernel's contract is *bit-identical metrics*: for any scenario, running
+with ``fast=True`` (active-offset index + bulk-accounted idle/listen runs)
+must finalize exactly the same :class:`NetworkMetrics` as the naive
+slot-by-slot reference loop (``fast=False``), for every scheduler, because
+skipped slots provably fire no callbacks, draw no random numbers and touch
+nothing but integer duty-cycle counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.scenarios import (
+    GT_TSCH,
+    MINIMAL,
+    ORCHESTRA,
+    traffic_load_scenario,
+)
+from repro.mac.cell import Cell, CellOption
+from repro.mac.tsch import next_offset_occurrence
+from repro.net.network import Network
+from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+
+
+def _run(scheduler: str, seed: int, fast: bool):
+    scenario = traffic_load_scenario(
+        rate_ppm=60.0,
+        scheduler=scheduler,
+        seed=seed,
+        measurement_s=12.0,
+        warmup_s=8.0,
+    )
+    network = scenario.build_network()
+    network.fast = fast
+    metrics = network.run_experiment(
+        warmup_s=scenario.warmup_s,
+        measurement_s=scenario.measurement_s,
+        drain_s=3.0,
+        scheduler_name=scheduler,
+    )
+    return network, metrics
+
+
+class TestSkipEquivalence:
+    """Fast kernel vs naive loop: finalized metrics must be bit-identical."""
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_metrics_bit_identical(self, scheduler, seed):
+        naive_net, naive = _run(scheduler, seed, fast=False)
+        fast_net, fast = _run(scheduler, seed, fast=True)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(naive)
+        # The clocks, MAC counters and medium statistics agree as well.
+        assert fast_net.clock.asn == naive_net.clock.asn
+        assert fast_net.medium.total_transmissions == naive_net.medium.total_transmissions
+        assert fast_net.medium.total_collisions == naive_net.medium.total_collisions
+        for node_id in naive_net.nodes:
+            naive_stats = naive_net.nodes[node_id].tsch.stats
+            fast_stats = fast_net.nodes[node_id].tsch.stats
+            assert dataclasses.asdict(fast_stats) == dataclasses.asdict(naive_stats)
+
+    def test_fast_flag_defaults_on(self):
+        assert Network().fast is True
+        assert Network(fast=False).fast is False
+
+
+class TestNextActiveAsn:
+    def _network(self):
+        network = Network()
+        for node_id in (1, 2):
+            network.add_node(
+                node_id,
+                position=(float(node_id), 0.0),
+                scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+                is_root=node_id == 1,
+            )
+        return network
+
+    def test_no_cells_means_no_active_asn(self):
+        network = self._network()
+        assert network.next_active_asn(0) is None
+
+    def test_union_of_offsets_modulo_length(self):
+        network = self._network()
+        engine = network.nodes[1].tsch
+        slotframe = engine.add_slotframe(0, 10)
+        slotframe.add_cell(Cell(slot_offset=3, channel_offset=0, options=CellOption.RX))
+        assert network.next_active_asn(0) == 3
+        assert network.next_active_asn(3) == 3
+        assert network.next_active_asn(4) == 13
+        assert network.next_active_asn(23) == 23
+
+    def test_index_invalidated_on_cell_add_and_remove(self):
+        network = self._network()
+        engine = network.nodes[2].tsch
+        slotframe = engine.add_slotframe(0, 8)
+        cell = slotframe.add_cell(
+            Cell(slot_offset=5, channel_offset=0, options=CellOption.TX)
+        )
+        assert network.next_active_asn(0) == 5
+        slotframe.add_cell(Cell(slot_offset=2, channel_offset=0, options=CellOption.RX))
+        assert network.next_active_asn(0) == 2
+        slotframe.remove_cell(cell)
+        assert network.next_active_asn(3) == 10  # only offset 2 mod 8 remains
+
+    def test_multiple_slotframe_lengths(self):
+        network = self._network()
+        first = network.nodes[1].tsch.add_slotframe(0, 7)
+        first.add_cell(Cell(slot_offset=6, channel_offset=0, options=CellOption.RX))
+        second = network.nodes[2].tsch.add_slotframe(0, 5)
+        second.add_cell(Cell(slot_offset=4, channel_offset=0, options=CellOption.TX))
+        # offsets: asn % 7 == 6 -> 6, 13, 20...; asn % 5 == 4 -> 4, 9, 14...
+        assert network.next_active_asn(0) == 4
+        assert network.next_active_asn(5) == 6
+        assert network.next_active_asn(7) == 9
+
+
+class TestNextOffsetOccurrence:
+    def test_empty_offsets(self):
+        assert next_offset_occurrence(10, 8, []) is None
+
+    def test_same_slot_hit(self):
+        assert next_offset_occurrence(16, 8, [0, 3]) == 16
+
+    def test_wraps_to_next_frame(self):
+        assert next_offset_occurrence(15, 8, [3, 6]) == 19
+
+    def test_bisects_within_frame(self):
+        assert next_offset_occurrence(17, 8, [0, 3, 6]) == 19
+
+
+class TestReferenceLoop:
+    def test_run_slots_naive_equals_manual_reference_stepping(self):
+        """``run_slots(fast=False)`` is exactly N reference steps."""
+        def build():
+            return traffic_load_scenario(
+                rate_ppm=60.0, scheduler=MINIMAL, seed=3, measurement_s=12.0, warmup_s=8.0
+            ).build_network()
+
+        looped = build()
+        looped.run_slots(400, fast=False)
+        manual = build()
+        manual.start()
+        for node in manual.nodes.values():
+            node.tsch.cache_enabled = False
+        manual.medium.fast_paths = False
+        for _ in range(400):
+            manual.step_slot_reference()
+        assert manual.clock.asn == looped.clock.asn == 400
+        for node_id in looped.nodes:
+            looped_meter = looped.nodes[node_id].tsch.duty_cycle
+            manual_meter = manual.nodes[node_id].tsch.duty_cycle
+            assert manual_meter.snapshot() == looped_meter.snapshot()
+
+    def test_fast_and_naive_runs_agree_slot_for_slot(self):
+        """Duty-cycle totals agree after an arbitrary run length."""
+        def build():
+            return traffic_load_scenario(
+                rate_ppm=60.0, scheduler=GT_TSCH, seed=4, measurement_s=12.0, warmup_s=8.0
+            ).build_network()
+
+        fast_net = build()
+        fast_net.run_slots(777, fast=True)
+        naive_net = build()
+        naive_net.run_slots(777, fast=False)
+        assert fast_net.clock.asn == naive_net.clock.asn == 777
+        for node_id in naive_net.nodes:
+            fast_meter = fast_net.nodes[node_id].tsch.duty_cycle
+            naive_meter = naive_net.nodes[node_id].tsch.duty_cycle
+            assert fast_meter.snapshot() == naive_meter.snapshot()

@@ -186,3 +186,61 @@ class TestPeriodicTimer:
         assert all(0.75 - 1e-9 <= gap <= 1.25 + 1e-9 for gap in gaps)
         # Jitter must actually vary the period.
         assert len({round(gap, 6) for gap in gaps}) > 1
+
+
+class TestHeapCompaction:
+    def test_cancelled_entries_are_compacted(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(40)]
+        assert len(queue._heap) == 40
+        # Cancelling more than half the heap triggers a compaction sweep.
+        for event in events[:30]:
+            event.cancel()
+        assert queue.compactions >= 1
+        # The sweep dropped every entry cancelled before it fired; the few
+        # cancelled afterwards wait for the next sweep.
+        assert len(queue._heap) < 30
+        assert len(queue) == 10
+
+    def test_compaction_preserves_firing_order(self):
+        queue = EventQueue()
+        fired = []
+        keep = []
+        cancel = []
+        for i in range(50):
+            event = queue.schedule(float(i % 5), fired.append, i)
+            (cancel if i % 2 else keep).append(event)
+        for event in cancel:
+            event.cancel()
+        queue.run_until(10.0)
+        # Only the kept events fire, in (time, insertion) order.
+        expected = sorted((i for i in range(50) if i % 2 == 0), key=lambda i: (i % 5, i))
+        assert fired == expected
+
+    def test_small_heaps_are_not_compacted(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(8)]
+        for event in events:
+            event.cancel()
+        assert queue.compactions == 0
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        later = [queue.schedule(2.0 + i, lambda: None) for i in range(20)]
+        queue.run_until(1.5)
+        event.cancel()  # already fired and popped: must not count as heaped
+        assert len(queue) == 20
+        for item in later:
+            item.cancel()
+        assert len(queue) == 0
+
+    def test_len_is_exact_after_mixed_operations(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(30)]
+        for event in events[::3]:
+            event.cancel()
+        assert len(queue) == 20
+        queue.run_until(100.0)
+        assert len(queue) == 0
