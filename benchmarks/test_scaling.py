@@ -1,0 +1,270 @@
+"""Scaling benchmark: slots/s vs network size under the dispatch kernel.
+
+Runs the :func:`~repro.experiments.scenarios.scale_scenario` family
+(paper-sized DODAGs replicated until the site holds 100-500 nodes, converged
+sparse-telemetry workload) once with the participant-dispatch kernel
+(``fast=True``) and once with the naive per-slot reference loop
+(``fast=False``) for every scheduler, verifies the finalized metrics are
+bit-identical at every size -- the skip-equivalence proof at scale -- and
+records throughput vs N to ``BENCH_scaling.json`` at the repository root.
+
+The headline series is **steady-state slots/s** (measurement + drain phases,
+after the one-off topology-formation storms of the warm-up, which cost the
+same in every kernel), plus the per-stepped-slot cost, which demonstrates
+that dispatch cost tracks the nodes that actually act in a slot rather than
+the network size.
+
+Modes
+-----
+* ``REPRO_BENCH_FULL=1``: N in (100, 200, 500), 20 s warm-up + 40 s
+  measurement -- the mode behind the committed full record;
+* default / ``REPRO_BENCH_SMOKE=1``: N in (100, 200), shortened windows.
+  Unlike the kernel-speed benchmark, smoke is the default here: the full
+  mode simulates 500 nodes through the uncached reference loop, which is
+  too slow for the tier-1 suite that collects this file.
+
+Record files
+------------
+Fresh measurements go to ``benchmarks/results/BENCH_scaling.json``
+(gitignored; CI uploads it as an artifact).  The committed baseline at the
+repository root is only rewritten with ``REPRO_BENCH_REBASELINE=1``.
+
+Regression gate
+---------------
+With ``REPRO_BENCH_ENFORCE=1`` (set by CI) the test fails when the
+steady-state slots/s at the largest smoke N -- expressed as the same-run
+speedup over the reference loop, a machine-independent ratio -- regresses
+more than 30% below the committed record.  (Raw slots/s does not travel
+across machines; the same-run ratio does, which is why the gate normalises
+by the reference loop measured in the same process -- the same convention as
+the kernel-speed benchmark.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.scenarios import (
+    DEFAULT_DRAIN_S,
+    GT_TSCH,
+    MINIMAL,
+    ORCHESTRA,
+    scale_scenario,
+)
+
+from benchmarks.conftest import RESULTS_DIR
+
+#: The committed throughput record (repository root).
+BENCH_FILE = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scaling.json")
+#: Where each run's fresh measurements land (gitignored; uploaded by CI).
+RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_scaling.json")
+
+#: REPRO_BENCH_SMOKE wins over REPRO_BENCH_FULL, so a CI job that pins smoke
+#: mode stays smoke even if someone exports REPRO_BENCH_FULL globally.
+FULL = bool(os.environ.get("REPRO_BENCH_FULL")) and not bool(
+    os.environ.get("REPRO_BENCH_SMOKE")
+)
+SMOKE = not FULL
+ENFORCE = bool(os.environ.get("REPRO_BENCH_ENFORCE"))
+REBASELINE = bool(os.environ.get("REPRO_BENCH_REBASELINE"))
+MODE = "smoke" if SMOKE else "full"
+
+NODE_COUNTS = (100, 200) if SMOKE else (100, 200, 500)
+WARMUP_S = 10.0 if SMOKE else 20.0
+MEASUREMENT_S = 15.0 if SMOKE else 40.0
+DRAIN_S = DEFAULT_DRAIN_S
+SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)
+
+#: Steady-state slots/s of the kernel before this change (commit 4d06219) on
+#: the same scenarios (best of two runs), dev container.  Kept as the fixed
+#: origin of the scaling trajectory; cross-machine comparisons against it
+#: are informative only and never asserted.
+PRE_PR_STEADY_SLOTS_PER_S = {
+    "full": {
+        100: {GT_TSCH: 6448, ORCHESTRA: 12420, MINIMAL: 32322},
+        200: {GT_TSCH: 2631, ORCHESTRA: 4330, MINIMAL: 10975},
+        500: {GT_TSCH: 745, ORCHESTRA: 895, MINIMAL: 1970},
+    },
+    "smoke": {
+        100: {GT_TSCH: 6426, ORCHESTRA: 12260, MINIMAL: 33765},
+        200: {GT_TSCH: 2442, ORCHESTRA: 4848, MINIMAL: 12246},
+    },
+}
+
+
+#: Timing repetitions per (N, scheduler, kernel); the best run is kept,
+#: which filters transient load spikes of shared runners out of the ratios.
+TIMING_REPEATS = 2
+
+
+def _run_phases(num_nodes: int, scheduler: str, fast: bool):
+    """Best-of-``TIMING_REPEATS`` phase-timed runs of one scale scenario."""
+    best = None
+    for _ in range(TIMING_REPEATS):
+        run = _run_phases_once(num_nodes, scheduler, fast)
+        if best is None or run["elapsed_s"] < best["elapsed_s"]:
+            best = run
+    return best
+
+
+def _run_phases_once(num_nodes: int, scheduler: str, fast: bool):
+    """Run one scale scenario with per-phase timing (run_experiment's exact
+    call sequence, so fast and reference runs stay comparable bit-for-bit)."""
+    scenario = scale_scenario(
+        num_nodes=num_nodes,
+        scheduler=scheduler,
+        measurement_s=MEASUREMENT_S,
+        warmup_s=WARMUP_S,
+    )
+    network = scenario.build_network()
+    network.fast = fast
+    network.start()
+    started = time.perf_counter()
+    network.run_seconds(WARMUP_S)
+    warm_done = time.perf_counter()
+    warm_asn = network.clock.asn
+    network.metrics.begin_measurement(network.nodes.values(), network.clock.now)
+    network.run_seconds(MEASUREMENT_S)
+    network.metrics.end_measurement(network.nodes.values(), network.clock.now)
+    for node in network.nodes.values():
+        node.traffic_enabled = False
+        if node.traffic is not None:
+            node.traffic.stop()
+    network.run_seconds(DRAIN_S)
+    metrics = network.metrics.finalize(network.nodes.values(), network.clock.now, scheduler)
+    finished = time.perf_counter()
+    steady_slots = network.clock.asn - warm_asn
+    return {
+        "metrics": metrics,
+        "slots": network.clock.asn,
+        "steady_slots_per_s": steady_slots / (finished - warm_done),
+        "total_slots_per_s": network.clock.asn / (finished - started),
+        "stepped_slots": network.stepped_slots,
+        "elapsed_s": finished - started,
+    }
+
+
+def _load_committed():
+    try:
+        with open(BENCH_FILE, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {}
+
+
+def _write_record(record: dict, path: str) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_slots_per_second():
+    committed = _load_committed()
+    results = {}
+    for scheduler in SCHEDULERS:
+        per_n = {}
+        for num_nodes in NODE_COUNTS:
+            fast = _run_phases(num_nodes, scheduler, fast=True)
+            reference = _run_phases(num_nodes, scheduler, fast=False)
+            # Free skip-equivalence proof at scale: the dispatch kernel and
+            # the naive reference loop must agree bit-for-bit.
+            assert dataclasses.asdict(fast["metrics"]) == dataclasses.asdict(
+                reference["metrics"]
+            ), f"{scheduler} N={num_nodes}: kernel diverged from reference"
+            assert fast["slots"] == reference["slots"]
+            pre_pr = PRE_PR_STEADY_SLOTS_PER_S[MODE][num_nodes][scheduler]
+            per_n[str(num_nodes)] = {
+                "slots": fast["slots"],
+                "stepped_slots": fast["stepped_slots"],
+                "steady_slots_per_s": round(fast["steady_slots_per_s"], 1),
+                "total_slots_per_s": round(fast["total_slots_per_s"], 1),
+                "reference_steady_slots_per_s": round(
+                    reference["steady_slots_per_s"], 1
+                ),
+                "us_per_stepped_slot": round(
+                    1e6 * fast["elapsed_s"] / max(1, fast["stepped_slots"]), 1
+                ),
+                "speedup_vs_reference": round(
+                    fast["steady_slots_per_s"] / reference["steady_slots_per_s"], 3
+                ),
+                "speedup_vs_pre_pr_kernel": round(
+                    fast["steady_slots_per_s"] / pre_pr, 3
+                ),
+            }
+        results[scheduler] = per_n
+
+    record = dict(committed) if isinstance(committed, dict) else {}
+    record.setdefault("benchmark", "scale-sweep-sparse-telemetry")
+    record["pre_pr_kernel"] = {
+        "commit": "4d06219",
+        "note": (
+            "slot-skipping kernel before participant dispatch, same scenarios, "
+            "dev container; steady-state slots/s (measurement+drain after "
+            "warm-up).  speedup_vs_pre_pr_kernel is same-machine information; "
+            "the CI gate uses the same-run speedup_vs_reference ratio instead"
+        ),
+        "steady_slots_per_s": {
+            mode: {n: dict(per) for n, per in entries.items()}
+            for mode, entries in PRE_PR_STEADY_SLOTS_PER_S.items()
+        },
+    }
+    record.setdefault("modes", {})
+    record["modes"] = dict(record["modes"])
+    record["modes"][MODE] = {
+        "node_counts": list(NODE_COUNTS),
+        "warmup_s": WARMUP_S,
+        "measurement_s": MEASUREMENT_S,
+        "drain_s": DRAIN_S,
+        "schedulers": results,
+    }
+    _write_record(record, RESULT_FILE)
+    if REBASELINE:
+        _write_record(record, BENCH_FILE)
+
+    for scheduler, per_n in results.items():
+        for count, entry in per_n.items():
+            print(
+                f"[scaling/{MODE}] {scheduler} N={count}: "
+                f"{entry['steady_slots_per_s']:,.0f} slots/s steady "
+                f"({entry['speedup_vs_reference']:.2f}x vs reference, "
+                f"{entry['speedup_vs_pre_pr_kernel']:.2f}x vs pre-PR kernel, "
+                f"{entry['us_per_stepped_slot']:.0f} us/stepped slot)"
+            )
+
+    # The dispatch kernel must beat the reference loop at every size.
+    for scheduler, per_n in results.items():
+        for count, entry in per_n.items():
+            assert entry["speedup_vs_reference"] >= 1.1, (
+                f"{scheduler} N={count}: dispatch kernel "
+                f"{entry['speedup_vs_reference']:.2f}x vs reference"
+            )
+
+    # CI regression gate at the largest N of this mode: the same-run
+    # speedup over the reference loop travels across machines; fail when it
+    # drops >30% below the committed record.
+    if ENFORCE:
+        largest = str(NODE_COUNTS[-1])
+        baseline = (
+            committed.get("modes", {}).get(MODE, {}).get("schedulers", {})
+            if isinstance(committed, dict)
+            else {}
+        )
+        for scheduler, per_n in results.items():
+            committed_speedup = (
+                baseline.get(scheduler, {}).get(largest, {}).get("speedup_vs_reference")
+            )
+            if not committed_speedup:
+                continue
+            measured = per_n[largest]["speedup_vs_reference"]
+            assert measured >= 0.7 * committed_speedup, (
+                f"{scheduler} N={largest}: steady slots/s regressed — "
+                f"{measured:.2f}x vs reference, committed "
+                f"{committed_speedup:.2f}x"
+            )

@@ -24,6 +24,7 @@ from repro.experiments.scenarios import (
     ContikiConfig,
     Scenario,
     dodag_size_scenario,
+    scale_scenario,
     slotframe_scenario,
     traffic_load_scenario,
 )
@@ -32,6 +33,7 @@ from repro.experiments.runner import (
     run_figure8,
     run_figure9,
     run_figure10,
+    run_scale,
     run_scenario,
 )
 from repro.experiments.ablation import (
@@ -52,11 +54,13 @@ __all__ = [
     "traffic_load_scenario",
     "dodag_size_scenario",
     "slotframe_scenario",
+    "scale_scenario",
     "FigureResult",
     "run_scenario",
     "run_figure8",
     "run_figure9",
     "run_figure10",
+    "run_scale",
     "run_weight_ablation",
     "run_ewma_ablation",
     "run_shared_cell_ablation",

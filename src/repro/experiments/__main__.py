@@ -40,6 +40,7 @@ from repro.experiments.runner import (
     run_figure8,
     run_figure9,
     run_figure10,
+    run_scale,
 )
 from repro.experiments.scenarios import DEFAULT_DRAIN_S, GT_TSCH, MINIMAL, ORCHESTRA
 
@@ -51,7 +52,14 @@ FIGURES = {
     "8": (run_figure8, "rates_ppm", float),
     "9": (run_figure9, "dodag_sizes", int),
     "10": (run_figure10, "unicast_lengths", int),
+    "scale": (run_scale, "node_counts", int),
 }
+
+#: Figures included in ``--figure all`` (the paper's evaluation).  The
+#: scaling sweep simulates hundreds of nodes and must be requested
+#: explicitly: ``--figure scale`` (typically with shorter windows, e.g.
+#: ``--warmup-s 20 --measurement-s 40``).
+PAPER_FIGURES = ("8", "9", "10")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,9 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--figure",
-        choices=["8", "9", "10", "all"],
+        choices=["8", "9", "10", "scale", "all"],
         default="all",
-        help="which figure to run (default: all)",
+        help="which figure to run (default: all = the paper's figures; "
+        "the 100-500-node scaling sweep must be asked for with "
+        "--figure scale)",
     )
     parser.add_argument(
         "--seeds",
@@ -210,7 +220,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _run_figures(args: argparse.Namespace) -> int:
-    figure_ids: List[str] = list(FIGURES) if args.figure == "all" else [args.figure]
+    figure_ids: List[str] = list(PAPER_FIGURES) if args.figure == "all" else [args.figure]
     if args.values is not None and len(figure_ids) != 1:
         print("--values requires a single --figure", file=sys.stderr)
         return 2

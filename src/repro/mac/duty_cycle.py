@@ -18,8 +18,9 @@ slot counters are kept as well for tests and diagnostics.
 
 Only integer slot counters are accumulated; the weighted radio-on time is
 derived from them on demand.  This keeps the meter exact under the simulation
-kernel's bulk accounting (crediting ``k`` sleep or idle-listen slots at once
-is indistinguishable from recording them one by one), where a floating-point
+kernel's deferred bulk settling (crediting ``k`` sleep or idle-listen slots
+at once, see :meth:`repro.mac.tsch.TschEngine.settle_duty_cycle`, is
+indistinguishable from recording them one by one), where a floating-point
 accumulator would drift with the order of additions.
 """
 
@@ -67,18 +68,6 @@ class DutyCycleMeter:
         """The node kept its radio off this slot."""
         self.sleep_slots += 1
         self.total_slots += 1
-
-    # -- bulk accounting (used by the slot-skipping simulation kernel) -----
-    def record_sleep_bulk(self, count: int) -> None:
-        """Credit ``count`` consecutive sleep slots at once."""
-        self.sleep_slots += count
-        self.total_slots += count
-
-    def record_idle_listen_bulk(self, count: int) -> None:
-        """Credit ``count`` consecutive idle-listen slots at once."""
-        self.rx_slots += count
-        self.idle_listen_slots += count
-        self.total_slots += count
 
     @property
     def radio_on_slot_equivalents(self) -> float:

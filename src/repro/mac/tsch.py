@@ -20,6 +20,7 @@ association dynamics do not influence them.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -83,6 +84,33 @@ SLEEP_PLAN = SlotPlan(action="sleep")
 _NO_CELLS: List["Cell"] = []
 
 
+def _intersect_progressions(a: tuple, b: tuple) -> Optional[tuple]:
+    """CRT intersection of two arithmetic progressions ``(offset, period)``.
+
+    Returns the ``(offset, period)`` of ASNs lying on both progressions, or
+    ``None`` when they never coincide.
+    """
+    offset_a, period_a = a
+    offset_b, period_b = b
+    gcd = math.gcd(period_a, period_b)
+    if (offset_b - offset_a) % gcd:
+        return None
+    lcm = period_a // gcd * period_b
+    step = period_a // gcd
+    modulus = period_b // gcd
+    # Solve offset_a + period_a * t ≡ offset_b (mod period_b).
+    t = ((offset_b - offset_a) // gcd * pow(step, -1, modulus)) % modulus
+    return ((offset_a + period_a * t) % lcm, lcm)
+
+
+def _count_progression(offset: int, period: int, start: int, end: int) -> int:
+    """Number of ASNs in [``start``, ``end``) congruent to ``offset`` mod ``period``."""
+    first = start + (offset - start) % period
+    if first >= end:
+        return 0
+    return (end - 1 - first) // period + 1
+
+
 def next_offset_occurrence(asn: int, length: int, offsets: Sequence[int]) -> Optional[int]:
     """Smallest ASN >= ``asn`` whose residue modulo ``length`` is in ``offsets``.
 
@@ -114,7 +142,20 @@ class ScheduleProfile:
       fall-through decision of :meth:`TschEngine.plan_slot`.
     """
 
-    __slots__ = ("version", "has_cells", "has_rx", "frame_offsets", "_frames", "_single")
+    __slots__ = (
+        "version",
+        "has_cells",
+        "has_rx",
+        "frame_offsets",
+        "_frames",
+        "_single",
+        "_tx_match",
+        "_rx_incexc",
+    )
+
+    #: Above this many RX progressions the 2^k inclusion-exclusion expansion
+    #: stops paying off and window counting falls back to the merged walk.
+    MAX_INCEXC_PROGRESSIONS = 6
 
     def __init__(self, slotframes: Sequence[Slotframe], version: int) -> None:
         self.version = version
@@ -165,9 +206,60 @@ class ScheduleProfile:
             self._frames.append(
                 (sf.length, rx_offsets, prefix, broadcast_tx, anycast_tx, neighbor_tx)
             )
+        #: Per frame: (length, broadcast offsets, anycast offsets, offset ->
+        #: dedicated neighbors) as set-based lookups for :meth:`matches_tx_at`.
+        self._tx_match = []
+        for length, _, _, broadcast_tx, anycast_tx, neighbor_tx in self._frames:
+            neighbors_at: Dict[int, set] = {}
+            for neighbor, offsets in neighbor_tx.items():
+                for offset in offsets:
+                    neighbors_at.setdefault(offset, set()).add(neighbor)
+            self._tx_match.append(
+                (length, frozenset(broadcast_tx), frozenset(anycast_tx), neighbors_at)
+            )
         self.has_cells = any(offsets for _, offsets in self.frame_offsets)
         self.has_rx = any(frame[1] for frame in self._frames)
         self._single = len(self._frames) == 1
+        self._rx_incexc = None if self._single else self._build_rx_incexc()
+
+    def _build_rx_incexc(self) -> Optional[List[tuple]]:
+        """Inclusion-exclusion terms for counting multi-slotframe RX slots.
+
+        The node's RX occurrences are a union of arithmetic progressions
+        (one per RX offset per slotframe).  For a handful of progressions the
+        union size over any window is a signed sum over their pairwise /
+        higher CRT intersections, each itself a progression -- giving an O(1)
+        :meth:`count_idle_listen` independent of the window length.  Returns
+        ``None`` when there are too many progressions (fall back to the
+        walk).
+        """
+        progressions: List[tuple] = []
+        seen = set()
+        for frame in self._frames:
+            length, rx_offsets = frame[0], frame[1]
+            for offset in rx_offsets:
+                key = (offset % length, length)
+                if key not in seen:
+                    seen.add(key)
+                    progressions.append(key)
+        if not progressions or len(progressions) > self.MAX_INCEXC_PROGRESSIONS:
+            return None
+        # merged[mask] = the intersection progression of the chosen subset
+        # (or None when empty); standard subset DP over the lowest set bit.
+        count = len(progressions)
+        merged: List[Optional[tuple]] = [None] * (1 << count)
+        terms: List[tuple] = []
+        for mask in range(1, 1 << count):
+            low = (mask & -mask).bit_length() - 1
+            rest = mask & (mask - 1)
+            if rest == 0:
+                merged[mask] = progressions[low]
+            elif merged[rest] is not None:
+                merged[mask] = _intersect_progressions(merged[rest], progressions[low])
+            if merged[mask] is not None:
+                sign = 1 if bin(mask).count("1") % 2 else -1
+                terms.append((sign, merged[mask][0], merged[mask][1]))
+        return terms
 
     def next_tx_asn(
         self,
@@ -209,6 +301,34 @@ class ScheduleProfile:
                             best = occurrence
         return best
 
+    def matches_tx_at(
+        self,
+        asn: int,
+        destinations: set,
+        has_broadcast: bool,
+        has_unicast: bool,
+    ) -> bool:
+        """Whether any TX cell active at ``asn`` could carry a queued packet.
+
+        The match rule is exactly :meth:`TschEngine._packet_for_cell`'s: a
+        broadcast cell carries a broadcast frame (or, when shared and
+        neighbor-less, any unicast frame), a dedicated cell carries frames to
+        its neighbor, a neighbor-less TX cell carries any unicast frame.
+        ``False`` proves the slot's plan cannot involve the queue or CSMA
+        state, so the engine may serve it from the interned idle plans.
+        """
+        for length, broadcast_set, anycast_set, neighbors_at in self._tx_match:
+            residue = asn % length
+            if has_broadcast and residue in broadcast_set:
+                return True
+            if has_unicast:
+                if residue in anycast_set:
+                    return True
+                neighbors = neighbors_at.get(residue)
+                if neighbors is not None and not destinations.isdisjoint(neighbors):
+                    return True
+        return False
+
     @staticmethod
     def _count_residues(prefix: List[int], length: int, start_asn: int, end_asn: int) -> int:
         """Count ASNs in [start_asn, end_asn) whose residue is marked in ``prefix``."""
@@ -233,7 +353,14 @@ class ScheduleProfile:
         if self._single:
             length, _, prefix = self._frames[0][:3]
             return self._count_residues(prefix, length, start_asn, end_asn)
-        # Multiple slotframes: walk the merged arithmetic progressions of RX
+        if self._rx_incexc is not None:
+            # Union of few arithmetic progressions: signed sum over their CRT
+            # intersections, O(1) in the window length.
+            total = 0
+            for sign, offset, period in self._rx_incexc:
+                total += sign * _count_progression(offset, period, start_asn, end_asn)
+            return total
+        # Many progressions: walk the merged arithmetic progressions of RX
         # occurrences, deduplicating ASNs covered by several frames.  Costs
         # O(listen slots), independent of the window length.
         heads: List[List[int]] = []
@@ -298,6 +425,26 @@ class TschEngine:
         #: Invoked after every schedule mutation; the network hooks this to
         #: invalidate its active-offset index.
         self.on_schedule_change: Optional[Callable[[], None]] = None
+        #: Invoked after every MAC-queue mutation (packet accepted, removed,
+        #: or re-addressed); the network hooks this to maintain its backlog
+        #: index (the set of nodes that could possibly transmit), so the
+        #: slot-skipping kernel never scans idle nodes for queued packets.
+        self.on_queue_change: Optional[Callable[[], None]] = None
+        #: Monotonic counter covering every MAC-queue mutation; paired with
+        #: :attr:`schedule_version` it guards the kernel's cached per-node
+        #: "next possible transmission" horizon.
+        self.queue_version = 0
+        #: Memoised :meth:`queue_signature` and the queue version it was
+        #: computed at.
+        self._signature: Tuple[bool, bool, set] = (False, False, set())
+        self._signature_version = -1
+        #: ASN up to which this node's duty-cycle accounting is complete.
+        #: Owned by the network's dispatch kernel: slots in
+        #: ``[duty_accounted_asn, clock.asn)`` not yet recorded on the meter
+        #: are slots the node provably spent sleeping or idle-listening per
+        #: its (constant-over-the-window) schedule, credited lazily in bulk
+        #: by :meth:`settle_duty_cycle`.
+        self.duty_accounted_asn = 0
         #: Slotframes sorted by handle (the planning precedence order).
         self._frames: Optional[List[Slotframe]] = None
         #: Memoised sorted active-cell lists keyed by slot-offset residue(s).
@@ -465,6 +612,40 @@ class TschEngine:
             self._profile = profile
         return profile
 
+    def cached_profile(self) -> Optional[ScheduleProfile]:
+        """The last built :class:`ScheduleProfile`, possibly stale, or None.
+
+        Right after a schedule mutation this still describes the
+        *pre-mutation* schedule, which is exactly what the network needs to
+        settle the deferred duty-cycle window that accumulated under it.
+        """
+        return self._profile
+
+    def settle_duty_cycle(self, asn: int, profile: Optional[ScheduleProfile] = None) -> None:
+        """Credit the deferred window ``[duty_accounted_asn, asn)`` in bulk.
+
+        The kernel guarantees every slot in the window was spent according to
+        ``profile`` (the engine's current one when not given): idle-listening
+        where the profile has an active RX cell, sleeping everywhere else.
+        Integer bulk credits make the meter bit-identical to per-slot
+        recording.  Callers that just mutated the schedule must pass the
+        pre-mutation profile (see :meth:`cached_profile`).
+        """
+        accounted = self.duty_accounted_asn
+        if accounted >= asn:
+            return
+        if profile is None:
+            profile = self.schedule_profile()
+        window = asn - accounted
+        meter = self.duty_cycle
+        idle = profile.count_idle_listen(accounted, asn) if profile.has_rx else 0
+        if idle:
+            meter.rx_slots += idle
+            meter.idle_listen_slots += idle
+        meter.sleep_slots += window - idle
+        meter.total_slots += window
+        self.duty_accounted_asn = asn
+
     # ------------------------------------------------------------------
     # queue interface (used by the node / upper layers)
     # ------------------------------------------------------------------
@@ -474,11 +655,50 @@ class TschEngine:
         accepted = self.queue.add(packet)
         if accepted:
             self._attempts.setdefault(packet.packet_id, 0)
+            self.mark_queue_mutated()
         return accepted
+
+    def mark_queue_mutated(self) -> None:
+        """Record a queue mutation and propagate it to the network kernel.
+
+        Called internally after enqueue/dequeue; the node also calls it after
+        re-addressing queued packets on a parent switch (the packet set is
+        unchanged but the destinations the kernel's horizon cache was computed
+        from are not).
+        """
+        self.queue_version += 1
+        if self.on_queue_change is not None:
+            self.on_queue_change()
+
+    def _dequeue(self, packet: Packet) -> None:
+        """Remove ``packet`` after delivery or drop, notifying the backlog index."""
+        self.queue.remove(packet)
+        self._attempts.pop(packet.packet_id, None)
+        self.mark_queue_mutated()
 
     def queue_length(self) -> int:
         """Current number of queued packets (the game's ``q_i(t)``)."""
         return len(self.queue)
+
+    def queue_signature(self) -> Tuple[bool, bool, set]:
+        """``(has_broadcast, has_unicast, unicast destinations)`` of the queue.
+
+        Memoised per :attr:`queue_version`; the slot planner and the network
+        kernel use it to decide which TX cells could carry the current
+        backlog without walking the queue on every slot.
+        """
+        if self._signature_version != self.queue_version:
+            has_broadcast = False
+            destinations: set = set()
+            for packet in self.queue:
+                destination = packet.link_destination
+                if destination == BROADCAST_ADDRESS:
+                    has_broadcast = True
+                else:
+                    destinations.add(destination)
+            self._signature = (has_broadcast, bool(destinations), destinations)
+            self._signature_version = self.queue_version
+        return self._signature
 
     def data_queue_length(self) -> int:
         """Number of queued application-data packets."""
@@ -501,23 +721,38 @@ class TschEngine:
         Ties between cells are broken by GT-TSCH purpose priority, then by
         slotframe handle.
         """
-        if self.cache_enabled and not len(self.queue):
-            # With nothing queued, the decision cannot involve transmission,
-            # CSMA state or the queue: for a single-slotframe schedule it is a
-            # pure function of the slot residue and the hopping phase.
+        if self.cache_enabled:
+            if len(self.queue):
+                has_broadcast, has_unicast, destinations = self.queue_signature()
+                if self.schedule_profile().matches_tx_at(
+                    asn, destinations, has_broadcast, has_unicast
+                ):
+                    return self._plan_slot_impl(asn)
+            # No queued packet can match any TX cell at this ASN (trivially so
+            # for an empty queue), so the decision cannot involve the queue or
+            # CSMA state: it is a pure function of the active cells and the
+            # hopping phase.
             frames = self._frames
             if frames is None:
                 frames = self._sorted_frames()
             if len(frames) == 1:
-                key = (asn % frames[0].length, asn % self._hop_period)
-                plan = self._idle_plan_cache.get(key)
-                if plan is None:
-                    plan = self._plan_slot_impl(asn)
-                    self._idle_plan_cache[key] = plan
-                return plan
+                key: tuple = (asn % frames[0].length, asn % self._hop_period)
+            else:
+                active = self._active_cells(asn)
+                if not active:
+                    return SLEEP_PLAN
+                # The memoised active-cell list is alive (and unique) for the
+                # current schedule version, so its identity keys the plan; the
+                # cache is dropped on every mutation together with it.
+                key = (id(active), asn % self._hop_period)
+            plan = self._idle_plan_cache.get(key)
+            if plan is None:
+                plan = self._plan_slot_impl(asn, scan_tx=False)
+                self._idle_plan_cache[key] = plan
+            return plan
         return self._plan_slot_impl(asn)
 
-    def _plan_slot_impl(self, asn: int) -> SlotPlan:
+    def _plan_slot_impl(self, asn: int, scan_tx: bool = True) -> SlotPlan:
         active = self._active_cells(asn)
         if not active:
             return SLEEP_PLAN
@@ -525,7 +760,11 @@ class TschEngine:
         tx_choice: Optional[Tuple[Cell, Packet]] = None
         # An empty queue cannot feed any TX cell; skip straight to listening
         # (the reference path scans every cell, as the seed loop did).
-        cells_to_scan = active if (len(self.queue) or not self.cache_enabled) else ()
+        # ``scan_tx=False`` extends that shortcut to queues proven unmatchable
+        # at this ASN -- the scan would find no packet and touch nothing.
+        cells_to_scan = (
+            active if (scan_tx and (len(self.queue) or not self.cache_enabled)) else ()
+        )
         for cell in cells_to_scan:
             if not cell.is_tx:
                 continue
@@ -604,8 +843,7 @@ class TschEngine:
 
         if packet.is_broadcast:
             # Broadcast frames are fire-and-forget: one attempt, no ACK.
-            self.queue.remove(packet)
-            self._attempts.pop(packet.packet_id, None)
+            self._dequeue(packet)
             self.stats.broadcast_sent += 1
             return
 
@@ -617,8 +855,7 @@ class TschEngine:
             self.stats.collisions_observed += 1
 
         if result.acked:
-            self.queue.remove(packet)
-            self._attempts.pop(packet.packet_id, None)
+            self._dequeue(packet)
             self.stats.unicast_tx_packets += 1
             self.stats.unicast_acked += 1
             self.etx.record_tx(destination, True, attempts=attempts, now=now)
@@ -634,8 +871,7 @@ class TschEngine:
         if cell.is_shared:
             self.csma.on_transmission_failure(destination)
         if attempts >= 1 + self.config.max_retries:
-            self.queue.remove(packet)
-            self._attempts.pop(packet.packet_id, None)
+            self._dequeue(packet)
             self.stats.unicast_tx_packets += 1
             self.stats.mac_drops += 1
             self.etx.record_tx(destination, False, attempts=attempts, now=now)

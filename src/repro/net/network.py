@@ -19,33 +19,43 @@ every benchmark so the figures measure steady-state behaviour, as the paper
 does.
 
 The slot loop comes in two flavours.  The naive loop (``fast=False``) visits
-every single timeslot.  The default slot-skipping kernel exploits the fact
+every single timeslot and every node.  The default kernel exploits the facts
 that the schedule is periodic and mutations are observable (every
-:class:`~repro.mac.slotframe.Slotframe` mutation bumps a version counter): it
-maintains a network-wide *active-offset index* (the union of installed slot
-offsets modulo each slotframe length) to compute :meth:`Network.next_active_asn`,
-combines it with :meth:`EventQueue.peek_time`, and jumps the clock directly
-over two kinds of provably-boring runs of slots:
+:class:`~repro.mac.slotframe.Slotframe` mutation bumps a version counter),
+and that only nodes with queued packets can put energy on the air:
 
-* **idle runs** -- no node has any cell at those ASNs and no timer is due:
-  every node sleeps, which is credited in bulk;
-* **transmission-free runs** -- cells are active but no node that holds a
-  queued packet reaches a TX-capable cell before the run ends: nodes with an
-  active RX cell idle-listen, everyone else sleeps, both credited in bulk
-  from each node's :class:`~repro.mac.tsch.ScheduleProfile`.
+* a network-wide *active-offset index* (the union of installed slot offsets
+  modulo each slotframe length, with an inverted ``(length, offset) ->
+  participants`` view, maintained incrementally per mutated node) answers
+  :meth:`Network.next_active_asn`;
+* a *horizon heap* of per-node "earliest ASN whose TX cells match my queued
+  packets" entries -- guarded by queue/schedule version stamps and
+  maintained push-style through the engines' queue hooks -- answers "who
+  could transmit, and when is the next slot anyone can?";
+* both combine with :meth:`EventQueue.peek_time` to jump the clock in O(1)
+  over idle and transmission-free runs alike, and each *stepped* slot is
+  dispatched transmitter-centrically: only the due transmitters plus their
+  interference audience (precomputed by :meth:`Medium.freeze`) are planned,
+  everyone else's radio activity being a pure function of its schedule;
+* duty-cycle accounting is *deferred*: per-node windows of untouched slots
+  are settled in integer bulk (idle-listen where the schedule has an active
+  RX cell, sleep elsewhere) by
+  :meth:`~repro.mac.tsch.TschEngine.settle_duty_cycle`, with schedule
+  mutations as settlement barriers.
 
-Neither kind of slot fires callbacks, draws random numbers, or touches the
-medium in the naive loop, and the duty-cycle meter counts integer slots, so
-the kernel's finalized metrics are bit-identical to the naive loop's.
+Jumped slots and unvisited nodes provably fire no callbacks, draw no random
+numbers and touch nothing but integer counters, and visited nodes are
+processed in node insertion order, so the kernel's finalized metrics are
+bit-identical to the naive loop's.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.mac.tsch import SlotPlan, next_offset_occurrence
-from repro.net.packet import BROADCAST_ADDRESS
 from repro.metrics.collector import MetricsCollector, NetworkMetrics
 from repro.net.node import Node, NodeConfig
 from repro.net.topology import TopologyBuilder
@@ -93,6 +103,41 @@ class Network:
         self._node_list: List[Node] = []
         self._single_length = 0
         self._single_offsets: List[int] = []
+        #: Inverted participant index (maintained incrementally, see
+        #: :meth:`_refresh_active_index`): ``slotframe length -> slot offset
+        #: -> {node order index -> node}`` -- dicts make one node's
+        #: contribution removable in O(its cells) when only that node's
+        #: schedule changed, and keying by order index lets dispatch restore
+        #: node insertion order.  Queried per slot by the dispatch loop and
+        #: through :meth:`_participants_at`.
+        self._part_tables: Dict[int, Dict[int, Dict[int, Node]]] = {}
+        #: node id -> set of (length, offset) pairs it currently contributes.
+        self._node_contrib: Dict[int, set] = {}
+        #: Reference counts behind the active-offset union: ``length ->
+        #: offset -> number of contributing nodes``.
+        self._offset_counts: Dict[int, Dict[int, int]] = {}
+        #: Nodes whose schedule changed since the last index refresh; only
+        #: their contributions are recomputed.
+        self._dirty_nodes: set = set()
+        #: node id -> position in :attr:`_node_list` (multi-length dispatch
+        #: merges participant buckets back into insertion order with this).
+        self._node_order: Dict[int, int] = {}
+        #: Backlog index: nodes currently holding at least one queued packet,
+        #: push-maintained through :attr:`TschEngine.on_queue_change`.  Only
+        #: these nodes can make a slot "risky", so the kernel's transmission
+        #: horizon tracking is bounded by backlogged nodes, not network size.
+        self._backlogged: Dict[int, Node] = {}
+        #: Min-heap of per-node TX horizons: ``(occurrence, order index,
+        #: node, queue version, schedule version)``.  An entry is authoritative
+        #: only while both versions still match its node (stale entries are
+        #: discarded lazily when they surface); nodes listed in
+        #: :attr:`_risky_dirty` need their horizon (re)computed.
+        self._risky_heap: List[tuple] = []
+        self._risky_dirty: set = set()
+        #: Slots actually stepped (planned + arbitrated) by the dispatch
+        #: kernel, as opposed to slots jumped in bulk; the scaling benchmark
+        #: divides wall-clock by this to report per-active-slot cost.
+        self.stepped_slots = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -121,11 +166,17 @@ class Network:
         node.set_metrics(self.metrics)
         if traffic is not None:
             node.set_traffic_generator(traffic)
-        node.tsch.on_schedule_change = self._on_schedule_change
+        node.tsch.on_schedule_change = lambda bound=node: self._on_schedule_change(bound)
+        node.tsch.on_queue_change = lambda bound=node: self._on_queue_change(bound)
+        # A node created mid-run owes no duty-cycle accounting for the slots
+        # that elapsed before it existed.
+        node.tsch.duty_accounted_asn = self.clock.asn
         self.nodes[node_id] = node
         self.medium.register_node(node_id, position)
+        self._dirty_nodes.add(node)
         self._active_index_dirty = True
         self._node_list = list(self.nodes.values())
+        self._node_order = {n.node_id: i for i, n in enumerate(self._node_list)}
         return node
 
     def build_from_topology(
@@ -170,7 +221,13 @@ class Network:
     # execution
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start every node's protocol machinery (idempotent)."""
+        """Start every node's protocol machinery (idempotent).
+
+        The topology is final once the network starts, so the medium's dense
+        PRR / interference tables are precomputed here in one pass (adding a
+        node later un-freezes and the next start of a slot run re-freezes).
+        """
+        self.medium.freeze()
         if self._started:
             return
         self._started = True
@@ -178,33 +235,128 @@ class Network:
             node.start()
 
     def step_slot(self) -> None:
-        """Advance the whole network by one TSCH timeslot."""
+        """Advance the whole network by one TSCH timeslot.
+
+        Public per-slot entry point: dispatches the slot through the
+        participant index and then settles every node's deferred sleep
+        accounting, so duty-cycle meters are exact after each call.  The
+        slot-skipping kernel calls :meth:`_step_slot_dispatch` directly and
+        settles once per :meth:`run_slots` instead.
+        """
+        self._step_slot_dispatch()
+        self._flush_duty_cycle()
+
+    def _step_slot_dispatch(self) -> None:
+        """Advance one timeslot, planning only the nodes that matter to it.
+
+        Transmitter-centric two-phase dispatch:
+
+        1. plan the nodes whose queued packets match a TX cell at this ASN --
+           the only possible transmitters, named directly by the horizon heap
+           (:meth:`_collect_transmitters`); planning them applies all CSMA
+           bookkeeping.  If none transmits, the slot is over: every node's
+           radio activity is the pure idle-listen/sleep function of its
+           schedule that :meth:`~repro.mac.tsch.TschEngine.settle_duty_cycle`
+           credits in bulk, and the medium draws nothing.
+        2. otherwise additionally plan the transmitters' interference
+           audience (precomputed at medium freeze): only those nodes can draw
+           RNG numbers or decode.  Listeners outside every audience hear
+           nothing by construction, so deferring them as idle-listeners is
+           bit-identical; audience members without a cell at this ASN (per
+           the inverted participant index) provably sleep and are skipped
+           without planning.
+
+        Nodes are visited in insertion order throughout, so intents,
+        listeners, and therefore arbitration and the RNG stream are exactly
+        those of the full per-node scan.
+        """
         asn = self.clock.asn
         now = self.clock.now
-        # 1. fire asynchronous timers due at or before this slot boundary.
+        # 1. fire asynchronous timers due at or before this slot boundary
+        # (these may mutate schedules and queues, so they run before the
+        # participant lookup below).
         self.events.run_until(now)
+        self.stepped_slots += 1
 
-        # 2. every node plans its slot.  Sleeping nodes are accounted right
-        # away (their slot cannot be affected by the arbitration below).
+        # 2a. the possible transmitters plan first (CSMA side effects
+        # included); they are the only nodes that can put energy on the air,
+        # and the horizon heap names them without scanning anyone else.
         tx_plans: List[SlotPlan] = []
         intents = []
         intent_owners: List[int] = []
-        rx_nodes: List[Node] = []
-        listeners: Dict[int, int] = {}
-        for node in self._node_list:
+        planned: Dict[int, SlotPlan] = {}
+        for node in self._collect_transmitters(asn):
             plan = node.tsch.plan_slot(asn)
-            if plan.action == "sleep":
-                node.tsch.duty_cycle.record_sleep()
-            elif plan.action == "tx":
+            planned[node.node_id] = plan
+            if plan.action == "tx":
                 intents.append(node.tsch.build_intent(plan))
                 intent_owners.append(node.node_id)
                 tx_plans.append(plan)
-            else:
-                rx_nodes.append(node)
-                listeners[node.node_id] = plan.channel
 
-        # 3. the medium arbitrates.
-        results = self.medium.resolve_slot(intents, listeners)
+        if not intents:
+            # Transmission-free slot: nothing reaches the medium, no RNG is
+            # drawn, and every participant's duty cycle stays the pure
+            # function of its schedule that deferred settling reproduces.
+            self.clock.advance_slot()
+            return
+
+        # 2b. the transmitters' interference audience completes the slot;
+        # sleeping visited nodes are accounted right away (their slot cannot
+        # be affected by the arbitration below), unreachable listeners stay
+        # deferred.
+        if not self.medium.frozen:
+            # Normally done by start(); covers direct step_slot() use.
+            self.medium.freeze()
+        audience: set = set(planned)
+        audience_of = self.medium.audience_of
+        for node_id in intent_owners:
+            audience |= audience_of(node_id)
+        # This ASN's participant buckets from the inverted index: an audience
+        # member with a cell in none of them provably sleeps, so it is
+        # skipped without even being planned.
+        if self._active_index_dirty:
+            self._refresh_active_index()
+        buckets: List[Dict[int, Node]] = []
+        for length, table in self._part_tables.items():
+            bucket = table.get(asn % length)
+            if bucket:
+                buckets.append(bucket)
+        order = self._node_order
+        rx_nodes: List[Node] = []
+        listeners: Dict[int, int] = {}
+        by_channel: Dict[int, List[int]] = {}
+        next_asn = asn + 1
+        nodes = self.nodes
+        for node_id in sorted(audience, key=order.__getitem__):
+            node = nodes[node_id]
+            plan = planned.get(node_id)
+            if plan is None:
+                node_order = order[node_id]
+                if not any(node_order in bucket for bucket in buckets):
+                    continue
+                plan = node.tsch.plan_slot(asn)
+            if plan.action == "sleep":
+                # A sleeping slot is exactly what deferred settling credits
+                # for this residue (no RX option there), so leave it lazy.
+                continue
+            engine = node.tsch
+            if engine.duty_accounted_asn < asn:
+                engine.settle_duty_cycle(asn)
+            engine.duty_accounted_asn = next_asn
+            if plan.action == "rx":
+                rx_nodes.append(node)
+                listeners[node_id] = plan.channel
+                bucket = by_channel.get(plan.channel)
+                if bucket is None:
+                    by_channel[plan.channel] = [node_id]
+                else:
+                    bucket.append(node_id)
+            # TX nodes are accounted in step 4c with the other transmitter
+            # bookkeeping.
+
+        # 3. the medium arbitrates (the per-channel listener grouping was
+        # built for free while planning).
+        results = self.medium.resolve_slot(intents, listeners, by_channel)
 
         # 4a. deliver decoded frames.  A unicast frame may be *decoded* by
         # overhearing neighbours (they listened on the same channel), but only
@@ -274,32 +426,99 @@ class Network:
         for node_id, result in zip(intent_owners, results):
             self.nodes[node_id].tsch.on_transmission_result(plans[node_id], result, asn, now)
 
+        next_asn = asn + 1
         for node_id, plan in plans.items():
-            self.nodes[node_id].tsch.account_slot(
-                plan, frame_received=node_id in nodes_that_received
-            )
+            engine = self.nodes[node_id].tsch
+            engine.account_slot(plan, frame_received=node_id in nodes_that_received)
+            # Per-slot accounting is complete; keep the deferred-accounting
+            # watermark in step so settle hooks firing later are no-ops.
+            engine.duty_accounted_asn = next_asn
 
         self.clock.advance_slot()
 
     # ------------------------------------------------------------------
     # slot-skipping kernel
     # ------------------------------------------------------------------
-    def _on_schedule_change(self) -> None:
-        """Some node's schedule mutated; the active-offset index is stale."""
+    def _on_schedule_change(self, node: Node) -> None:
+        """``node``'s schedule mutated; its index contributions are stale.
+
+        The node's deferred duty-cycle window is settled first, under the
+        *pre-mutation* profile it accumulated under -- after this, windows
+        only ever span a constant schedule, which is what makes lazy
+        idle-listen/sleep accounting exact.
+        """
+        engine = node.tsch
+        asn = self.clock.asn
+        if engine.duty_accounted_asn < asn:
+            profile = engine.cached_profile()
+            if profile is not None:
+                engine.settle_duty_cycle(asn, profile)
+            else:
+                # No profile was ever derived: the node never had a cell, so
+                # the whole window is sleep.
+                meter = engine.duty_cycle
+                debt = asn - engine.duty_accounted_asn
+                meter.sleep_slots += debt
+                meter.total_slots += debt
+                engine.duty_accounted_asn = asn
+        self._dirty_nodes.add(node)
         self._active_index_dirty = True
+        if node.node_id in self._backlogged:
+            self._risky_dirty.add(node)
 
     def _refresh_active_index(self) -> None:
-        """Rebuild the active-offset index if any node's schedule changed."""
+        """Re-index the nodes whose schedule changed since the last refresh.
+
+        Both kernel indexes are derived from the per-node
+        :class:`ScheduleProfile`: the active-offset union (``length -> sorted
+        offsets``, feeding :meth:`next_active_asn`) and the inverted
+        participant index (``length -> offset -> nodes``, feeding
+        :meth:`_participants_at`).  Maintenance is incremental -- a schedule
+        mutation re-indexes only that node's cells, so a 6top ADD/DELETE or a
+        GT-TSCH load-balancing move costs O(that node's cells), not O(network
+        size) -- while participant buckets are kept in node insertion order so
+        dispatch plans nodes exactly as the full per-node scan would.
+        """
         if not self._active_index_dirty:
             return
-        union: Dict[int, set] = {}
-        for node in self.nodes.values():
-            for length, offsets in node.tsch.schedule_profile().frame_offsets:
-                if offsets:
-                    union.setdefault(length, set()).update(offsets)
-        self._active_index = {
-            length: sorted(offsets) for length, offsets in union.items()
-        }
+        stale_lengths: set = set()
+        for node in self._dirty_nodes:
+            node_id = node.node_id
+            order = self._node_order[node_id]
+            old_contrib = self._node_contrib.get(node_id, frozenset())
+            profile = node.tsch.schedule_profile()
+            new_contrib = set()
+            for length, offsets in profile.frame_offsets:
+                for offset in offsets:
+                    new_contrib.add((length, offset))
+            for length, offset in old_contrib - new_contrib:
+                del self._part_tables[length][offset][order]
+                counts = self._offset_counts[length]
+                counts[offset] -= 1
+                if not counts[offset]:
+                    del counts[offset]
+                    del self._part_tables[length][offset]
+                    stale_lengths.add(length)
+            for length, offset in new_contrib - old_contrib:
+                table = self._part_tables.setdefault(length, {})
+                table.setdefault(offset, {})[order] = node
+                counts = self._offset_counts.setdefault(length, {})
+                if offset not in counts:
+                    counts[offset] = 1
+                    stale_lengths.add(length)
+                else:
+                    counts[offset] += 1
+            self._node_contrib[node_id] = new_contrib
+        self._dirty_nodes.clear()
+        # Re-sort only the per-length offset unions whose membership changed.
+        for length in stale_lengths:
+            offsets = self._offset_counts.get(length)
+            if offsets:
+                self._active_index[length] = sorted(offsets)
+            else:
+                self._active_index.pop(length, None)
+                self._offset_counts.pop(length, None)
+                self._part_tables.pop(length, None)
         # Unpacked single-slotframe-length form for the kernel's hot loop.
         if len(self._active_index) == 1:
             ((self._single_length, self._single_offsets),) = self._active_index.items()
@@ -307,6 +526,45 @@ class Network:
             self._single_length = 0
             self._single_offsets = []
         self._active_index_dirty = False
+
+    def _participants_at(self, asn: int) -> List[Node]:
+        """Nodes with any installed cell active at ``asn``, in insertion order.
+
+        Derived on demand from the inverted index's buckets (dispatch reads
+        those directly; this is the introspection/test query).  Only these
+        nodes can plan anything but ``sleep`` at this ASN.
+        """
+        if self._active_index_dirty:
+            self._refresh_active_index()
+        merged: Dict[int, Node] = {}
+        for length, table in self._part_tables.items():
+            bucket = table.get(asn % length)
+            if bucket:
+                merged.update(bucket)
+        return [merged[order] for order in sorted(merged)]
+
+    def _on_queue_change(self, node: Node) -> None:
+        """A node's MAC queue mutated; update the backlog and horizon indexes."""
+        if len(node.tsch.queue):
+            self._backlogged[node.node_id] = node
+            self._risky_dirty.add(node)
+        else:
+            self._backlogged.pop(node.node_id, None)
+            self._risky_dirty.discard(node)
+
+    def _flush_duty_cycle(self) -> None:
+        """Settle every node's deferred duty-cycle window up to the clock.
+
+        Slots in ``[duty_accounted_asn, asn)`` were never explicitly
+        recorded, which the kernel only allows while the node's schedule is
+        unchanged over the window (schedule mutations settle eagerly): the
+        node idle-listened exactly where its profile has an active RX cell
+        and slept everywhere else, so integer bulk credits reproduce the
+        per-slot loop's counters exactly.
+        """
+        asn = self.clock.asn
+        for node in self._node_list:
+            node.tsch.settle_duty_cycle(asn)
 
     def next_active_asn(self, asn: int) -> Optional[int]:
         """Smallest ASN >= ``asn`` at which any node has a cell installed.
@@ -345,61 +603,126 @@ class Network:
             candidate -= 1
         return candidate if candidate < limit else limit
 
+    def _push_horizon(self, node: Node, asn: int) -> None:
+        """(Re)compute ``node``'s earliest TX-capable ASN >= ``asn`` and heap it.
+
+        Nothing is pushed when no installed cell can ever carry the node's
+        backlog; the node re-enters the heap through :attr:`_risky_dirty`
+        when its queue or schedule changes.
+        """
+        engine = node.tsch
+        has_broadcast, has_unicast, destinations = engine.queue_signature()
+        occurrence = engine.schedule_profile().next_tx_asn(
+            asn, destinations, has_broadcast, has_unicast
+        )
+        if occurrence is not None:
+            heappush(
+                self._risky_heap,
+                (
+                    occurrence,
+                    self._node_order[node.node_id],
+                    node,
+                    engine.queue_version,
+                    engine.schedule_version,
+                ),
+            )
+
+    def _refresh_horizons(self) -> None:
+        """Recompute the TX horizon of every node whose state changed."""
+        if not self._risky_dirty:
+            return
+        asn = self.clock.asn
+        backlogged = self._backlogged
+        for node in self._risky_dirty:
+            if node.node_id in backlogged:
+                self._push_horizon(node, asn)
+        self._risky_dirty.clear()
+
     def _next_risky_asn(self, asn: int, limit: int) -> int:
         """First ASN in [``asn``, ``limit``] at which a transmission is possible.
 
         A slot is "risky" when some node that currently holds queued packets
-        reaches a TX-capable cell: such a slot can mutate queues, CSMA state
-        and the medium, so it must be stepped.  The test is conservative (the
-        packet may not match the cell), which only costs a stepped slot, never
-        correctness.  Queues cannot change inside a transmission-free,
-        event-free run, so the answer stays valid across the whole jump.
-        """
-        best = limit
-        for node in self._node_list:
-            queue = node.tsch.queue
-            if not len(queue):
-                continue
-            destinations = set()
-            has_broadcast = False
-            has_unicast = False
-            for packet in queue:
-                destination = packet.link_destination
-                if destination == BROADCAST_ADDRESS:
-                    has_broadcast = True
-                else:
-                    has_unicast = True
-                    destinations.add(destination)
-            occurrence = node.tsch.schedule_profile().next_tx_asn(
-                asn, destinations, has_broadcast, has_unicast
-            )
-            if occurrence is not None and occurrence < best:
-                best = occurrence
-                if best <= asn:
-                    break
-        return best
+        reaches a TX cell that could carry one of them: such a slot can
+        mutate queues, CSMA state and the medium, so it must be stepped.  The
+        test is conservative (CSMA back-off is ignored), which only costs a
+        stepped slot, never correctness.  Queues cannot change inside a
+        transmission-free, event-free run, so the answer stays valid across
+        the whole jump.
 
-    def _skip_slots(self, start_asn: int, target_asn: int) -> None:
-        """Leap the clock over the transmission-free run [``start_asn``,
-        ``target_asn``) in one jump.
-
-        Nodes whose schedule has RX cells inside the run are credited their
-        idle-listen slots, everyone else sleeps; the accounting is
-        integer-exact, so the finalized duty-cycle equals the naive loop's.
-        (Fully idle runs — no cells at all — are handled by an inlined bulk
-        sleep in :meth:`run_slots`.)
+        The horizons live in a min-heap of per-node occurrences, each
+        stamped with the (queue version, schedule version) it was derived
+        from: entries whose stamps no longer match, or whose node drained its
+        queue, are discarded lazily when they surface; occurrences that
+        passed unused (e.g. CSMA held the packet back) are recomputed from
+        the current ASN.  A query therefore costs O(changed nodes), not
+        O(backlog) and certainly not O(network size).
         """
-        count = target_asn - start_asn
-        for node in self._node_list:
-            profile = node.tsch.schedule_profile()
-            meter = node.tsch.duty_cycle
-            if not profile.has_rx:
-                meter.record_sleep_bulk(count)
+        self._refresh_horizons()
+        heap = self._risky_heap
+        backlogged = self._backlogged
+        while heap:
+            occurrence, _, node, queue_version, schedule_version = heap[0]
+            engine = node.tsch
+            if (
+                node.node_id not in backlogged
+                or queue_version != engine.queue_version
+                or schedule_version != engine.schedule_version
+            ):
+                heappop(heap)
                 continue
-            idle = profile.count_idle_listen(start_asn, target_asn)
-            meter.record_idle_listen_bulk(idle)
-            meter.record_sleep_bulk(count - idle)
-        self.clock.advance_slots(count)
+            if occurrence < asn:
+                heappop(heap)
+                self._push_horizon(node, asn)
+                continue
+            return occurrence if occurrence < limit else limit
+        return limit
+
+    def _collect_transmitters(self, asn: int) -> List[Node]:
+        """Backlogged nodes with a TX cell matching their queue at ``asn``.
+
+        Pops the due horizon entries off the heap (the popped nodes are
+        marked dirty, so their next occurrence is recomputed after this
+        slot's outcome) and returns the nodes in insertion order -- the only
+        candidates :meth:`_step_slot_dispatch` must plan for transmission.
+        """
+        self._refresh_horizons()
+        heap = self._risky_heap
+        backlogged = self._backlogged
+        matched: List[Node] = []
+        while heap:
+            occurrence, _, node, queue_version, schedule_version = heap[0]
+            if occurrence > asn:
+                break
+            engine = node.tsch
+            heappop(heap)
+            if (
+                node.node_id not in backlogged
+                or queue_version != engine.queue_version
+                or schedule_version != engine.schedule_version
+            ):
+                continue
+            if occurrence < asn:
+                self._push_horizon(node, asn)
+                continue
+            matched.append(node)
+            self._risky_dirty.add(node)
+        if len(matched) > 1:
+            order = self._node_order
+            matched.sort(key=lambda node: order[node.node_id])
+        return matched
+
+    def _jump_slots(self, target_asn: int) -> None:
+        """Leap the clock to ``target_asn`` without visiting any slot.
+
+        Valid over runs the kernel has proven boring -- fully idle (no cell
+        anywhere) or transmission-free (cells active but no backlogged node
+        reaches a matching TX cell): no callbacks fire, no random numbers are
+        drawn, and every node's radio activity over the run is a pure
+        function of its (unchanged) schedule, so the accounting is deferred
+        entirely to the next settle.  O(1) regardless of run length or
+        network size.
+        """
+        self.clock.asn = target_asn
         # The naive loop's run_until() advances the event clock at every slot
         # boundary it visits; mirror its final position.
         self.events.advance_to((target_asn - 1) * self.clock.slot_duration_s)
@@ -426,11 +749,10 @@ class Network:
                 self.step_slot_reference()
             return
         # The loop below is the hot kernel; the helpers it inlines
-        # (_next_event_asn / next_active_asn / _next_risky_asn / _skip_slots)
+        # (_next_event_asn / next_active_asn / _next_risky_asn / _jump_slots)
         # remain the readable reference for what each block computes.
         clock = self.clock
         events = self.events
-        node_list = self._node_list
         slot = clock.slot_duration_s
         end_asn = clock.asn + num_slots
         while clock.asn < end_asn:
@@ -478,22 +800,19 @@ class Network:
                     active = self.next_active_asn(asn)
                     target = boundary if active is None else min(active, boundary)
                 if target > asn:
-                    # Fully idle run: every node sleeps.  Inlined equivalent
-                    # of DutyCycleMeter.record_sleep_bulk per node (this is
-                    # the kernel's hottest jump).
-                    count = target - asn
-                    for node in node_list:
-                        meter = node.tsch.duty_cycle
-                        meter.sleep_slots += count
-                        meter.total_slots += count
+                    # Fully idle run: every node sleeps.  Inlined _jump_slots
+                    # (this is the kernel's hottest jump).
                     clock.asn = target
                     events.advance_to((target - 1) * slot)
                     continue
                 risky = self._next_risky_asn(asn, boundary)
                 if risky > asn:
-                    self._skip_slots(asn, risky)
+                    # Transmission-free run: active cells idle-listen, which
+                    # deferred accounting settles in bulk later.
+                    self._jump_slots(risky)
                     continue
-            self.step_slot()
+            self._step_slot_dispatch()
+        self._flush_duty_cycle()
 
     def run_seconds(self, seconds: float) -> None:
         """Run the network for (approximately) ``seconds`` of simulated time."""

@@ -255,7 +255,8 @@ class Node:
     # ------------------------------------------------------------------
     def _on_parent_changed(self, old_parent: Optional[int], new_parent: Optional[int]) -> None:
         if old_parent is not None and new_parent is not None:
-            self.tsch.queue.retarget(old_parent, new_parent)
+            if self.tsch.queue.retarget(old_parent, new_parent):
+                self.tsch.mark_queue_mutated()
         self.scheduler.on_parent_changed(old_parent, new_parent)
 
     def _on_child_added(self, child: int) -> None:

@@ -274,6 +274,47 @@ def multi_dodag_topology(
     return topo
 
 
+def scale_topology(
+    num_nodes: int,
+    nodes_per_dodag: int = 10,
+    dodag_separation: float = 500.0,
+    hop_spacing: float = 28.0,
+    max_children_per_node: int = 3,
+) -> TopologyBuilder:
+    """A large building-automation site: many paper-sized DODAGs.
+
+    The paper evaluates DODAGs of 6-9 nodes and scales by adding DODAGs
+    ("in many applications of LLNs there is no common area in wireless
+    ranges of DODAGs"); this builder extends that construction to hundreds
+    of nodes -- ``num_nodes`` total, split into DODAGs of ``nodes_per_dodag``
+    (the last one takes the remainder), each far outside the others'
+    interference range.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if nodes_per_dodag < 1:
+        raise ValueError("nodes_per_dodag must be >= 1")
+    topo = TopologyBuilder()
+    first_id = 0
+    dodag_index = 0
+    remaining = num_nodes
+    while remaining > 0:
+        size = min(nodes_per_dodag, remaining)
+        sub = single_dodag_topology(
+            num_nodes=size,
+            first_id=first_id,
+            origin=(dodag_index * dodag_separation, 0.0),
+            hop_spacing=hop_spacing,
+            max_children_per_node=max_children_per_node,
+        )
+        for spec in sub:
+            topo.add(spec)
+        first_id += size
+        remaining -= size
+        dodag_index += 1
+    return topo
+
+
 def random_topology(
     num_nodes: int,
     area: float,

@@ -83,6 +83,14 @@ class Medium:
         self._prr_cache: Dict[Tuple[int, int], float] = {}
         self._interf_cache: Dict[Tuple[int, int], bool] = {}
         self._neighbors_cache: Dict[Tuple[int, float], List[int]] = {}
+        #: Dense matrix state (populated by :meth:`freeze`): node id ->
+        #: contiguous index, and per-sender rows indexed by listener index.
+        self._frozen = False
+        self._index_of: Dict[int, int] = {}
+        self._ids: List[int] = []
+        self._prr_rows: Dict[int, List[float]] = {}
+        self._interf_rows: Dict[int, List[bool]] = {}
+        self._audience: Dict[int, frozenset] = {}
         #: Counters for diagnostics / tests.
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -96,6 +104,71 @@ class Medium:
         self._prr_cache.clear()
         self._interf_cache.clear()
         self._neighbors_cache.clear()
+        # The dense tables are stale the moment the topology changes; the next
+        # freeze() recomputes them in one pass.
+        self._frozen = False
+        self._index_of = {}
+        self._ids = []
+        self._prr_rows = {}
+        self._interf_rows = {}
+        self._audience = {}
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the dense PRR / interference tables are current."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Bulk-precompute every pairwise link query (idempotent).
+
+        Called when the topology is final (the network does this on
+        :meth:`~repro.net.network.Network.start`): one pass fills dense N x N
+        PRR and interference tables plus the default neighbor lists, so the
+        hot arbitration path never hits the lazy per-pair dict-miss path and
+        benchmarks see no cold-start jitter from first-use propagation
+        queries.  Registering (or moving) a node un-freezes the medium; the
+        values are exactly what the lazy path would have computed, so freezing
+        never changes simulation results.
+        """
+        if self._frozen:
+            return
+        ids = list(self._positions)
+        self._ids = ids
+        self._index_of = {node_id: index for index, node_id in enumerate(ids)}
+        prr = self.propagation.prr
+        in_range = self.propagation.in_interference_range
+        for a in ids:
+            position_a = self._positions[a]
+            prr_row: List[float] = []
+            interf_row: List[bool] = []
+            for b in ids:
+                if a == b:
+                    prr_row.append(0.0)
+                    interf_row.append(False)
+                else:
+                    prr_row.append(prr(position_a, self._positions[b]))
+                    interf_row.append(in_range(position_a, self._positions[b]))
+            self._prr_rows[a] = prr_row
+            self._interf_rows[a] = interf_row
+        for a in ids:
+            row = self._prr_rows[a]
+            self._neighbors_cache[(a, 0.0)] = [
+                b for index, b in enumerate(ids) if b != a and row[index] > 0.0
+            ]
+            interf_row = self._interf_rows[a]
+            self._audience[a] = frozenset(
+                b for index, b in enumerate(ids) if interf_row[index]
+            )
+        self._frozen = True
+
+    def audience_of(self, sender: int) -> frozenset:
+        """Node ids within interference range of ``sender`` (frozen medium).
+
+        Exactly the listeners that could draw an RNG number or decode when
+        ``sender`` transmits; everyone else provably hears nothing, which the
+        network's dispatch kernel exploits to leave them unplanned.
+        """
+        return self._audience[sender]
 
     def position_of(self, node_id: int) -> Position:
         return self._positions[node_id]
@@ -108,6 +181,8 @@ class Medium:
     # ------------------------------------------------------------------
     def link_prr(self, sender: int, receiver: int) -> float:
         """Interference-free PRR of the directed link sender -> receiver."""
+        if self._frozen:
+            return self._prr_rows[sender][self._index_of[receiver]]
         if sender == receiver:
             return 0.0
         key = (sender, receiver)
@@ -119,6 +194,8 @@ class Medium:
 
     def interferes(self, transmitter: int, listener: int) -> bool:
         """Whether energy from ``transmitter`` reaches ``listener`` at all."""
+        if self._frozen:
+            return self._interf_rows[transmitter][self._index_of[listener]]
         if transmitter == listener:
             return False
         key = (transmitter, listener)
@@ -153,6 +230,7 @@ class Medium:
         self,
         intents: Sequence[TransmissionIntent],
         listeners: Dict[int, int],
+        listeners_by_channel: Optional[Dict[int, List[int]]] = None,
     ) -> List[TransmissionResult]:
         """Arbitrate one timeslot.
 
@@ -164,6 +242,13 @@ class Medium:
             Mapping ``node_id -> physical channel`` for every node whose radio
             is in receive mode this slot.  Transmitting nodes must not appear
             here (half-duplex radios).
+        listeners_by_channel:
+            Optional ``channel -> listener ids`` grouping of the same
+            listeners, with each group preserving the iteration order of
+            ``listeners``.  The network's dispatch loop builds it for free
+            while planning; when absent it is derived here once per slot.
+            Either way both fast paths below share it instead of re-checking
+            every listener's channel per intent.
 
         Returns
         -------
@@ -174,24 +259,25 @@ class Medium:
         if not intents:
             return results
 
-        if len(intents) == 1 and self.fast_paths:
-            # Fast path for the overwhelmingly common single-transmitter slot:
-            # no collision is possible, so listeners resolve directly against
-            # the one intent (identical arbitration and RNG draws as below).
-            intent = intents[0]
-            result = results[0]
-            for listener, channel in listeners.items():
-                if channel != intent.channel:
-                    continue
-                if not self.interferes(intent.sender, listener):
-                    continue
-                prr = self.link_prr(intent.sender, listener)
-                if prr <= 0.0:
-                    continue
-                if self.rng.random() <= prr:
-                    result.receivers.append(listener)
-                    if intent.packet.link_destination == listener:
-                        result.delivered = True
+        channel = intents[0].channel
+        if self.fast_paths and all(intent.channel == channel for intent in intents):
+            # Fast path for the overwhelmingly common case of every
+            # transmission sharing one physical channel (a single transmitter
+            # in particular): listeners on other channels can neither decode
+            # nor collide, so only the matching channel group is visited.
+            # Within the group the listener order equals the order of
+            # ``listeners``, so arbitration and RNG draws are identical to
+            # the general path below.
+            if listeners_by_channel is not None:
+                channel_listeners: Sequence[int] = listeners_by_channel.get(channel, ())
+            else:
+                channel_listeners = [
+                    listener for listener, ch in listeners.items() if ch == channel
+                ]
+            if len(intents) == 1:
+                self._resolve_single(intents[0], results[0], channel_listeners)
+            else:
+                self._resolve_same_channel(intents, results, channel_listeners)
             self._resolve_acks(results)
             return results
 
@@ -230,6 +316,85 @@ class Medium:
 
         self._resolve_acks(results)
         return results
+
+    def _resolve_single(
+        self,
+        intent: TransmissionIntent,
+        result: TransmissionResult,
+        channel_listeners: Sequence[int],
+    ) -> None:
+        """Resolve one transmitter against its channel's listeners (no collision)."""
+        destination = intent.packet.link_destination
+        rng_random = self.rng.random
+        if self._frozen:
+            interf_row = self._interf_rows[intent.sender]
+            prr_row = self._prr_rows[intent.sender]
+            index_of = self._index_of
+            for listener in channel_listeners:
+                index = index_of[listener]
+                if not interf_row[index]:
+                    continue
+                prr = prr_row[index]
+                if prr <= 0.0:
+                    continue
+                if rng_random() <= prr:
+                    result.receivers.append(listener)
+                    if destination == listener:
+                        result.delivered = True
+            return
+        for listener in channel_listeners:
+            if not self.interferes(intent.sender, listener):
+                continue
+            prr = self.link_prr(intent.sender, listener)
+            if prr <= 0.0:
+                continue
+            if rng_random() <= prr:
+                result.receivers.append(listener)
+                if destination == listener:
+                    result.delivered = True
+
+    def _resolve_same_channel(
+        self,
+        intents: Sequence[TransmissionIntent],
+        results: List[TransmissionResult],
+        channel_listeners: Sequence[int],
+    ) -> None:
+        """Resolve several same-channel transmitters (collisions possible)."""
+        if self._frozen:
+            index_of = self._index_of
+            sender_rows = [self._interf_rows[intent.sender] for intent in intents]
+        else:
+            index_of = None
+            sender_rows = []
+        for listener in channel_listeners:
+            if index_of is not None:
+                column = index_of[listener]
+                audible = [
+                    index for index, row in enumerate(sender_rows) if row[column]
+                ]
+            else:
+                audible = [
+                    index
+                    for index, intent in enumerate(intents)
+                    if self.interferes(intent.sender, listener)
+                ]
+            if not audible:
+                continue
+            if len(audible) > 1:
+                for index in audible:
+                    if intents[index].packet.link_destination in (listener, BROADCAST_ADDRESS):
+                        results[index].collided = True
+                self.total_collisions += 1
+                continue
+            index = audible[0]
+            intent = intents[index]
+            prr = self.link_prr(intent.sender, listener)
+            if prr <= 0.0:
+                continue
+            if self.rng.random() <= prr:
+                results[index].receivers.append(listener)
+                if intent.packet.link_destination == listener:
+                    results[index].delivered = True
 
     def _resolve_acks(self, results: List[TransmissionResult]) -> None:
         """Resolve ACKs for unicast frames that reached their destination."""

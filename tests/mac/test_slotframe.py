@@ -179,3 +179,74 @@ class TestVersionTracking:
         assert sf.cells_at(4) is sf.cells_at(14)
         assert sf.cells_at(4) == [cell]
         assert sf.cells_at(5) == []
+
+
+class TestParticipantIndexInvalidation:
+    """A 6top ADD/DELETE mid-run must reach the network's participant index
+    through the Slotframe.on_change push chain before the next slot."""
+
+    def _network(self):
+        from repro.net.network import Network
+        from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+
+        network = Network()
+        for node_id in (1, 2):
+            network.add_node(
+                node_id,
+                position=(float(node_id), 0.0),
+                scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+                is_root=node_id == 1,
+            )
+        return network
+
+    def test_sixtop_add_updates_index_before_next_slot(self):
+        network = self._network()
+        engine = network.nodes[2].tsch
+        frame = engine.add_slotframe(0, 10)
+        assert network._participants_at(3) == []
+        # A 6top ADD transaction ends with both peers installing the
+        # negotiated cell -- the Slotframe mutation below is that final step.
+        cell = frame.add_cell(
+            Cell(slot_offset=3, channel_offset=0, options=CellOption.TX, neighbor=1)
+        )
+        assert network._participants_at(3) == [network.nodes[2]]
+        assert network.next_active_asn(0) == 3
+        # 6top DELETE: the cell disappears from the index immediately too.
+        frame.remove_cell(cell)
+        assert network._participants_at(3) == []
+        assert network.next_active_asn(0) is None
+
+    def test_add_mid_run_is_visible_at_the_very_next_slot(self):
+        network = self._network()
+        network.run_slots(9)
+        engine = network.nodes[1].tsch
+        # A fresh slotframe next to the minimal scheduler's own (handle 0).
+        frame = engine.add_slotframe(5, 4)
+        asn = network.clock.asn
+        assert network.nodes[1] not in network._participants_at(asn)
+        frame.add_cell(Cell(slot_offset=asn % 4, channel_offset=0, options=CellOption.RX))
+        # The index answers for the current ASN without any slot being stepped.
+        assert network.nodes[1] in network._participants_at(asn)
+
+    def test_participants_ordered_by_node_insertion(self):
+        network = self._network()
+        # Install cells in reverse node order; the bucket must still come out
+        # in node-insertion order (the dispatch kernel's RNG-order contract).
+        frame2 = network.nodes[2].tsch.add_slotframe(0, 8)
+        frame2.add_cell(Cell(slot_offset=2, channel_offset=0, options=CellOption.RX))
+        frame1 = network.nodes[1].tsch.add_slotframe(0, 8)
+        frame1.add_cell(Cell(slot_offset=2, channel_offset=0, options=CellOption.TX))
+        assert network._participants_at(2) == [network.nodes[1], network.nodes[2]]
+
+    def test_multi_length_participants_merge_and_dedupe(self):
+        network = self._network()
+        first = network.nodes[1].tsch.add_slotframe(0, 4)
+        first.add_cell(Cell(slot_offset=0, channel_offset=0, options=CellOption.RX))
+        second = network.nodes[1].tsch.add_slotframe(1, 6)
+        second.add_cell(Cell(slot_offset=0, channel_offset=0, options=CellOption.RX))
+        other = network.nodes[2].tsch.add_slotframe(0, 6)
+        other.add_cell(Cell(slot_offset=0, channel_offset=0, options=CellOption.TX, neighbor=1))
+        # ASN 0 hits every frame; node 1 appears once despite two frames.
+        assert network._participants_at(0) == [network.nodes[1], network.nodes[2]]
+        # ASN 4 hits only the length-4 frame of node 1.
+        assert network._participants_at(4) == [network.nodes[1]]

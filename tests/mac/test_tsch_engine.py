@@ -308,3 +308,98 @@ class TestReceptionAndAccounting:
         assert engine.count_cells(options=CellOption.TX) == 1
         assert engine.count_cells(neighbor=2) == 1
         assert len(engine.all_cells()) == 2
+
+
+class TestScheduleProfile:
+    """The kernel-facing derived schedule facts (see ScheduleProfile)."""
+
+    def _engine_with_frames(self):
+        engine = make_engine()
+        first = engine.add_slotframe(0, 4)
+        first.add_cell(Cell(slot_offset=1, channel_offset=0, options=CellOption.RX))
+        second = engine.add_slotframe(1, 6)
+        second.add_cell(Cell(slot_offset=1, channel_offset=0, options=CellOption.RX))
+        second.add_cell(Cell(slot_offset=5, channel_offset=0, options=CellOption.RX))
+        return engine
+
+    def test_count_idle_listen_multi_frame_matches_brute_force(self):
+        """The CRT inclusion-exclusion count equals slot-by-slot counting."""
+        engine = self._engine_with_frames()
+        profile = engine.schedule_profile()
+        assert profile._rx_incexc is not None
+
+        def brute(start, end):
+            count = 0
+            for asn in range(start, end):
+                if asn % 4 == 1 or asn % 6 in (1, 5):
+                    count += 1
+            return count
+
+        for start, end in [(0, 0), (0, 1), (0, 24), (3, 77), (120, 121), (7, 2000)]:
+            assert profile.count_idle_listen(start, end) == brute(start, end)
+
+    def test_count_idle_listen_falls_back_to_walk_when_many_progressions(self):
+        engine = make_engine()
+        first = engine.add_slotframe(0, 11)
+        second = engine.add_slotframe(1, 13)
+        for offset in range(5):
+            first.add_cell(Cell(slot_offset=offset, channel_offset=0, options=CellOption.RX))
+            second.add_cell(Cell(slot_offset=offset, channel_offset=0, options=CellOption.RX))
+        profile = engine.schedule_profile()
+        assert profile._rx_incexc is None  # 10 progressions > the 2^k cap
+
+        def brute(start, end):
+            return sum(
+                1 for asn in range(start, end) if asn % 11 < 5 or asn % 13 < 5
+            )
+
+        assert profile.count_idle_listen(3, 500) == brute(3, 500)
+
+    def test_matches_tx_at_mirrors_packet_for_cell(self):
+        engine = make_engine()
+        frame = engine.add_slotframe(0, 8)
+        frame.add_cell(
+            Cell(
+                slot_offset=2,
+                channel_offset=0,
+                options=CellOption.TX | CellOption.SHARED | CellOption.BROADCAST,
+            )
+        )
+        frame.add_cell(
+            Cell(slot_offset=5, channel_offset=0, options=CellOption.TX, neighbor=7)
+        )
+        profile = engine.schedule_profile()
+        # Broadcast frames match the shared broadcast cell only.
+        assert profile.matches_tx_at(2, set(), True, False)
+        assert not profile.matches_tx_at(5, set(), True, False)
+        # The shared neighbour-less broadcast cell also carries unicast.
+        assert profile.matches_tx_at(2, {9}, False, True)
+        # Dedicated cells match only their neighbour's packets.
+        assert profile.matches_tx_at(5, {7}, False, True)
+        assert not profile.matches_tx_at(5, {9}, False, True)
+        # Idle residues match nothing.
+        assert not profile.matches_tx_at(3, {7, 9}, True, True)
+
+    def test_queue_signature_memoised_by_queue_version(self):
+        engine = make_engine()
+        assert engine.queue_signature() == (False, False, set())
+        engine.enqueue(data_packet(destination=4))
+        has_broadcast, has_unicast, destinations = engine.queue_signature()
+        assert (has_broadcast, has_unicast, destinations) == (False, True, {4})
+        engine.enqueue(broadcast_packet())
+        has_broadcast, has_unicast, destinations = engine.queue_signature()
+        assert has_broadcast and has_unicast and destinations == {4}
+
+    def test_settle_duty_cycle_credits_idle_listen_and_sleep(self):
+        engine = self._engine_with_frames()
+        engine.settle_duty_cycle(24)
+        meter = engine.duty_cycle
+        # Residues 1 mod 4 (6 of 24) plus 1,5 mod 6 (8 of 24) minus the
+        # overlaps at 1 mod 12 and 5 mod 12 (2 each) = 10 listen slots.
+        assert meter.total_slots == 24
+        assert meter.idle_listen_slots == 10
+        assert meter.sleep_slots == 14
+        assert engine.duty_accounted_asn == 24
+        # Settling again for the same ASN is a no-op.
+        engine.settle_duty_cycle(24)
+        assert meter.total_slots == 24

@@ -172,3 +172,117 @@ class TestReferenceLoop:
             fast_meter = fast_net.nodes[node_id].tsch.duty_cycle
             naive_meter = naive_net.nodes[node_id].tsch.duty_cycle
             assert fast_meter.snapshot() == naive_meter.snapshot()
+
+
+class TestParticipantDispatch:
+    """The participant-indexed, transmitter-centric dispatch kernel."""
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_scale_scenario_bit_identical(self, scheduler, seed):
+        """Equivalence proof on the multi-DODAG scaling workload."""
+        from repro.experiments.scenarios import scale_scenario
+
+        def run(fast):
+            scenario = scale_scenario(
+                num_nodes=30,
+                scheduler=scheduler,
+                seed=seed,
+                measurement_s=6.0,
+                warmup_s=4.0,
+            )
+            network = scenario.build_network()
+            network.fast = fast
+            metrics = network.run_experiment(
+                warmup_s=4.0, measurement_s=6.0, drain_s=2.0, scheduler_name=scheduler
+            )
+            return network, metrics
+
+        fast_net, fast = run(True)
+        naive_net, naive = run(False)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(naive)
+        assert fast_net.clock.asn == naive_net.clock.asn
+        assert fast_net.medium.total_transmissions == naive_net.medium.total_transmissions
+        assert fast_net.medium.total_collisions == naive_net.medium.total_collisions
+        for node_id in naive_net.nodes:
+            assert dataclasses.asdict(fast_net.nodes[node_id].tsch.stats) == (
+                dataclasses.asdict(naive_net.nodes[node_id].tsch.stats)
+            )
+        # The dispatch kernel visits a strict subset of the slots.
+        assert 0 < fast_net.stepped_slots < fast_net.clock.asn
+
+    def test_backlog_index_tracks_queue_contents(self):
+        scenario = traffic_load_scenario(
+            rate_ppm=0.0, scheduler=MINIMAL, seed=5, measurement_s=5.0, warmup_s=5.0
+        )
+        network = scenario.build_network()
+        network.start()
+        node = network.nodes[1]
+        assert node.node_id not in network._backlogged
+        from repro.net.packet import make_data_packet
+
+        packet = make_data_packet(1, 0, created_at=0.0)
+        packet.link_destination = 0
+        node.tsch.enqueue(packet)
+        assert network._backlogged[node.node_id] is node
+        node.tsch._dequeue(packet)
+        assert node.node_id not in network._backlogged
+
+    def test_collect_transmitters_names_only_matching_nodes(self):
+        from repro.mac.cell import Cell as MacCell, CellOption as MacCellOption
+        from repro.net.packet import make_data_packet
+        from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+
+        network = Network()
+        for node_id in (1, 2, 3):
+            network.add_node(
+                node_id,
+                position=(float(node_id), 0.0),
+                scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+                is_root=node_id == 1,
+            )
+        # Node 2 can send to node 1 at offset 4 of 8; node 3 has no TX cell.
+        frame = network.nodes[2].tsch.add_slotframe(0, 8)
+        frame.add_cell(
+            MacCell(slot_offset=4, channel_offset=0, options=MacCellOption.TX, neighbor=1)
+        )
+        packet = make_data_packet(2, 1, created_at=0.0)
+        packet.link_destination = 1
+        network.nodes[2].tsch.enqueue(packet)
+        other = make_data_packet(3, 1, created_at=0.0)
+        other.link_destination = 1
+        network.nodes[3].tsch.enqueue(other)
+        assert network._collect_transmitters(4) == [network.nodes[2]]
+        # Popped entries are recomputed on the next query.
+        assert network._next_risky_asn(5, 100) == 12
+        assert network._collect_transmitters(5) == []
+
+    def test_deferred_duty_cycle_settles_on_schedule_change(self):
+        """A mid-run schedule mutation settles the pre-mutation window, so
+        idle-listen accounting never mixes two schedules."""
+        from repro.mac.cell import Cell as MacCell, CellOption as MacCellOption
+        from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
+
+        network = Network()
+        node = network.add_node(
+            1,
+            position=(0.0, 0.0),
+            scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+            is_root=True,
+        )
+        engine = node.tsch
+        frame = engine.add_slotframe(5, 4)
+        cell = frame.add_cell(
+            MacCell(slot_offset=1, channel_offset=0, options=MacCellOption.RX)
+        )
+        network.run_slots(8)
+        # Removing the RX cell settles [0, 8) under the old profile first.
+        frame.remove_cell(cell)
+        meter = engine.duty_cycle
+        listened_before = meter.idle_listen_slots
+        network.run_slots(8)
+        assert engine.duty_accounted_asn == 16
+        # The removed cell no longer listens; only the minimal scheduler's
+        # own shared cell (offset 0 mod 7, i.e. ASN 14) does in [8, 16).
+        assert meter.idle_listen_slots == listened_before + 1
+        assert meter.total_slots == 16

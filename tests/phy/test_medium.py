@@ -162,3 +162,80 @@ class TestSlotResolution:
         intents = [unicast(0, 1, 15), unicast(2, 0, 15)]
         results = medium.resolve_slot(intents, {1: 15})
         assert not results[0].delivered
+
+
+class TestFreeze:
+    def _medium(self):
+        medium = Medium(UnitDiskLossyEdgeModel(), random.Random(0))
+        medium.register_node(0, (0.0, 0.0))
+        medium.register_node(1, (10.0, 0.0))
+        medium.register_node(2, (60.0, 0.0))   # interference range only
+        medium.register_node(3, (500.0, 0.0))  # out of range entirely
+        return medium
+
+    def test_frozen_tables_match_lazy_queries(self):
+        lazy = self._medium()
+        frozen = self._medium()
+        frozen.freeze()
+        assert frozen.frozen and not lazy.frozen
+        for a in range(4):
+            for b in range(4):
+                assert frozen.link_prr(a, b) == lazy.link_prr(a, b)
+                assert frozen.interferes(a, b) == lazy.interferes(a, b)
+        assert frozen.neighbors_of(0) == lazy.neighbors_of(0)
+
+    def test_freeze_is_idempotent_and_register_unfreezes(self):
+        medium = self._medium()
+        medium.freeze()
+        medium.freeze()
+        assert medium.frozen
+        medium.register_node(4, (20.0, 0.0))
+        assert not medium.frozen
+        medium.freeze()
+        assert medium.link_prr(0, 4) > 0.0
+
+    def test_audience_of_is_the_interference_neighbourhood(self):
+        medium = self._medium()
+        medium.freeze()
+        assert medium.audience_of(0) == frozenset({1, 2})
+        assert medium.audience_of(3) == frozenset()
+
+    def test_resolve_slot_with_grouping_matches_without(self):
+        """Passing the precomputed per-channel grouping must not change
+        arbitration results or RNG draws."""
+
+        def run(grouped, fast_paths):
+            medium = perfect_medium({0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (3, 0)})
+            medium.fast_paths = fast_paths
+            medium.rng = random.Random(42)
+            listeners = {1: 15, 2: 20, 3: 15}
+            by_channel = {15: [1, 3], 20: [2]} if grouped else None
+            results = medium.resolve_slot(
+                [unicast(0, 1, channel=15)], listeners, by_channel
+            )
+            return [(r.receivers, r.delivered, r.acked) for r in results], medium.rng.random()
+
+        baseline = run(grouped=False, fast_paths=False)
+        assert run(grouped=True, fast_paths=True) == baseline
+        assert run(grouped=False, fast_paths=True) == baseline
+
+    def test_multi_transmitter_same_channel_fast_path_matches_reference(self):
+        def run(fast_paths, frozen):
+            medium = perfect_medium(
+                {0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (3, 0)},
+                interference_pairs=[(0, 3), (1, 3), (0, 2), (1, 2)],
+            )
+            if frozen:
+                medium.freeze()
+            medium.fast_paths = fast_paths
+            medium.rng = random.Random(7)
+            intents = [unicast(0, 2, channel=15), unicast(1, 3, channel=15)]
+            results = medium.resolve_slot(intents, {2: 15, 3: 15})
+            outcome = [
+                (r.receivers, r.delivered, r.acked, r.collided) for r in results
+            ]
+            return outcome, medium.total_collisions, medium.rng.random()
+
+        baseline = run(fast_paths=False, frozen=False)
+        assert run(fast_paths=True, frozen=False) == baseline
+        assert run(fast_paths=True, frozen=True) == baseline
