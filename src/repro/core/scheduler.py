@@ -102,6 +102,13 @@ class GtTschScheduler(SchedulingFunction):
         self.delete_requests_sent = 0
         self.cells_granted_to_children = 0
         self.last_game_request = 0
+        #: 6P-driven schedule churn: every cell this node installed or
+        #: removed as the outcome of a 6P transaction (ADD grants applied on
+        #: either side, DELETE removals, consistency-repair GC).  The paper's
+        #: game re-evaluates demand every load-balancing period, so sustained
+        #: relocations per period measure how far the Nash equilibrium is
+        #: from converging (ROADMAP: GT-TSCH convergence investigation).
+        self.cells_relocated = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -126,14 +133,16 @@ class GtTschScheduler(SchedulingFunction):
 
         period = self.config.load_balance_period_s
         timer_rng = node.rng_registry.stream(f"gt.timer.{node.node_id}")
+        queue = node.event_queue
         self._load_timer = PeriodicTimer(
-            node.event_queue,
+            queue,
             period,
             self._load_balance_tick,
             start_offset=timer_rng.random() * period,
             label=f"gt-load-balance.{node.node_id}",
             jitter=0.1,
             rng=timer_rng,
+            wheel=queue.wheel("gt-load"),
         )
         self._load_timer.start()
 
@@ -403,6 +412,7 @@ class GtTschScheduler(SchedulingFunction):
             self._rx_cells_by_child.setdefault(peer, []).append(cell)
             granted.append(CellDescriptor(offset, self.own_child_channel))
         self.cells_granted_to_children += len(granted)
+        self.cells_relocated += len(granted)
         return SixPReturnCode.SUCCESS, {
             "cell_list": granted,
             "num_cells": len(granted),
@@ -429,6 +439,7 @@ class GtTschScheduler(SchedulingFunction):
         for cell in sorted(cells, key=lambda c: c.slot_offset)[-surplus:]:
             slotframe.remove_cell(cell)
             self._rx_cells_by_child[peer].remove(cell)
+            self.cells_relocated += 1
 
     def _answer_delete(
         self, peer: int, message: SixPMessage
@@ -444,6 +455,7 @@ class GtTschScheduler(SchedulingFunction):
                 slotframe.remove_cell(cell)
                 my_cells.remove(cell)
                 removed.append(CellDescriptor(cell.slot_offset, cell.channel_offset))
+        self.cells_relocated += len(removed)
         return SixPReturnCode.SUCCESS, {"cell_list": removed, "num_cells": len(removed)}
 
     # ------------------------------------------------------------------
@@ -499,6 +511,7 @@ class GtTschScheduler(SchedulingFunction):
                 self._tx_sixp_cells.append(cell)
             else:
                 self._tx_data_cells.append(cell)
+            self.cells_relocated += 1
         self._pump_requests()
 
     def _on_delete_response(
@@ -514,6 +527,7 @@ class GtTschScheduler(SchedulingFunction):
             if cell.slot_offset in removed_offsets:
                 slotframe.remove_cell(cell)
                 self._tx_data_cells.remove(cell)
+                self.cells_relocated += 1
         self._pump_requests()
 
     # ------------------------------------------------------------------
@@ -653,6 +667,12 @@ class GtTschScheduler(SchedulingFunction):
     # ------------------------------------------------------------------
     # introspection (used by examples / tests)
     # ------------------------------------------------------------------
+    def relocation_count(self) -> int:
+        return self.cells_relocated
+
+    def load_balance_period_s(self) -> float:
+        return self.config.load_balance_period_s
+
     def tx_data_cell_count(self) -> int:
         return len(self._tx_data_cells)
 

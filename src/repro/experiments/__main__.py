@@ -136,7 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="run under cProfile and print the top 25 functions by cumulative time",
+        help="run under cProfile and print the top 25 functions by cumulative "
+        "time plus the last scenario's event-queue statistics (forces "
+        "--jobs 1: cProfile cannot see into worker processes)",
     )
     return parser
 
@@ -207,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cache_main(raw_argv[1:])
     args = build_parser().parse_args(raw_argv)
     if args.profile:
+        # Profiling only sees this process, so run the cells in it.
+        args.jobs = 1
         profiler = cProfile.Profile()
         profiler.enable()
         try:
@@ -215,8 +219,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("cumulative").print_stats(25)
+            _print_queue_stats()
         return exit_code
     return _run_figures(args)
+
+
+def _print_queue_stats() -> None:
+    """Event-queue statistics of the last in-process scenario run."""
+    from repro.experiments import parallel
+
+    stats = parallel.LAST_QUEUE_STATS
+    if stats is None:
+        return
+    wheels = ", ".join(
+        f"{name}: {info['members']} members / {info['fired']} fired"
+        for name, info in sorted(stats["wheels"].items())
+    )
+    print(
+        f"[event queue] live {stats['live']}, heap {stats['heap_entries']} "
+        f"({stats['cancelled_in_heap']} cancelled), "
+        f"{stats['compactions']} compactions"
+    )
+    if wheels:
+        print(f"[timer wheels] {wheels}")
 
 
 def _run_figures(args: argparse.Namespace) -> int:

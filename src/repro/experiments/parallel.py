@@ -5,12 +5,21 @@ list of fully-specified :class:`~repro.experiments.scenarios.Scenario`
 objects and returns one :class:`~repro.metrics.collector.NetworkMetrics` per
 scenario, optionally
 
-* fanning the scenarios out over a ``multiprocessing`` pool (every scenario
-  is an independent, seeded simulation, so workers are embarrassingly
-  parallel and the results are bit-identical to a serial run), and
+* fanning the scenarios out over a **persistent** ``multiprocessing`` pool
+  (every scenario is an independent, seeded simulation, so workers are
+  embarrassingly parallel and the results are bit-identical to a serial
+  run).  The pool outlives individual ``run_scenarios`` calls: repeated
+  figure sweeps reuse warm workers instead of forking a fresh pool per
+  figure, cells are dispatched with chunked ``imap_unordered`` so slow cells
+  (N=500 reference runs) do not serialise behind fast ones, and each worker
+  keeps a per-topology cache of the medium's frozen PRR/interference tables
+  (a pure function of positions and the propagation model), so the dense
+  N x N precompute is paid once per distinct topology per worker rather than
+  once per cell;
 * memoising each result on disk under a content hash of the scenario, so
   re-running a figure, extending a sweep, or adding seeds only simulates the
-  cells that have never been run before.
+  cells that have never been run before.  Cache keys are untouched by the
+  pool mechanics.
 
 The figure-level fan-out (sweep value x scheduler x seed) lives in
 :mod:`repro.experiments.runner`; this module is deliberately ignorant of
@@ -19,6 +28,7 @@ figures and only sees scenarios.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
@@ -26,7 +36,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.scenarios import Scenario
 from repro.metrics.collector import NetworkMetrics
@@ -42,15 +52,60 @@ CACHE_SCHEMA_VERSION = 2
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
+#: Per-process cache of frozen-medium snapshots, keyed by a content hash of
+#: (topology, propagation model).  Bounded: scale sweeps hold dense N x N
+#: tables (several MB at N=500), so only the most recent topologies stay.
+_FREEZE_CACHE: Dict[str, dict] = {}
+_FREEZE_CACHE_MAX = 8
+
+#: Event-queue statistics of the most recent scenario run *in this process*
+#: (surfaced by ``python -m repro.experiments --profile``, which runs
+#: serially; worker-process runs leave the parent's copy untouched).
+LAST_QUEUE_STATS: Optional[dict] = None
+
+
+def _freeze_key(scenario: Scenario) -> str:
+    """Content hash of everything the frozen medium tables depend on."""
+    from repro.phy.propagation import UnitDiskLossyEdgeModel
+
+    propagation = scenario.propagation or UnitDiskLossyEdgeModel()
+    document = {
+        "topology": _canonical(scenario.topology),
+        "propagation": _canonical(propagation),
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _warm_freeze(network, scenario: Scenario) -> None:
+    """Freeze the network's medium, reusing this process's per-topology cache.
+
+    Frozen tables are deterministic in (positions, propagation model), so
+    adopting a cached snapshot is bit-identical to freezing from scratch.
+    """
+    key = _freeze_key(scenario)
+    state = _FREEZE_CACHE.get(key)
+    if state is not None and network.medium.adopt_frozen(state):
+        return
+    network.medium.freeze()
+    if len(_FREEZE_CACHE) >= _FREEZE_CACHE_MAX:
+        _FREEZE_CACHE.pop(next(iter(_FREEZE_CACHE)))
+    _FREEZE_CACHE[key] = network.medium.export_frozen()
+
+
 def run_scenario(scenario: Scenario) -> NetworkMetrics:
     """Build, run and measure one scenario (in the current process)."""
+    global LAST_QUEUE_STATS
     network = scenario.build_network()
-    return network.run_experiment(
+    _warm_freeze(network, scenario)
+    metrics = network.run_experiment(
         warmup_s=scenario.warmup_s,
         measurement_s=scenario.measurement_s,
         drain_s=scenario.drain_s,
         scheduler_name=scenario.scheduler,
     )
+    LAST_QUEUE_STATS = network.events.stats()
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -208,10 +263,64 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+#: The persistent worker pool, shared by every ``run_scenarios`` call of this
+#: process (one pool per worker count; resizing replaces it).
+_POOL: Optional[multiprocessing.pool.Pool] = None
+_POOL_WORKERS = 0
+_POOL_ATEXIT_REGISTERED = False
+
+
+def _pool_initializer() -> None:
+    """Warm a fresh worker: pre-import the whole simulation stack.
+
+    Import cost is paid once per worker instead of inside the first task,
+    and the worker-local frozen-medium cache starts empty but live.
+    """
+    import repro.experiments.scenarios  # noqa: F401
+    import repro.net.network  # noqa: F401
+    import repro.core.scheduler  # noqa: F401
+    import repro.schedulers.orchestra  # noqa: F401
+    import repro.schedulers.minimal  # noqa: F401
+
+
+def shutdown_pool() -> None:
+    """Dispose of the persistent pool (idempotent; a new one spawns on demand)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def get_pool(workers: int) -> multiprocessing.pool.Pool:
+    """The persistent pool with exactly ``workers`` processes.
+
+    Reused across calls (and figures) when the size matches; resized
+    otherwise.  Registered for interpreter-exit cleanup once.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_ATEXIT_REGISTERED
+    if _POOL is None or _POOL_WORKERS != workers:
+        shutdown_pool()
+        _POOL = multiprocessing.Pool(processes=workers, initializer=_pool_initializer)
+        _POOL_WORKERS = workers
+        if not _POOL_ATEXIT_REGISTERED:
+            atexit.register(shutdown_pool)
+            _POOL_ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def _run_indexed(item: Tuple[int, Scenario]) -> Tuple[int, NetworkMetrics]:
+    """Pool task: run one scenario, tagged with its position in the batch."""
+    index, scenario = item
+    return index, run_scenario(scenario)
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     jobs: int = 1,
     cache: Union[None, bool, ResultCache] = None,
+    persistent_pool: bool = True,
 ) -> List[NetworkMetrics]:
     """Run many scenarios, returning metrics aligned with the input order.
 
@@ -220,6 +329,13 @@ def run_scenarios(
     scenario is a self-contained seeded simulation, so the parallel path is
     bit-identical to the serial one.  With a cache, previously-computed
     scenarios are loaded instead of re-run and fresh results are stored.
+
+    ``persistent_pool=True`` (default) reuses one long-lived pool across
+    calls with chunked unordered dispatch; ``False`` forks a fresh pool per
+    call and tears it down afterwards (the pre-existing behaviour, kept for
+    the warm-vs-fork benchmark and as an isolation escape hatch).  Results
+    are identical either way; completion order never leaks into the output,
+    which is re-assembled by index.
     """
     cache = resolve_cache(cache)
     results: List[Optional[NetworkMetrics]] = [None] * len(scenarios)
@@ -236,12 +352,33 @@ def run_scenarios(
         workers = min(resolve_jobs(jobs), len(todo))
         if workers <= 1:
             fresh = [run_scenario(scenario) for scenario in todo]
+            for index, metrics in zip(pending, fresh):
+                results[index] = metrics
+                if cache is not None:
+                    cache.put(scenarios[index], metrics)
         else:
-            with multiprocessing.Pool(processes=workers) as pool:
-                fresh = pool.map(run_scenario, todo)
-        for index, metrics in zip(pending, fresh):
-            results[index] = metrics
-            if cache is not None:
-                cache.put(scenarios[index], metrics)
+            # Chunk size balances dispatch overhead against stragglers: small
+            # chunks keep slow cells from pinning a whole chunk to one worker.
+            chunksize = max(1, len(todo) // (workers * 4))
+            tagged = list(zip(range(len(todo)), todo))
+            if persistent_pool:
+                pool = get_pool(workers)
+                iterator = pool.imap_unordered(_run_indexed, tagged, chunksize=chunksize)
+                for position, metrics in iterator:
+                    index = pending[position]
+                    results[index] = metrics
+                    if cache is not None:
+                        cache.put(scenarios[index], metrics)
+            else:
+                with multiprocessing.Pool(
+                    processes=workers, initializer=_pool_initializer
+                ) as pool:
+                    for position, metrics in pool.imap_unordered(
+                        _run_indexed, tagged, chunksize=chunksize
+                    ):
+                        index = pending[position]
+                        results[index] = metrics
+                        if cache is not None:
+                            cache.put(scenarios[index], metrics)
 
     return results  # type: ignore[return-value]

@@ -59,6 +59,20 @@ class CsmaBackoff:
         if state.window > 0:
             state.window -= 1
 
+    def settle_skips(self, neighbor: Optional[int], count: int) -> None:
+        """Apply ``count`` eligible shared-cell pass-bys in one integer step.
+
+        Exactly equivalent to ``count`` calls to
+        :meth:`on_shared_cell_skipped`; the slot-skipping kernel uses it to
+        credit a deferred run of contention slots the node provably lost
+        (window still positive at each of them) without visiting the slots.
+        """
+        if count <= 0:
+            return
+        state = self._state(neighbor)
+        if state.window > 0:
+            state.window = max(0, state.window - count)
+
     def on_transmission_success(self, neighbor: Optional[int]) -> None:
         """Reset the back-off after an acknowledged transmission."""
         state = self._state(neighbor)

@@ -112,6 +112,13 @@ class TxQueue:
     def has_packet_for(self, neighbor: Optional[int], broadcast: bool = False) -> bool:
         return self.peek_for(neighbor, broadcast=broadcast) is not None
 
+    def contains_ptype(self, ptype: PacketType) -> bool:
+        """Whether any queued packet has the given type (no list copy)."""
+        for packet in self._queue:
+            if packet.ptype is ptype:
+                return True
+        return False
+
     def remove(self, packet: Packet) -> bool:
         """Remove a specific packet instance (after delivery or drop)."""
         try:

@@ -151,6 +151,7 @@ class ScheduleProfile:
         "_single",
         "_tx_match",
         "_rx_incexc",
+        "_prune_frames",
     )
 
     #: Above this many RX progressions the 2^k inclusion-exclusion expansion
@@ -163,6 +164,12 @@ class ScheduleProfile:
         self.frame_offsets: List[tuple] = []
         #: Per slotframe: (length, rx offsets, rx prefix counts, TX offsets).
         self._frames: List[tuple] = []
+        #: Per slotframe: unicast-match TX cell census for the kernel's
+        #: shared-cell contention pruning -- ``(length, anycast offset ->
+        #: (count, all shared), neighbor -> offset -> (count, all shared))``,
+        #: following exactly :meth:`TschEngine._packet_for_cell`'s match rule
+        #: for a queue holding only unicast frames.
+        self._prune_frames: List[tuple] = []
         for sf in slotframes:
             used: List[int] = []
             rx_offsets: List[int] = []
@@ -173,6 +180,8 @@ class ScheduleProfile:
             anycast_tx: List[int] = []
             #: neighbor id -> offsets of cells dedicated to that neighbor.
             neighbor_tx: Dict[int, List[int]] = {}
+            anycast_census: Dict[int, tuple] = {}
+            neighbor_census: Dict[int, Dict[int, tuple]] = {}
             for offset in range(sf.length):
                 bucket = sf.cells_at_offset(offset)
                 if not bucket:
@@ -185,19 +194,27 @@ class ScheduleProfile:
                         continue
                     # Mirror _packet_for_cell: which queued packet kinds could
                     # this cell carry?
+                    census: Optional[Dict[int, tuple]] = None
                     if cell.is_broadcast:
                         if offset not in broadcast_tx:
                             broadcast_tx.append(offset)
                         if cell.is_shared and cell.neighbor is None:
                             if offset not in anycast_tx:
                                 anycast_tx.append(offset)
+                            census = anycast_census
                     elif cell.neighbor is None:
                         if offset not in anycast_tx:
                             anycast_tx.append(offset)
+                        census = anycast_census
                     else:
                         bucket_offsets = neighbor_tx.setdefault(cell.neighbor, [])
                         if offset not in bucket_offsets:
                             bucket_offsets.append(offset)
+                        census = neighbor_census.setdefault(cell.neighbor, {})
+                    if census is not None:
+                        count, all_shared = census.get(offset, (0, True))
+                        census[offset] = (count + 1, all_shared and cell.is_shared)
+            self._prune_frames.append((sf.length, anycast_census, neighbor_census))
             rx_set = set(rx_offsets)
             prefix = [0] * (sf.length + 1)
             for offset in range(sf.length):
@@ -329,6 +346,39 @@ class ScheduleProfile:
                     return True
         return False
 
+    def shared_contention_progressions(self, destination: int) -> Optional[List[tuple]]:
+        """TX opportunities of a unicast-only, single-destination backlog.
+
+        Returns ``[(offset, length, cells)]`` arithmetic progressions -- one
+        per slot offset with at least one matching TX cell, with ``cells``
+        the number of matching cells the planning scan visits there -- or
+        ``None`` when pruning is unsound because some matching cell is not
+        shared (a dedicated or anycast cell without the SHARED option
+        transmits regardless of CSMA state, so the back-off window does not
+        gate the node's next transmission).
+
+        Only valid for the queue signature the kernel checked: no broadcast
+        frame pending and every queued unicast addressed to ``destination``
+        -- exactly then does every matching cell resolve its packet (and its
+        CSMA state) to that one destination.
+        """
+        progressions: List[tuple] = []
+        for length, anycast_census, neighbor_census in self._prune_frames:
+            merged: Dict[int, int] = {}
+            for offset, (count, all_shared) in anycast_census.items():
+                if not all_shared:
+                    return None
+                merged[offset] = merged.get(offset, 0) + count
+            dedicated = neighbor_census.get(destination)
+            if dedicated:
+                for offset, (count, all_shared) in dedicated.items():
+                    if not all_shared:
+                        return None
+                    merged[offset] = merged.get(offset, 0) + count
+            for offset, count in merged.items():
+                progressions.append((offset, length, count))
+        return progressions
+
     @staticmethod
     def _count_residues(prefix: List[int], length: int, start_asn: int, end_asn: int) -> int:
         """Count ASNs in [start_asn, end_asn) whose residue is marked in ``prefix``."""
@@ -387,6 +437,85 @@ class ScheduleProfile:
             if head[0] >= end_asn:
                 heads.pop(best_index)
         return count
+
+
+class _QuietSet(set):
+    """``quiet_shared_neighbors`` with mutation observation.
+
+    The kernel's deferred CSMA settlement assumes the quiet set is constant
+    over the deferred window (a quiet destination skips shared cells without
+    counting the back-off down), so every membership change must settle and
+    invalidate the deferral; schedulers mutate the set directly, hence the
+    observing subclass.
+    """
+
+    def __init__(self, engine: "TschEngine") -> None:
+        super().__init__()
+        self._engine = engine
+
+    def add(self, item) -> None:
+        if item not in self:
+            super().add(item)
+            self._engine._on_quiet_mutated()
+        else:
+            super().add(item)
+
+    def discard(self, item) -> None:
+        if item in self:
+            super().discard(item)
+            self._engine._on_quiet_mutated()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._engine._on_quiet_mutated()
+
+    def clear(self) -> None:
+        changed = bool(self)
+        super().clear()
+        if changed:
+            self._engine._on_quiet_mutated()
+
+    def pop(self):
+        item = super().pop()
+        self._engine._on_quiet_mutated()
+        return item
+
+    def _bulk(self, mutate) -> None:
+        before = len(self)
+        mutate()
+        if len(self) != before:
+            self._engine._on_quiet_mutated()
+
+    def update(self, *others) -> None:
+        self._bulk(lambda: super(_QuietSet, self).update(*others))
+
+    def difference_update(self, *others) -> None:
+        self._bulk(lambda: super(_QuietSet, self).difference_update(*others))
+
+    def intersection_update(self, *others) -> None:
+        self._bulk(lambda: super(_QuietSet, self).intersection_update(*others))
+
+    def symmetric_difference_update(self, other) -> None:
+        # A symmetric difference can change membership while preserving the
+        # size, so it always counts as a mutation.
+        set.symmetric_difference_update(self, other)
+        self._engine._on_quiet_mutated()
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def __isub__(self, other):
+        self.difference_update(other)
+        return self
+
+    def __iand__(self, other):
+        self.intersection_update(other)
+        return self
+
+    def __ixor__(self, other):
+        self.symmetric_difference_update(other)
+        return self
 
 
 @dataclass
@@ -462,6 +591,12 @@ class TschEngine:
         #: pure function of (slot-offset residue, hopping phase); this caches
         #: it so the common listen/sleep decision is one dict lookup.
         self._idle_plan_cache: Dict[Tuple[int, int], SlotPlan] = {}
+        #: Per-residue idle listen decision (channel *offset* of the winning
+        #: RX cell, or None for sleep), keyed by the slotframe residue(s).
+        #: The network's audience pass uses it to decide a non-backlogged
+        #: node's radio state without building a SlotPlan at all.
+        self._idle_rx_cache: Dict[object, Optional[int]] = {}
+        self._idle_rx_version = -1
         self._hop_period = len(self.hopping.sequence)
         self._profile: Optional[ScheduleProfile] = None
         #: Neighbors towards which *data* transmissions on shared cells are
@@ -469,7 +604,18 @@ class TschEngine:
         #: awaits a 6P response from that neighbor: the response arrives on
         #: the same shared cells, so the node must spend them listening rather
         #: than pushing data (control frames are still allowed through).
-        self.quiet_shared_neighbors: set = set()
+        #: Mutations are observed (see :class:`_QuietSet`): they invalidate
+        #: the kernel's deferred CSMA settlement.
+        self.quiet_shared_neighbors: set = _QuietSet(self)
+        #: Armed bulk-settlement record of the slot-skipping kernel:
+        #: ``(start_asn, destination, window, progressions, tx_asn)``.  While
+        #: armed, the node's backlog is provably gated behind shared-cell
+        #: CSMA back-off: every pass over a matching shared cell in
+        #: ``[start_asn, tx_asn)`` counts the window down without any other
+        #: effect, so those slots need not be planned -- the pass-bys are
+        #: credited in one integer step by :meth:`settle_csma` before the
+        #: node is next planned or its queue/schedule/quiet state changes.
+        self._csma_deferral: Optional[tuple] = None
         #: Number of over-the-air attempts already spent on each queued packet.
         self._attempts: Dict[int, int] = {}
         #: Upper-layer callback invoked with (packet, asn) for every decoded frame.
@@ -603,6 +749,37 @@ class TschEngine:
             self._active_cache[key] = cached
         return cached
 
+    def idle_listen_channel_offset(self, asn: int) -> Optional[int]:
+        """Channel offset this node idle-listens on at ``asn`` (None = sleep).
+
+        Only valid for a node whose slot provably cannot involve its queue or
+        CSMA state (empty queue in particular): the decision then reduces to
+        "first RX cell in planning order, if any", which is memoised per
+        slot-offset residue.  Exactly :meth:`plan_slot`'s fall-through
+        listen/sleep choice, without allocating or interning a plan.
+        """
+        version = self._version
+        if version != self._idle_rx_version:
+            self._idle_rx_cache.clear()
+            self._idle_rx_version = version
+        frames = self._frames
+        if frames is None:
+            frames = self._sorted_frames()
+        if len(frames) == 1:
+            key: object = asn % frames[0].length
+        else:
+            key = tuple(asn % frame.length for frame in frames)
+        cache = self._idle_rx_cache
+        if key in cache:
+            return cache[key]
+        offset: Optional[int] = None
+        for cell in self._active_cells(asn):
+            if cell.is_rx:
+                offset = cell.channel_offset
+                break
+        cache[key] = offset
+        return offset
+
     def schedule_profile(self) -> ScheduleProfile:
         """Current :class:`ScheduleProfile` (rebuilt when the schedule changes)."""
         version = self.schedule_version
@@ -635,16 +812,160 @@ class TschEngine:
         if accounted >= asn:
             return
         if profile is None:
-            profile = self.schedule_profile()
+            # Inlined schedule_profile() version check (hot: one settle per
+            # visited node per stepped slot).
+            profile = self._profile
+            if profile is None or profile.version != self._version:
+                profile = self.schedule_profile()
         window = asn - accounted
         meter = self.duty_cycle
-        idle = profile.count_idle_listen(accounted, asn) if profile.has_rx else 0
+        if not profile.has_rx:
+            idle = 0
+        elif profile._single:
+            # Inlined single-slotframe count (the audience pass settles every
+            # visited node per stepped slot, so this path is hot).
+            length, _, prefix = profile._frames[0][:3]
+            full, rem = divmod(window, length)
+            idle = full * prefix[length]
+            start = accounted % length
+            if start + rem <= length:
+                idle += prefix[start + rem] - prefix[start]
+            else:
+                idle += (prefix[length] - prefix[start]) + prefix[start + rem - length]
+        else:
+            idle = profile.count_idle_listen(accounted, asn)
         if idle:
             meter.rx_slots += idle
             meter.idle_listen_slots += idle
         meter.sleep_slots += window - idle
         meter.total_slots += window
         self.duty_accounted_asn = asn
+
+    # ------------------------------------------------------------------
+    # deferred shared-cell contention (used by the slot-skipping kernel)
+    # ------------------------------------------------------------------
+    def plan_csma_deferral(self, asn: int) -> Optional[int]:
+        """Arm (or report) a bulk CSMA settlement; returns the true TX ASN.
+
+        When every transmission opportunity of the current backlog is a
+        *shared* cell towards one destination whose back-off window is still
+        open, the node provably skips the next ``window`` matching cell
+        passes -- each a pure integer countdown -- and transmits at the first
+        pass with the window expired.  That ASN is returned (the kernel heaps
+        it as the node's horizon) and the settlement record is armed so the
+        skipped passes are credited exactly once.  ``None`` means the node is
+        not prunable (broadcast pending, several destinations, a non-shared
+        matching cell, quiet suppression, or no open window) and the kernel
+        must fall back to the conservative CSMA-blind horizon.
+        """
+        deferral = self._csma_deferral
+        if deferral is not None:
+            if deferral[4] >= asn:
+                # Still armed (nothing invalidated it): the horizon holds.
+                return deferral[4]
+            # A deferral should never outlive its TX slot (the kernel steps
+            # it); settle defensively and rebuild from live state below.
+            self.settle_csma(asn)
+        has_broadcast, has_unicast, destinations = self.queue_signature()
+        if has_broadcast or not has_unicast or len(destinations) != 1:
+            return None
+        (destination,) = destinations
+        if destination in self.quiet_shared_neighbors:
+            return None
+        window = self.csma.window(destination)
+        if window <= 0:
+            return None
+        progressions = self.schedule_profile().shared_contention_progressions(destination)
+        if not progressions:
+            # None: a non-shared matching cell makes pruning unsound;
+            # empty: no matching cell at all (no horizon either way).
+            return None
+        # Walk the merged occurrence slots until the window runs out.  The
+        # planning scan counts one pass per matching cell, and the first
+        # matching cell reached with the window at zero transmits -- possibly
+        # in the same slot that consumed the window's last unit.
+        remaining = window
+        cursor = asn
+        while True:
+            best: Optional[int] = None
+            cells = 0
+            for offset, length, count in progressions:
+                occurrence = cursor + (offset - cursor) % length
+                if best is None or occurrence < best:
+                    best = occurrence
+                    cells = count
+                elif occurrence == best:
+                    cells += count
+            if cells > remaining:
+                tx_asn = best
+                break
+            remaining -= cells
+            cursor = best + 1
+        self._csma_deferral = (asn, destination, window, progressions, tx_asn)
+        return tx_asn
+
+    def settle_csma(self, asn: int) -> None:
+        """Credit the armed deferral's skipped cell passes up to ``asn``.
+
+        Called before anything that could observe or perturb the back-off
+        state: planning this node's slot (the current slot's pass is then
+        counted live by the scan), or a queue/schedule/quiet mutation (the
+        countdown model was derived under the pre-mutation state, which held
+        for every strictly earlier slot).  Clears the record and re-dirties
+        the kernel's horizon through the queue hook.
+        """
+        deferral = self._csma_deferral
+        if deferral is None:
+            return
+        self._csma_deferral = None
+        start, destination, _, progressions, tx_asn = deferral
+        end = asn if asn < tx_asn else tx_asn
+        if end > start:
+            skipped = 0
+            for offset, length, count in progressions:
+                skipped += count * _count_progression(offset, length, start, end)
+            if skipped:
+                self.csma.settle_skips(destination, skipped)
+        self.mark_queue_mutated()
+
+    def _advance_csma_deferral(self, credit_until: int, new_start: int) -> None:
+        """Re-anchor the armed deferral without tearing it down.
+
+        Credits the contention passes in ``[start, credit_until)`` and moves
+        the record's anchor to ``new_start``, keeping it armed.  The deferred
+        TX slot is invariant under live counting (each occurrence consumes
+        one window unit either way), so the heaped horizon and its version
+        stamps remain valid and no recomputation cascades.
+        """
+        start, destination, window, progressions, tx_asn = self._csma_deferral
+        if credit_until > start:
+            skipped = 0
+            for offset, length, count in progressions:
+                skipped += count * _count_progression(offset, length, start, credit_until)
+            if skipped:
+                self.csma.settle_skips(destination, skipped)
+                window -= skipped
+        self._csma_deferral = (new_start, destination, window, progressions, tx_asn)
+
+    def absorb_deferred_pass(self, asn: int) -> None:
+        """Credit the armed deferral through ``asn``; the caller skips planning.
+
+        Only valid while ``asn`` precedes the deferred TX slot: every
+        matching cell at ``asn`` is then provably a losing shared-cell pass
+        (a pure window decrement), and the plan's outcome is exactly the
+        idle listen/sleep fall-through -- so the dispatch loop may treat the
+        node as a pure listener without running the TX scan at all.
+        """
+        self._advance_csma_deferral(asn + 1, asn + 1)
+
+    def _on_quiet_mutated(self) -> None:
+        """Quiet-set membership changed; the contention model is stale.
+
+        Propagated through the queue-mutation hook: the network settles the
+        armed deferral (quiet skips do not count the window down, so the
+        credit must stop at the mutation instant) and recomputes the horizon.
+        """
+        self.mark_queue_mutated()
 
     # ------------------------------------------------------------------
     # queue interface (used by the node / upper layers)
@@ -721,6 +1042,17 @@ class TschEngine:
         Ties between cells are broken by GT-TSCH purpose priority, then by
         slotframe handle.
         """
+        deferral = self._csma_deferral
+        if deferral is not None:
+            # The kernel deferred this node's shared-cell countdown; credit
+            # the passes strictly before this slot so the scan below sees
+            # exactly the back-off state the per-slot loop would have.  A
+            # plan before the deferred TX slot keeps the record armed (the
+            # countdown model still holds); the TX slot itself retires it.
+            if asn < deferral[4]:
+                self._advance_csma_deferral(asn, asn + 1)
+            else:
+                self.settle_csma(asn)
         if self.cache_enabled:
             if len(self.queue):
                 has_broadcast, has_unicast, destinations = self.queue_signature()

@@ -31,6 +31,8 @@ NUMERIC_KEYS = (
     "received_per_minute",
     "generated",
     "delivered",
+    "sixp_cell_relocations",
+    "sixp_relocations_per_lb_period",
 )
 
 #: Two-sided 95% critical values of Student's t distribution, indexed by

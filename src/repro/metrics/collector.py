@@ -51,6 +51,15 @@ class NetworkMetrics:
     mac_drop_total: int = 0
     no_route_drops: int = 0
     control_packets_sent: int = 0
+    #: 6P schedule churn over the window: cells installed or removed as the
+    #: outcome of 6P transactions, summed over all nodes (GT-TSCH only --
+    #: autonomous schedulers negotiate nothing).
+    sixp_cell_relocations: int = 0
+    #: The same churn normalised to the scheduler's load-balancing period:
+    #: relocations the whole network performs per game round.  Sustained
+    #: non-zero values mean the game keeps re-placing cells instead of
+    #: converging (the ROADMAP's GT-TSCH convergence question).
+    sixp_relocations_per_lb_period: float = 0.0
     per_node: Dict[int, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -65,6 +74,8 @@ class NetworkMetrics:
             "received_per_minute": self.received_per_minute,
             "generated": self.generated,
             "delivered": self.delivered,
+            "sixp_cell_relocations": self.sixp_cell_relocations,
+            "sixp_relocations_per_lb_period": self.sixp_relocations_per_lb_period,
         }
 
 
@@ -114,6 +125,7 @@ class MetricsCollector:
                 "routing_drops": node.stats.routing_drops,
                 "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
                 + node.sixtop.requests_sent + node.sixtop.responses_sent,
+                "relocations": node.scheduler.relocation_count(),
             }
 
     def end_measurement(self, nodes=None, now: float = 0.0) -> None:
@@ -135,6 +147,7 @@ class MetricsCollector:
                     "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
                     + node.sixtop.requests_sent + node.sixtop.responses_sent,
                     "duty_cycle_percent": node.tsch.duty_cycle.duty_cycle_percent,
+                    "relocations": node.scheduler.relocation_count(),
                 }
 
     # ------------------------------------------------------------------
@@ -197,6 +210,8 @@ class MetricsCollector:
         no_route_total = 0
         control_total = 0
         duty_sum = 0.0
+        relocation_total = 0
+        lb_period_s = 0.0
         for node in node_list:
             baseline = self._node_baselines.get(node.node_id, {})
             final = self._node_finals.get(node.node_id)
@@ -208,21 +223,27 @@ class MetricsCollector:
                     "control_sent": node.stats.eb_sent + node.rpl.dio_sent + node.rpl.dao_sent
                     + node.sixtop.requests_sent + node.sixtop.responses_sent,
                     "duty_cycle_percent": node.tsch.duty_cycle.duty_cycle_percent,
+                    "relocations": node.scheduler.relocation_count(),
                 }
             queue_drops = final["queue_drops"] - baseline.get("queue_drops", 0)
             mac_drops = final["mac_drops"] - baseline.get("mac_drops", 0)
             routing_drops = final["routing_drops"] - baseline.get("routing_drops", 0)
             control = final["control_sent"] - baseline.get("control_sent", 0)
+            relocations = final.get("relocations", 0) - baseline.get("relocations", 0)
             duty_cycle_percent = final["duty_cycle_percent"]
             queue_loss_total += queue_drops
             mac_drop_total += mac_drops
             no_route_total += routing_drops
             control_total += control
+            relocation_total += relocations
             duty_sum += duty_cycle_percent
+            if not lb_period_s:
+                lb_period_s = node.scheduler.load_balance_period_s()
             metrics.per_node[node.node_id] = {
                 "queue_drops": queue_drops,
                 "mac_drops": mac_drops,
                 "routing_drops": routing_drops,
+                "sixp_cell_relocations": relocations,
                 "duty_cycle_percent": duty_cycle_percent,
                 "queue_length": node.tsch.queue_length(),
                 "rank": node.rpl.rank,
@@ -233,6 +254,11 @@ class MetricsCollector:
         metrics.mac_drop_total = mac_drop_total
         metrics.no_route_drops = no_route_total
         metrics.control_packets_sent = control_total
+        metrics.sixp_cell_relocations = relocation_total
+        if lb_period_s > 0:
+            metrics.sixp_relocations_per_lb_period = (
+                relocation_total * lb_period_s / duration
+            )
         if node_list:
             metrics.queue_loss_per_node = queue_loss_total / len(node_list)
             metrics.radio_duty_cycle_percent = duty_sum / len(node_list)

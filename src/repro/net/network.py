@@ -81,11 +81,20 @@ class Network:
         seed: int = 0,
         default_node_config: Optional[NodeConfig] = None,
         fast: bool = True,
+        timer_wheels: bool = True,
+        csma_pruning: bool = True,
     ) -> None:
         self.rngs = RngRegistry(seed)
         self.default_node_config = default_node_config or NodeConfig()
         self.clock = SimClock(self.default_node_config.tsch.slot_duration_s)
-        self.events = EventQueue()
+        #: ``timer_wheels=False`` schedules every protocol timer on the flat
+        #: event heap (the reference layout the wheel equivalence tests
+        #: compare against); results are bit-identical either way.
+        self.events = EventQueue(use_wheels=timer_wheels)
+        #: Enable shared-cell contention pruning in the slot-skipping kernel
+        #: (bulk CSMA back-off settlement; ``False`` keeps the per-slot
+        #: countdown of the reference loop -- results are identical).
+        self.csma_pruning = csma_pruning
         self.medium = Medium(
             propagation or UnitDiskLossyEdgeModel(), self.rngs.stream("phy")
         )
@@ -327,32 +336,60 @@ class Network:
         by_channel: Dict[int, List[int]] = {}
         next_asn = asn + 1
         nodes = self.nodes
+        backlogged = self._backlogged
+        single_bucket = buckets[0] if len(buckets) == 1 else None
         for node_id in sorted(audience, key=order.__getitem__):
             node = nodes[node_id]
+            engine = node.tsch
+            channel: Optional[int] = None
             plan = planned.get(node_id)
             if plan is None:
                 node_order = order[node_id]
-                if not any(node_order in bucket for bucket in buckets):
+                if single_bucket is not None:
+                    if node_order not in single_bucket:
+                        continue
+                elif not any(node_order in bucket for bucket in buckets):
                     continue
-                plan = node.tsch.plan_slot(asn)
-            if plan.action == "sleep":
-                # A sleeping slot is exactly what deferred settling credits
-                # for this residue (no RX option there), so leave it lazy.
-                continue
-            engine = node.tsch
+                if node_id in backlogged:
+                    deferral = engine._csma_deferral
+                    if deferral is not None and asn < deferral[4]:
+                        # Every matching cell this slot is a provably-losing
+                        # shared-cell pass: bulk-credit it and fall through
+                        # to the pure listen/sleep decision below, skipping
+                        # the TX scan entirely.
+                        engine.absorb_deferred_pass(asn)
+                    else:
+                        # The queue (and CSMA state) may shape this node's
+                        # slot: plan it fully, side effects included.
+                        plan = engine.plan_slot(asn)
+                if plan is None:
+                    # Empty queue, or a backlog fully absorbed above: the
+                    # slot reduces to the memoised per-residue listen/sleep
+                    # decision -- no SlotPlan needed.
+                    offset = engine.idle_listen_channel_offset(asn)
+                    if offset is None:
+                        # A sleeping slot is exactly what deferred settling
+                        # credits for this residue, so leave it lazy.
+                        continue
+                    channel = engine.hopping.channel_for(asn, offset)
+            if plan is not None:
+                if plan.action == "sleep":
+                    continue
+                if plan.action == "rx":
+                    channel = plan.channel
+                # TX plans fall through with channel None: they are accounted
+                # in step 4c with the other transmitter bookkeeping.
             if engine.duty_accounted_asn < asn:
                 engine.settle_duty_cycle(asn)
             engine.duty_accounted_asn = next_asn
-            if plan.action == "rx":
+            if channel is not None:
                 rx_nodes.append(node)
-                listeners[node_id] = plan.channel
-                bucket = by_channel.get(plan.channel)
+                listeners[node_id] = channel
+                bucket = by_channel.get(channel)
                 if bucket is None:
-                    by_channel[plan.channel] = [node_id]
+                    by_channel[channel] = [node_id]
                 else:
                     bucket.append(node_id)
-            # TX nodes are accounted in step 4c with the other transmitter
-            # bookkeeping.
 
         # 3. the medium arbitrates (the per-channel listener grouping was
         # built for free while planning).
@@ -449,6 +486,9 @@ class Network:
         """
         engine = node.tsch
         asn = self.clock.asn
+        # The CSMA countdown model was derived under the pre-mutation
+        # schedule; credit the passes that provably happened before now.
+        engine.settle_csma(asn)
         if engine.duty_accounted_asn < asn:
             profile = engine.cached_profile()
             if profile is not None:
@@ -544,7 +584,14 @@ class Network:
         return [merged[order] for order in sorted(merged)]
 
     def _on_queue_change(self, node: Node) -> None:
-        """A node's MAC queue mutated; update the backlog and horizon indexes."""
+        """A node's MAC queue mutated; update the backlog and horizon indexes.
+
+        An armed CSMA deferral is settled first: its countdown model held
+        exactly while the queue (and quiet set, which reports through this
+        same hook) was unchanged, so the passes up to the current slot are
+        credited under the pre-mutation state.
+        """
+        node.tsch.settle_csma(self.clock.asn)
         if len(node.tsch.queue):
             self._backlogged[node.node_id] = node
             self._risky_dirty.add(node)
@@ -609,12 +656,21 @@ class Network:
         Nothing is pushed when no installed cell can ever carry the node's
         backlog; the node re-enters the heap through :attr:`_risky_dirty`
         when its queue or schedule changes.
+
+        With contention pruning, a backlog gated entirely behind shared-cell
+        CSMA back-off is heaped at its *post-back-off* occurrence (the first
+        matching cell pass with the window expired) instead of the next
+        matching cell: the skipped passes are pure counter decrements that
+        :meth:`~repro.mac.tsch.TschEngine.settle_csma` credits in bulk, so
+        the losing slots need not be stepped at all.
         """
         engine = node.tsch
-        has_broadcast, has_unicast, destinations = engine.queue_signature()
-        occurrence = engine.schedule_profile().next_tx_asn(
-            asn, destinations, has_broadcast, has_unicast
-        )
+        occurrence = engine.plan_csma_deferral(asn) if self.csma_pruning else None
+        if occurrence is None:
+            has_broadcast, has_unicast, destinations = engine.queue_signature()
+            occurrence = engine.schedule_profile().next_tx_asn(
+                asn, destinations, has_broadcast, has_unicast
+            )
         if occurrence is not None:
             heappush(
                 self._risky_heap,
@@ -628,15 +684,21 @@ class Network:
             )
 
     def _refresh_horizons(self) -> None:
-        """Recompute the TX horizon of every node whose state changed."""
+        """Recompute the TX horizon of every node whose state changed.
+
+        Iterates a snapshot: arming or settling a CSMA deferral inside
+        :meth:`_push_horizon` may re-dirty a node through the queue hook,
+        which must land in the next refresh, not mutate this one.
+        """
         if not self._risky_dirty:
             return
         asn = self.clock.asn
         backlogged = self._backlogged
-        for node in self._risky_dirty:
+        dirty = self._risky_dirty
+        self._risky_dirty = set()
+        for node in dirty:
             if node.node_id in backlogged:
                 self._push_horizon(node, asn)
-        self._risky_dirty.clear()
 
     def _next_risky_asn(self, asn: int, limit: int) -> int:
         """First ASN in [``asn``, ``limit``] at which a transmission is possible.
@@ -689,6 +751,7 @@ class Network:
         heap = self._risky_heap
         backlogged = self._backlogged
         matched: List[Node] = []
+        matched_ids: set = set()
         while heap:
             occurrence, _, node, queue_version, schedule_version = heap[0]
             if occurrence > asn:
@@ -699,12 +762,14 @@ class Network:
                 node.node_id not in backlogged
                 or queue_version != engine.queue_version
                 or schedule_version != engine.schedule_version
+                or node.node_id in matched_ids
             ):
                 continue
             if occurrence < asn:
                 self._push_horizon(node, asn)
                 continue
             matched.append(node)
+            matched_ids.add(node.node_id)
             self._risky_dirty.add(node)
         if len(matched) > 1:
             order = self._node_order
@@ -758,11 +823,7 @@ class Network:
         while clock.asn < end_asn:
             asn = clock.asn
             # --- first slot boundary with a due timer (see _next_event_asn)
-            heap = events._heap
-            if heap and not heap[0].event.cancelled:
-                event_time = heap[0].time
-            else:
-                event_time = events.peek_time()
+            event_time = events.peek_time()
             if event_time is None:
                 boundary = end_asn
             else:

@@ -120,6 +120,9 @@ class Node:
         self.rpl.dio_extra_provider = self.scheduler.dio_fields
 
         # --- Enhanced Beacon timer --------------------------------------
+        # Rides the "eb" cohort wheel; ticks that provably send nothing (the
+        # node has not joined, or the previous EB still waits for a broadcast
+        # cell) are settled by the probe without entering _send_eb.
         eb_rng = rng_registry.stream(f"eb.{node_id}")
         self._eb_timer = PeriodicTimer(
             event_queue,
@@ -129,6 +132,8 @@ class Node:
             label=f"eb.{node_id}",
             jitter=0.25,
             rng=eb_rng,
+            wheel=event_queue.wheel("eb"),
+            idle_probe=self._eb_tick_provably_idle,
         )
 
         self._app_seqno = 0
@@ -276,6 +281,10 @@ class Node:
     # ------------------------------------------------------------------
     # Enhanced Beacons
     # ------------------------------------------------------------------
+    def _eb_tick_provably_idle(self) -> bool:
+        """Exactly :meth:`_send_eb`'s early-return conditions, side-effect free."""
+        return not self.rpl.is_joined() or self.tsch.queue.contains_ptype(PacketType.EB)
+
     def _send_eb(self) -> None:
         """Periodically broadcast an Enhanced Beacon.
 

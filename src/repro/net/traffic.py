@@ -18,14 +18,23 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.node import Node
 
 
 class TrafficGenerator:
-    """Base class for application-level packet generators."""
+    """Base class for application-level packet generators.
+
+    Generation rides a :class:`~repro.sim.events.PeriodicTimer` on the
+    queue's ``"traffic"`` cohort wheel (falling back to flat scheduling when
+    wheels are disabled): at hundreds of nodes the per-node generation events
+    would otherwise dominate the event heap.  The timer's idle probe settles
+    ticks that provably generate nothing -- the node has not joined a DODAG
+    yet, or the experiment's drain phase disabled generation -- while keeping
+    the exact rng draws and attempt counting of a fired tick.
+    """
 
     def __init__(self, rate_ppm: float, start_delay_s: float = 0.0) -> None:
         if rate_ppm < 0:
@@ -44,6 +53,7 @@ class TrafficGenerator:
         #: Number of generation events fired (whether or not the packet was
         #: accepted by the queue).
         self.generated = 0
+        self._timer: Optional[PeriodicTimer] = None
 
     @property
     def period_s(self) -> float:
@@ -65,14 +75,49 @@ class TrafficGenerator:
         """Stop generating new packets (existing queue contents still drain)."""
         self.enabled = False
 
-    def _fire(self) -> None:
+    def _start_timer(self, first_offset: float) -> None:
+        """Arm the shared periodic machinery with the subclass's period draw."""
+        self._timer = PeriodicTimer(
+            self.queue,
+            self.period_s,
+            self._fire,
+            start_offset=first_offset,
+            label="app-traffic",
+            period_fn=self._draw_interval,
+            wheel=self.queue.wheel("traffic"),
+            idle_probe=self._tick_provably_idle,
+        )
+        self._timer.start()
+
+    def _fire(self):
         if not self.enabled or self.node is None:
-            return
+            # Returning False stops the timer: the naive chain equally died
+            # here by not rescheduling itself.
+            return False
         self.generated += 1
         self.node.generate_data()
-        self._schedule_next()
+        return None
 
-    def _schedule_next(self) -> None:
+    def _tick_provably_idle(self) -> bool:
+        """Whether this tick provably generates nothing (see generate_data).
+
+        Mirrors exactly the early-return conditions of
+        :meth:`~repro.net.node.Node.generate_data`; the attempt counter that
+        a fired tick would bump is settled here, so probing is unobservable.
+        """
+        node = self.node
+        if node is None or not self.enabled:
+            return False
+        if getattr(node, "traffic_enabled", True) is False or getattr(node, "is_root", False):
+            self.generated += 1
+            return True
+        rpl = getattr(node, "rpl", None)
+        if rpl is not None and (not rpl.is_joined() or rpl.dodag_id is None):
+            self.generated += 1
+            return True
+        return False
+
+    def _draw_interval(self) -> float:
         raise NotImplementedError
 
 
@@ -92,12 +137,11 @@ class PeriodicTrafficGenerator(TrafficGenerator):
             return
         self.enabled = True
         # Random phase so all nodes do not generate in the same slot.
-        first = self.start_delay_s + self.rng.random() * self.period_s
-        self.queue.schedule_in(first, self._fire, label="app-traffic")
+        self._start_timer(self.start_delay_s + self.rng.random() * self.period_s)
 
-    def _schedule_next(self) -> None:
+    def _draw_interval(self) -> float:
         jitter = 1.0 + self.jitter_fraction * (2.0 * self.rng.random() - 1.0)
-        self.queue.schedule_in(self.period_s * jitter, self._fire, label="app-traffic")
+        return self.period_s * jitter
 
 
 class PoissonTrafficGenerator(TrafficGenerator):
@@ -107,12 +151,7 @@ class PoissonTrafficGenerator(TrafficGenerator):
         if self.rate_ppm == 0 or self.queue is None:
             return
         self.enabled = True
-        self.queue.schedule_in(
-            self.start_delay_s + self._draw_interval(), self._fire, label="app-traffic"
-        )
+        self._start_timer(self.start_delay_s + self._draw_interval())
 
     def _draw_interval(self) -> float:
         return self.rng.expovariate(1.0 / self.period_s)
-
-    def _schedule_next(self) -> None:
-        self.queue.schedule_in(self._draw_interval(), self._fire, label="app-traffic")

@@ -161,6 +161,48 @@ class Medium:
             )
         self._frozen = True
 
+    def export_frozen(self) -> dict:
+        """Snapshot the dense tables computed by :meth:`freeze`.
+
+        The tables are a pure function of the node positions and the
+        propagation model (no RNG), so a snapshot taken from one network can
+        seed any other network with the same topology and model -- the sweep
+        engine's workers use this to freeze each distinct topology once per
+        process instead of once per scenario cell.  The snapshot shares the
+        row lists; callers must treat them as read-only (the simulator does).
+        """
+        if not self._frozen:
+            raise RuntimeError("export_frozen() requires a frozen medium")
+        return {
+            "ids": self._ids,
+            "index_of": self._index_of,
+            "prr_rows": self._prr_rows,
+            "interf_rows": self._interf_rows,
+            "audience": self._audience,
+            "neighbors": {key: value for key, value in self._neighbors_cache.items()},
+        }
+
+    def adopt_frozen(self, state: dict) -> bool:
+        """Install a :meth:`export_frozen` snapshot instead of recomputing.
+
+        Returns False (leaving the medium untouched, to be frozen normally)
+        when the snapshot's node set does not match this medium's -- the
+        caller's cache key should make that impossible, but a silent mismatch
+        would corrupt every PRR draw, so it is checked.
+        """
+        if self._frozen:
+            return True
+        if state["ids"] != list(self._positions):
+            return False
+        self._ids = state["ids"]
+        self._index_of = state["index_of"]
+        self._prr_rows = state["prr_rows"]
+        self._interf_rows = state["interf_rows"]
+        self._audience = state["audience"]
+        self._neighbors_cache.update(state["neighbors"])
+        self._frozen = True
+        return True
+
     def audience_of(self, sender: int) -> frozenset:
         """Node ids within interference range of ``sender`` (frozen medium).
 
@@ -360,18 +402,26 @@ class Medium:
         channel_listeners: Sequence[int],
     ) -> None:
         """Resolve several same-channel transmitters (collisions possible)."""
+        audible_map: Optional[Dict[int, List[int]]] = None
         if self._frozen:
-            index_of = self._index_of
-            sender_rows = [self._interf_rows[intent.sender] for intent in intents]
-        else:
-            index_of = None
-            sender_rows = []
+            # Invert the audibility scan: walk each sender's (precomputed,
+            # typically small) audience instead of testing every listener
+            # against every sender.  Per-listener audible lists keep intent
+            # order, so collisions, PRR draws and the RNG stream are exactly
+            # those of the listener x sender scan.
+            listener_set = set(channel_listeners)
+            audible_map = {}
+            for index, intent in enumerate(intents):
+                for listener in self._audience[intent.sender]:
+                    if listener in listener_set:
+                        bucket = audible_map.get(listener)
+                        if bucket is None:
+                            audible_map[listener] = [index]
+                        else:
+                            bucket.append(index)
         for listener in channel_listeners:
-            if index_of is not None:
-                column = index_of[listener]
-                audible = [
-                    index for index, row in enumerate(sender_rows) if row[column]
-                ]
+            if audible_map is not None:
+                audible = audible_map.get(listener, ())
             else:
                 audible = [
                     index

@@ -98,6 +98,20 @@ class SchedulingFunction:
     def on_tx_done(self, packet: Packet, success: bool) -> None:
         """A unicast packet left the MAC (delivered, or dropped after retries)."""
 
+    def relocation_count(self) -> int:
+        """Schedule cells installed or removed through 6P so far (churn).
+
+        Negotiating schedulers (GT-TSCH) override this; autonomous ones have
+        no 6P traffic, so the metric is zero.  The collector differences it
+        across the measurement window to report cell relocations per
+        load-balancing period.
+        """
+        return 0
+
+    def load_balance_period_s(self) -> float:
+        """Length of the scheduler's periodic adaptation round (0 = none)."""
+        return 0.0
+
     # ------------------------------------------------------------------
     # introspection helpers shared by concrete schedulers
     # ------------------------------------------------------------------

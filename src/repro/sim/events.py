@@ -1,10 +1,22 @@
-"""Event queue and periodic timers for the slot-synchronous simulator.
+"""Event queue, timer wheels and periodic timers for the simulator.
 
 The TSCH slot loop is the primary driver of simulated time, but many protocol
 behaviours are naturally expressed as timers in seconds: application packet
 generation periods, the RPL Trickle timer, the EB period, 6P transaction
 timeouts and the GT-TSCH load-balancing period.  Those are scheduled on an
 :class:`EventQueue` and drained at every slot boundary by the network loop.
+
+At hundreds of nodes the periodic protocol timers dominate the queue: every
+node contributes an EB event, a traffic event and a Trickle pair, so the heap
+holds O(N) entries and every (re)schedule sifts through all of them.  A
+:class:`TimerWheel` groups one family of same-period, phase-offset timers
+into its own small heap behind a single logical head, so the main heap stays
+O(families) deep while firing order -- including ties between events at the
+same instant, which fire in global creation order -- is exactly that of the
+flat queue.  :class:`PeriodicTimer` members may additionally carry an *idle
+probe* that settles provably-inert ticks (EB period of a node that has not
+joined, traffic tick during the drain phase) without invoking the protocol
+callback, keeping the rng/ordering draws of a fired tick.
 """
 
 from __future__ import annotations
@@ -12,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(order=True)
@@ -81,7 +93,7 @@ class EventQueue:
     #: worth it for a handful of entries).
     COMPACT_MIN_SIZE = 16
 
-    def __init__(self) -> None:
+    def __init__(self, use_wheels: bool = True) -> None:
         self._heap: List[_QueueEntry] = []
         self._counter = itertools.count()
         self._now = 0.0
@@ -89,6 +101,12 @@ class EventQueue:
         self._cancelled = 0
         #: Total number of heap compactions performed (diagnostics / tests).
         self.compactions = 0
+        #: When False, :meth:`wheel` returns ``None`` and every timer family
+        #: falls back to flat scheduling on this queue -- the reference
+        #: configuration the wheel equivalence tests compare against.
+        self.use_wheels = use_wheels
+        self._wheel_map: Dict[str, "TimerWheel"] = {}
+        self._wheels: List["TimerWheel"] = []
 
     @property
     def now(self) -> float:
@@ -96,7 +114,44 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap) - self._cancelled
+        live = len(self._heap) - self._cancelled
+        for wheel in self._wheels:
+            live += len(wheel)
+        return live
+
+    def wheel(self, name: str) -> Optional["TimerWheel"]:
+        """Get or create the cohort wheel ``name`` (``None`` when disabled).
+
+        Timers of one family (same nominal period, phase-offset across nodes)
+        share a wheel; callers pass the result straight to
+        :class:`PeriodicTimer` / :class:`~repro.rpl.trickle.TrickleTimer`,
+        which fall back to flat scheduling when it is ``None``.
+        """
+        if not self.use_wheels:
+            return None
+        wheel = self._wheel_map.get(name)
+        if wheel is None:
+            wheel = TimerWheel(self, name)
+            self._wheel_map[name] = wheel
+            self._wheels.append(wheel)
+        return wheel
+
+    def stats(self) -> dict:
+        """Live/cancelled entry counts and per-wheel cohort sizes."""
+        return {
+            "live": len(self),
+            "heap_entries": len(self._heap),
+            "cancelled_in_heap": self._cancelled,
+            "compactions": self.compactions,
+            "wheels": {
+                wheel.name: {
+                    "members": len(wheel),
+                    "fired": wheel.fired,
+                    "compactions": wheel.compactions,
+                }
+                for wheel in self._wheels
+            },
+        }
 
     def _on_event_cancelled(self) -> None:
         """A live heap entry was cancelled; compact when they dominate."""
@@ -148,37 +203,67 @@ class EventQueue:
         label: str = "",
         **kwargs: Any,
     ) -> Event:
-        """Schedule ``callback`` ``delay`` seconds after the current time."""
+        """Schedule ``callback`` ``delay`` seconds after the current time.
+
+        Negative delays are clamped to "now"; a NaN delay is rejected (the
+        silent ``max(0.0, nan)`` clamp used to evaluate to NaN-or-zero
+        depending on argument order, scheduling the event at an arbitrary
+        instant).
+        """
+        if delay != delay:
+            raise ValueError("delay must not be NaN")
         return self.schedule(self._now + max(0.0, delay), callback, *args, label=label, **kwargs)
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, if any."""
-        while self._heap and self._heap[0].event.cancelled:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0].event.cancelled:
+            entry = heapq.heappop(heap)
             entry.event._queue = None
             self._cancelled -= 1
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        best = heap[0].time if heap else None
+        for wheel in self._wheels:
+            head = wheel.head_time()
+            if head is not None and (best is None or head < best):
+                best = head
+        return best
 
     def run_until(self, time: float) -> int:
         """Fire every pending event with ``event.time <= time``.
 
         Returns the number of events fired.  Events scheduled by callbacks
-        during the run are also fired if they fall within the window.
+        during the run are also fired if they fall within the window.  Wheel
+        members interleave with flat events by ``(time, creation order)``,
+        exactly as if they lived in the flat heap.
         """
         fired = 0
+        heap = self._heap
+        wheels = self._wheels
         while True:
-            next_time = self.peek_time()
-            if next_time is None or next_time > time:
-                break
-            entry = heapq.heappop(self._heap)
-            entry.event._queue = None
-            if entry.event.cancelled:
+            while heap and heap[0].event.cancelled:
+                entry = heapq.heappop(heap)
+                entry.event._queue = None
                 self._cancelled -= 1
-                continue
-            self._now = entry.time
-            entry.event.fire()
+            if heap:
+                head = heap[0]
+                best_key: Optional[Tuple[float, int]] = (head.time, head.sequence)
+            else:
+                best_key = None
+            best_wheel: Optional["TimerWheel"] = None
+            for wheel in wheels:
+                key = wheel._head_key()
+                if key is not None and (best_key is None or key < best_key):
+                    best_key = key
+                    best_wheel = wheel
+            if best_key is None or best_key[0] > time:
+                break
+            if best_wheel is not None:
+                best_wheel._fire_head()
+            else:
+                entry = heapq.heappop(heap)
+                entry.event._queue = None
+                self._now = entry.time
+                entry.event.fire()
             fired += 1
         if time > self._now:
             self._now = time
@@ -202,6 +287,125 @@ class EventQueue:
         self._heap.clear()
         self._cancelled = 0
         self._now = 0.0
+        for wheel in self._wheels:
+            wheel.clear()
+
+
+class TimerWheel:
+    """One cohort of timer events behind a single logical queue head.
+
+    A wheel is a sub-queue of the owning :class:`EventQueue`: members are
+    plain ``(time, sequence, event)`` tuples in a private heap, with sequence
+    numbers drawn from the queue's global counter at exactly the points a
+    flat ``schedule_in`` would draw them.  The queue's ``peek_time`` /
+    ``run_until`` merge every wheel head with the flat heap, so the total
+    firing order -- including same-instant ties -- is bit-identical to flat
+    scheduling while the main heap no longer scales with the node count.
+    """
+
+    #: Compaction never triggers below this heap size.
+    COMPACT_MIN_SIZE = 16
+
+    __slots__ = ("queue", "name", "_heap", "_cancelled", "fired", "compactions")
+
+    def __init__(self, queue: EventQueue, name: str) -> None:
+        self.queue = queue
+        self.name = name
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._cancelled = 0
+        #: Members fired so far (diagnostics, surfaced by EventQueue.stats()).
+        self.fired = 0
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) - self._cancelled
+
+    # ------------------------------------------------------------------
+    # EventQueue-compatible scheduling interface (used by timers)
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule a member event at absolute ``time`` seconds."""
+        queue = self.queue
+        if time < queue._now:
+            time = queue._now
+        event = Event(time, callback, args, kwargs, label=label)
+        event._queue = self
+        heapq.heappush(self._heap, (time, next(queue._counter), event))
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule a member ``delay`` seconds after the queue's current time."""
+        if delay != delay:
+            raise ValueError("delay must not be NaN")
+        return self.schedule(
+            self.queue._now + max(0.0, delay), callback, *args, label=label, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # head management (driven by the owning EventQueue)
+    # ------------------------------------------------------------------
+    def _head_key(self) -> Optional[Tuple[float, int]]:
+        """(time, sequence) of the earliest live member, if any."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _, _, event = heapq.heappop(heap)
+            event._queue = None
+            self._cancelled -= 1
+        if not heap:
+            return None
+        return (heap[0][0], heap[0][1])
+
+    def head_time(self) -> Optional[float]:
+        key = self._head_key()
+        return None if key is None else key[0]
+
+    def _fire_head(self) -> None:
+        """Pop and fire the earliest member (caller checked it is due)."""
+        time, _, event = heapq.heappop(self._heap)
+        event._queue = None
+        self.queue._now = time
+        self.fired += 1
+        event.fire()
+
+    # ------------------------------------------------------------------
+    # bookkeeping (mirrors EventQueue's cancellation/compaction policy)
+    # ------------------------------------------------------------------
+    def _on_event_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        for _, _, event in self._heap:
+            if event.cancelled:
+                event._queue = None
+        self._heap = [item for item in self._heap if not item[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def clear(self) -> None:
+        for _, _, event in self._heap:
+            event._queue = None
+        self._heap.clear()
+        self._cancelled = 0
 
 
 class PeriodicTimer:
@@ -221,6 +425,9 @@ class PeriodicTimer:
         label: str = "",
         jitter: float = 0.0,
         rng=None,
+        wheel: Optional[TimerWheel] = None,
+        idle_probe: Optional[Callable[[], bool]] = None,
+        period_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         """``jitter`` (0..1) randomises each period by ``±jitter*period``.
 
@@ -229,6 +436,15 @@ class PeriodicTimer:
         align would contend for the same broadcast cell at every firing,
         forever.  A small jitter breaks that symmetry, exactly as Contiki-NG
         jitters its EB timer.
+
+        ``wheel`` places the timer's events on a cohort wheel instead of the
+        flat queue (same firing times and order either way).  ``idle_probe``
+        is consulted at each tick: when it returns True the tick is settled
+        without invoking ``callback`` -- the probe must only claim ticks whose
+        callback would provably have no effect (it may bulk-apply trivial
+        counters itself).  ``period_fn`` overrides the jitter model with an
+        arbitrary per-tick period draw (Poisson traffic, legacy jitter
+        formulas); it wins over ``jitter``.
         """
         if period <= 0:
             raise ValueError("period must be positive")
@@ -242,6 +458,11 @@ class PeriodicTimer:
         self.label = label
         self.jitter = jitter
         self.rng = rng
+        self.idle_probe = idle_probe
+        self._period_fn = period_fn
+        self._scheduler = wheel if wheel is not None else queue
+        #: Ticks settled by the idle probe instead of fired (diagnostics).
+        self.settled_ticks = 0
         self._event: Optional[Event] = None
         self._running = False
         self._start_offset = period if start_offset is None else start_offset
@@ -255,7 +476,7 @@ class PeriodicTimer:
         if self._running:
             return
         self._running = True
-        self._event = self.queue.schedule_in(self._start_offset, self._tick, label=self.label)
+        self._event = self._scheduler.schedule_in(self._start_offset, self._tick, label=self.label)
 
     def stop(self) -> None:
         """Disarm the timer."""
@@ -265,6 +486,8 @@ class PeriodicTimer:
             self._event = None
 
     def _next_period(self) -> float:
+        if self._period_fn is not None:
+            return self._period_fn()
         if self.jitter <= 0.0:
             return self.period
         return self.period * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))
@@ -272,8 +495,15 @@ class PeriodicTimer:
     def _tick(self) -> None:
         if not self._running:
             return
-        result = self.callback()
-        if result is False:
-            self._running = False
-            return
-        self._event = self.queue.schedule_in(self._next_period(), self._tick, label=self.label)
+        probe = self.idle_probe
+        if probe is not None and probe():
+            # Provably-inert tick: skip the protocol callback but keep the
+            # cadence -- the reschedule below draws the same rng/sequence
+            # numbers a fired tick would, so settling is unobservable.
+            self.settled_ticks += 1
+        else:
+            result = self.callback()
+            if result is False:
+                self._running = False
+                return
+        self._event = self._scheduler.schedule_in(self._next_period(), self._tick, label=self.label)

@@ -65,3 +65,61 @@ class TestProfileFlag:
         assert main(_tiny_args()) == 0
         out = capsys.readouterr().out
         assert "slots/s" in out
+
+
+class TestScaleFigureExport:
+    def test_scale_export_carries_six_metrics_with_seed_cis(self, tmp_path):
+        """--figure scale exports the paper's metric series vs N, not just
+        slots/s: per-N PDR / delay / duty-cycle / throughput columns plus
+        cross-seed dispersion and the 6P-churn columns."""
+        import csv
+
+        assert (
+            main(
+                [
+                    "--figure",
+                    "scale",
+                    "--values",
+                    "20",
+                    "30",
+                    "--schedulers",
+                    MINIMAL,
+                    "--seeds",
+                    "1",
+                    "2",
+                    "--measurement-s",
+                    "3",
+                    "--warmup-s",
+                    "2",
+                    "--no-cache",
+                    "--export-dir",
+                    str(tmp_path),
+                    "--format",
+                    "csv",
+                ]
+            )
+            == 0
+        )
+        with open(os.path.join(str(tmp_path), "figurescale.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["sweep"] for row in rows} == {"20", "30"}
+        for column in (
+            "pdr_percent",
+            "end_to_end_delay_ms",
+            "packet_loss_per_minute",
+            "radio_duty_cycle_percent",
+            "queue_loss_per_node",
+            "received_per_minute",
+            "sixp_cell_relocations",
+            "sixp_relocations_per_lb_period",
+            "pdr_percent_std",
+            "pdr_percent_ci95",
+            "n_seeds",
+        ):
+            assert column in rows[0], f"missing column {column}"
+
+    def test_profile_prints_event_queue_stats(self, capsys):
+        assert main(_tiny_args(["--profile"])) == 0
+        out = capsys.readouterr().out
+        assert "[event queue]" in out
+        assert "[timer wheels]" in out

@@ -90,6 +90,92 @@ class TestParallelParity:
             assert a.as_dict() == b.as_dict()
             assert a.per_node == b.per_node
 
+    def test_persistent_pool_is_reused_and_bit_identical_to_fork(self):
+        from repro.experiments import parallel as engine
+
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2, 3)]
+        forked = run_scenarios(scenarios, jobs=2, persistent_pool=False)
+        warm_a = run_scenarios(scenarios, jobs=2, persistent_pool=True)
+        pool = engine._POOL
+        assert pool is not None
+        warm_b = run_scenarios(scenarios, jobs=2, persistent_pool=True)
+        # The second persistent call reused the same pool object.
+        assert engine._POOL is pool
+        for a, b, c in zip(forked, warm_a, warm_b):
+            assert a.as_dict() == b.as_dict() == c.as_dict()
+        engine.shutdown_pool()
+        assert engine._POOL is None
+
+    def test_pool_results_are_reassembled_in_input_order(self):
+        """imap_unordered completion order must never leak into the output."""
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2, 3, 4)]
+        serial = run_scenarios(scenarios, jobs=1)
+        pooled = run_scenarios(scenarios, jobs=4)
+        assert [m.as_dict() for m in pooled] == [m.as_dict() for m in serial]
+
+    def test_pool_path_still_fills_the_result_cache(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2)]
+        run_scenarios(scenarios, jobs=2, cache=cache)
+        rerun_cache = ResultCache(root=str(tmp_path))
+        run_scenarios(scenarios, jobs=2, cache=rerun_cache)
+        assert rerun_cache.hits == 2
+        assert rerun_cache.misses == 0
+
+
+class TestFreezeCache:
+    def test_adopted_tables_equal_fresh_freeze(self):
+        """The per-topology frozen-medium cache is bit-identical to freeze()."""
+        from repro.experiments.parallel import _FREEZE_CACHE, _warm_freeze
+
+        scenario = fast_scenario()
+        _FREEZE_CACHE.clear()
+        first = scenario.build_network()
+        _warm_freeze(first, scenario)  # cold: computes and caches
+        second = scenario.build_network()
+        _warm_freeze(second, scenario)  # warm: adopts the snapshot
+        assert second.medium.frozen
+        fresh = scenario.build_network()
+        fresh.medium.freeze()
+        assert second.medium._prr_rows == fresh.medium._prr_rows
+        assert second.medium._interf_rows == fresh.medium._interf_rows
+        assert second.medium._audience == fresh.medium._audience
+
+    def test_mismatched_snapshot_is_rejected(self):
+        scenario = fast_scenario()
+        network = scenario.build_network()
+        network.medium.freeze()
+        state = network.medium.export_frozen()
+        state = dict(state, ids=[999])
+        other = fast_scenario(seed=2).build_network()
+        assert other.medium.adopt_frozen(state) is False
+        assert not other.medium.frozen
+
+    def test_same_topology_different_seed_shares_a_key(self):
+        from repro.experiments.parallel import _freeze_key
+
+        assert _freeze_key(fast_scenario(seed=1)) == _freeze_key(fast_scenario(seed=2))
+        assert _freeze_key(fast_scenario(scheduler=ORCHESTRA)) == _freeze_key(
+            fast_scenario()
+        )
+
+    def test_cache_stays_bounded(self):
+        import repro.experiments.parallel as engine
+
+        engine._FREEZE_CACHE.clear()
+        for extra in range(engine._FREEZE_CACHE_MAX + 3):
+            scenario = traffic_load_scenario(
+                rate_ppm=120.0,
+                scheduler=GT_TSCH,
+                seed=1,
+                nodes_per_dodag=3 + extra % 6,
+                num_dodags=1 + extra // 6,
+                **FAST,
+            )
+            network = scenario.build_network()
+            engine._warm_freeze(network, scenario)
+        assert len(engine._FREEZE_CACHE) <= engine._FREEZE_CACHE_MAX
+
     def test_figure_parallel_matches_serial_and_aggregates(self):
         kwargs = dict(
             rates_ppm=(60, 120), schedulers=(GT_TSCH,), seeds=(1, 2), **FAST

@@ -76,3 +76,39 @@ class TestCsmaBackoff:
             CsmaBackoff(random.Random(1), min_be=3, max_be=2)
         with pytest.raises(ValueError):
             CsmaBackoff(random.Random(1), min_be=-1)
+
+
+class TestBulkSettlement:
+    """settle_skips must equal the same number of per-cell pass-bys."""
+
+    @pytest.mark.parametrize("count", [0, 1, 3, 7, 100])
+    def test_settle_equals_repeated_skips(self, count):
+        bulk = CsmaBackoff(random.Random(9), min_be=2, max_be=5)
+        loop = CsmaBackoff(random.Random(9), min_be=2, max_be=5)
+        bulk.on_transmission_failure(4)
+        loop.on_transmission_failure(4)
+        bulk.settle_skips(4, count)
+        for _ in range(count):
+            loop.on_shared_cell_skipped(4)
+        assert bulk.window(4) == loop.window(4)
+
+    def test_settle_clamps_at_zero(self):
+        backoff = CsmaBackoff(random.Random(2), min_be=1, max_be=3)
+        backoff.on_transmission_failure(1)
+        backoff.settle_skips(1, 10_000)
+        assert backoff.window(1) == 0
+        assert backoff.can_transmit(1)
+
+    def test_settle_on_expired_window_is_a_no_op(self):
+        backoff = CsmaBackoff(random.Random(2))
+        backoff.settle_skips(1, 5)
+        assert backoff.window(1) == 0
+
+    def test_settle_is_per_destination(self):
+        backoff = CsmaBackoff(random.Random(3), min_be=4)
+        backoff.on_transmission_failure(1)
+        backoff.on_transmission_failure(2)
+        before = backoff.window(2)
+        backoff.settle_skips(1, 100)
+        assert backoff.window(1) == 0
+        assert backoff.window(2) == before

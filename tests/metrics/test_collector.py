@@ -112,3 +112,42 @@ class TestNetworkMetrics:
         assert metrics.pdr_percent == 0.0
         assert metrics.received_per_minute == 0.0
         assert metrics.scheduler == "empty"
+
+
+class TestSixpChurnMetric:
+    def test_gt_tsch_reports_cell_relocations(self):
+        network = make_gt_network(star_topology(4), rate_ppm=120)
+        metrics = network.run_experiment(warmup_s=10.0, measurement_s=20.0, drain_s=3.0)
+        # The window opens after the bootstrap ADDs of the warm-up, but the
+        # load-balancing game keeps negotiating under load.
+        assert metrics.sixp_cell_relocations >= 0
+        total = sum(
+            node.scheduler.relocation_count() for node in network.nodes.values()
+        )
+        assert total > 0  # bootstrap alone installs cells through 6P
+        # Normalisation: relocations per load-balancing period over the window.
+        period = next(iter(network.nodes.values())).scheduler.load_balance_period_s()
+        assert period > 0
+        assert metrics.sixp_relocations_per_lb_period == pytest.approx(
+            metrics.sixp_cell_relocations * period / metrics.duration_s
+        )
+
+    def test_autonomous_schedulers_report_zero_churn(self):
+        from repro.experiments.scenarios import traffic_load_scenario, MINIMAL
+
+        scenario = traffic_load_scenario(
+            rate_ppm=60.0, scheduler=MINIMAL, seed=1, measurement_s=6.0, warmup_s=4.0
+        )
+        network = scenario.build_network()
+        metrics = network.run_experiment(4.0, 6.0, 2.0, MINIMAL)
+        assert metrics.sixp_cell_relocations == 0
+        assert metrics.sixp_relocations_per_lb_period == 0.0
+
+    def test_churn_appears_in_as_dict_and_per_node(self):
+        network = make_gt_network(star_topology(3), rate_ppm=120)
+        metrics = network.run_experiment(warmup_s=8.0, measurement_s=10.0, drain_s=2.0)
+        data = metrics.as_dict()
+        assert "sixp_cell_relocations" in data
+        assert "sixp_relocations_per_lb_period" in data
+        for per_node in metrics.per_node.values():
+            assert "sixp_cell_relocations" in per_node

@@ -257,6 +257,24 @@ class TestParticipantDispatch:
         assert network._next_risky_asn(5, 100) == 12
         assert network._collect_transmitters(5) == []
 
+    def test_idle_listen_channel_offset_matches_plan(self):
+        """The audience pass's per-residue listen table equals plan_slot."""
+        scenario = traffic_load_scenario(
+            rate_ppm=0.0, scheduler=ORCHESTRA, seed=6, measurement_s=5.0, warmup_s=5.0
+        )
+        network = scenario.build_network()
+        network.start()
+        for node in network.nodes.values():
+            engine = node.tsch
+            for asn in range(120):
+                plan = engine.plan_slot(asn)
+                offset = engine.idle_listen_channel_offset(asn)
+                if plan.action == "rx":
+                    assert offset is not None
+                    assert engine.hopping.channel_for(asn, offset) == plan.channel
+                else:
+                    assert offset is None
+
     def test_deferred_duty_cycle_settles_on_schedule_change(self):
         """A mid-run schedule mutation settles the pre-mutation window, so
         idle-listen accounting never mixes two schedules."""
@@ -286,3 +304,153 @@ class TestParticipantDispatch:
         # own shared cell (offset 0 mod 7, i.e. ASN 14) does in [8, 16).
         assert meter.idle_listen_slots == listened_before + 1
         assert meter.total_slots == 16
+
+
+class TestContentionPruning:
+    """Shared-cell CSMA pruning: bulk-settled back-off vs per-slot countdown."""
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_pruned_and_unpruned_kernels_bit_identical(self, scheduler, seed):
+        """Fig. 8 load (heavy shared-cell contention), pruning on vs off."""
+
+        def run(pruning):
+            scenario = traffic_load_scenario(
+                rate_ppm=60.0,
+                scheduler=scheduler,
+                seed=seed,
+                measurement_s=8.0,
+                warmup_s=6.0,
+            )
+            network = scenario.build_network()
+            network.csma_pruning = pruning
+            metrics = network.run_experiment(
+                warmup_s=6.0, measurement_s=8.0, drain_s=2.0, scheduler_name=scheduler
+            )
+            return network, metrics
+
+        pruned_net, pruned = run(True)
+        naive_net, naive = run(False)
+        assert dataclasses.asdict(pruned) == dataclasses.asdict(naive)
+        assert pruned_net.clock.asn == naive_net.clock.asn
+        assert pruned_net.medium.total_transmissions == naive_net.medium.total_transmissions
+        assert pruned_net.medium.total_collisions == naive_net.medium.total_collisions
+        for node_id in naive_net.nodes:
+            assert dataclasses.asdict(pruned_net.nodes[node_id].tsch.stats) == (
+                dataclasses.asdict(naive_net.nodes[node_id].tsch.stats)
+            )
+
+    def _blocked_minimal_node(self):
+        """A two-node minimal network with node 2 backlogged and in back-off."""
+        from repro.net.packet import make_data_packet
+
+        network = Network()
+        for node_id in (1, 2):
+            network.add_node(
+                node_id,
+                position=(float(node_id), 0.0),
+                scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+                is_root=node_id == 1,
+            )
+        network.start()
+        node = network.nodes[2]
+        packet = make_data_packet(2, 1, created_at=0.0)
+        packet.link_destination = 1
+        node.tsch.enqueue(packet)
+        return network, node
+
+    def test_deferral_names_the_post_backoff_occurrence(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        # Shared cell at offset 0 mod 7: three losing passes at 7, 14, 21,
+        # transmit at 28 (ASN 0 already passed nothing -- cursor starts at 1).
+        assert engine.plan_csma_deferral(1) == 28
+        assert engine._csma_deferral is not None
+        # The armed record is returned as-is until something invalidates it.
+        assert engine.plan_csma_deferral(5) == 28
+
+    def test_settle_credits_exactly_the_elapsed_passes(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        engine.plan_csma_deferral(1)
+        engine.settle_csma(15)  # passes at 7 and 14 elapsed
+        assert engine.csma.window(1) == 1
+        assert engine._csma_deferral is None
+
+    def test_plan_slot_settles_before_scanning(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        engine.plan_csma_deferral(1)
+        # Planning the slot at ASN 14 credits the pass at 7 first, then the
+        # scan itself counts this slot's pass down: window 3 -> 2 -> 1.
+        plan = engine.plan_slot(14)
+        assert plan.action != "tx"
+        assert engine.csma.window(1) == 1
+
+    def test_broadcast_pending_disables_deferral(self):
+        from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
+
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        eb = Packet(
+            ptype=PacketType.EB,
+            source=2,
+            destination=BROADCAST_ADDRESS,
+            link_source=2,
+            link_destination=BROADCAST_ADDRESS,
+        )
+        engine.enqueue(eb)
+        # A broadcast bypasses CSMA on the shared cell, so the node may
+        # transmit at the very next occurrence: no deferral.
+        assert engine.plan_csma_deferral(1) is None
+
+    def test_quiet_destination_disables_deferral(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        engine.quiet_shared_neighbors.add(1)
+        assert engine.plan_csma_deferral(1) is None
+
+    def test_quiet_mutation_settles_an_armed_deferral(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 3
+        engine.plan_csma_deferral(1)
+        network.clock.asn = 15
+        engine.quiet_shared_neighbors.add(1)
+        # The mutation reported through the queue hook settled passes 7, 14.
+        assert engine._csma_deferral is None
+        assert engine.csma.window(1) == 1
+
+    def test_dedicated_unshared_cell_disables_deferral(self):
+        """GT-TSCH-style dedicated TX cells transmit regardless of back-off."""
+        from repro.mac.cell import Cell as MacCell, CellOption as MacCellOption
+
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        frame = engine.get_slotframe(MinimalScheduler.SLOTFRAME_HANDLE)
+        frame.add_cell(
+            MacCell(slot_offset=3, channel_offset=0, options=MacCellOption.TX, neighbor=1)
+        )
+        engine.csma._state(1).window = 3
+        assert engine.schedule_profile().shared_contention_progressions(1) is None
+        assert engine.plan_csma_deferral(1) is None
+
+    def test_horizon_heap_uses_the_deferred_occurrence(self):
+        network, node = self._blocked_minimal_node()
+        engine = node.tsch
+        engine.csma._state(1).window = 2
+        # Horizons are derived from the clock's slot: from ASN 1 the losing
+        # passes land at 7 and 14, so the heap names 21.
+        network.clock.asn = 1
+        network._risky_dirty.add(node)
+        assert network._next_risky_asn(1, 10_000) == 21
+        # Without pruning the CSMA-blind horizon is the next occurrence.
+        network.csma_pruning = False
+        engine.settle_csma(1)
+        network._risky_dirty.add(node)
+        assert network._next_risky_asn(1, 10_000) == 7
