@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.ablation import run_ewma_ablation, run_weight_ablation
-from repro.metrics.report import format_metrics_table
-
 from benchmarks.conftest import BENCH_SEED, save_report
+from repro.experiments.ablation import run_ewma_ablation, run_weight_ablation
 
 ABLATION_MEASUREMENT_S = 40.0
 ABLATION_WARMUP_S = 40.0

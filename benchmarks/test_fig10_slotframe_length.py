@@ -10,10 +10,9 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import BENCH_JOBS, BENCH_MEASUREMENT_S, BENCH_SEEDS, save_report
 from repro.experiments.runner import run_figure10
 from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
-
-from benchmarks.conftest import BENCH_JOBS, BENCH_MEASUREMENT_S, BENCH_SEEDS, save_report
 
 UNICAST_LENGTHS = (8, 12, 16, 20)
 

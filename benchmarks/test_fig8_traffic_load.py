@@ -9,9 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.runner import run_figure8
-from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
-
 from benchmarks.conftest import (
     BENCH_JOBS,
     BENCH_MEASUREMENT_S,
@@ -19,6 +16,8 @@ from benchmarks.conftest import (
     BENCH_WARMUP_S,
     save_report,
 )
+from repro.experiments.runner import run_figure8
+from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
 
 RATES_PPM = (30, 75, 120, 165)
 

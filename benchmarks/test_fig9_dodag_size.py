@@ -8,9 +8,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.runner import run_figure9
-from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
-
 from benchmarks.conftest import (
     BENCH_JOBS,
     BENCH_MEASUREMENT_S,
@@ -18,6 +15,8 @@ from benchmarks.conftest import (
     BENCH_WARMUP_S,
     save_report,
 )
+from repro.experiments.runner import run_figure9
+from repro.experiments.scenarios import GT_TSCH, ORCHESTRA
 
 DODAG_SIZES = (6, 7, 8, 9)
 

@@ -38,6 +38,7 @@ import time
 
 import pytest
 
+from benchmarks.conftest import BENCH_MEASUREMENT_S, BENCH_WARMUP_S, RESULTS_DIR
 from repro.experiments.scenarios import (
     DEFAULT_DRAIN_S,
     GT_TSCH,
@@ -45,8 +46,6 @@ from repro.experiments.scenarios import (
     ORCHESTRA,
     traffic_load_scenario,
 )
-
-from benchmarks.conftest import BENCH_MEASUREMENT_S, BENCH_WARMUP_S, RESULTS_DIR
 
 #: The committed throughput record (repository root).
 BENCH_FILE = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_kernel.json")

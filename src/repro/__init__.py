@@ -29,10 +29,10 @@ Quick start::
 #: pyproject.toml.
 __version__ = "0.2.0"
 
-from repro.core.game import GameWeights, PlayerState, optimal_tx_cells, payoff
 from repro.core.config import GtTschConfig
+from repro.core.game import GameWeights, PlayerState, optimal_tx_cells, payoff
 from repro.core.scheduler import GtTschScheduler
-from repro.experiments.runner import run_figure8, run_figure9, run_figure10, run_scenario
+from repro.experiments.runner import run_figure10, run_figure8, run_figure9, run_scenario
 from repro.experiments.scenarios import (
     ContikiConfig,
     Scenario,
@@ -45,8 +45,6 @@ from repro.net.network import Network
 from repro.net.node import Node, NodeConfig
 from repro.schedulers.minimal import MinimalScheduler
 from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
-
-__version__ = "1.0.0"
 
 __all__ = [
     "GameWeights",

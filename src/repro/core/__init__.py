@@ -19,6 +19,8 @@ Sub-modules map one-to-one onto the paper's sections:
   the simulated protocol stack.
 """
 
+from repro.core.cell_allocation import CellAllocationError, UnicastCellAllocator
+from repro.core.channel_allocation import ChannelAllocator, allocate_channels_in_tree
 from repro.core.config import GtTschConfig
 from repro.core.game import (
     GameWeights,
@@ -31,6 +33,7 @@ from repro.core.game import (
     unconstrained_optimum,
     utility,
 )
+from repro.core.load_balancing import QueueMetric, compute_minimum_tx_cells
 from repro.core.nash import (
     best_response,
     best_response_dynamics,
@@ -38,11 +41,8 @@ from repro.core.nash import (
     verify_concavity,
     verify_diagonal_strict_concavity,
 )
-from repro.core.channel_allocation import ChannelAllocator, allocate_channels_in_tree
-from repro.core.slotframe_builder import GtSlotframeBuilder, broadcast_offsets, shared_offsets
-from repro.core.cell_allocation import CellAllocationError, UnicastCellAllocator
-from repro.core.load_balancing import QueueMetric, compute_minimum_tx_cells
 from repro.core.scheduler import GtTschScheduler
+from repro.core.slotframe_builder import GtSlotframeBuilder, broadcast_offsets, shared_offsets
 
 __all__ = [
     "GtTschConfig",

@@ -25,7 +25,7 @@ verify the three-hop uniqueness invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 
 class ChannelAllocationError(RuntimeError):

@@ -15,10 +15,24 @@ line (``--figure 8 --seeds 1 2 3 --jobs 0`` runs Fig. 8 across three seeds on
 every core).
 """
 
+from repro.experiments.ablation import (
+    run_ewma_ablation,
+    run_shared_cell_ablation,
+    run_weight_ablation,
+)
+from repro.experiments.export import figure_to_csv, figure_to_json, load_figure_csv
 from repro.experiments.parallel import (
     ResultCache,
     run_scenarios,
     scenario_fingerprint,
+)
+from repro.experiments.runner import (
+    FigureResult,
+    run_figure10,
+    run_figure8,
+    run_figure9,
+    run_scale,
+    run_scenario,
 )
 from repro.experiments.scenarios import (
     ContikiConfig,
@@ -28,20 +42,6 @@ from repro.experiments.scenarios import (
     slotframe_scenario,
     traffic_load_scenario,
 )
-from repro.experiments.runner import (
-    FigureResult,
-    run_figure8,
-    run_figure9,
-    run_figure10,
-    run_scale,
-    run_scenario,
-)
-from repro.experiments.ablation import (
-    run_ewma_ablation,
-    run_shared_cell_ablation,
-    run_weight_ablation,
-)
-from repro.experiments.export import figure_to_csv, figure_to_json, load_figure_csv
 from repro.metrics.aggregate import MetricsAggregate
 
 __all__ = [

@@ -30,19 +30,18 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.sim.clock import SimClock
-
 from repro.experiments.export import figure_to_csv, figure_to_json
 from repro.experiments.parallel import ResultCache
 from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
     FigureResult,
+    run_figure10,
     run_figure8,
     run_figure9,
-    run_figure10,
     run_scale,
 )
 from repro.experiments.scenarios import DEFAULT_DRAIN_S, GT_TSCH, MINIMAL, ORCHESTRA
+from repro.sim.clock import SimClock
 
 #: Scheduler names the scenarios accept.
 KNOWN_SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)

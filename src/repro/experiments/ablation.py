@@ -9,7 +9,7 @@ value to the resulting :class:`repro.metrics.collector.NetworkMetrics`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.game import GameWeights
 from repro.experiments.runner import run_scenario

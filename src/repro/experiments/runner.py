@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.experiments.parallel import ResultCache, run_scenario, run_scenarios
+from repro.experiments.parallel import ResultCache, run_scenarios
+from repro.experiments.parallel import run_scenario as run_scenario  # re-export
 from repro.experiments.scenarios import (
     GT_TSCH,
     MINIMAL,

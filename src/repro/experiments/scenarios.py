@@ -20,7 +20,7 @@ The three factory functions mirror the paper's evaluation section:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.config import GtTschConfig

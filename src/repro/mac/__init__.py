@@ -18,11 +18,11 @@ Contiki-NG TSCH implementation used by the paper:
 """
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
-from repro.mac.slotframe import Slotframe
-from repro.mac.hopping import ChannelHopping, DEFAULT_HOPPING_SEQUENCE
-from repro.mac.queue import TxQueue
 from repro.mac.csma import CsmaBackoff
 from repro.mac.duty_cycle import DutyCycleMeter
+from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE, ChannelHopping
+from repro.mac.queue import TxQueue
+from repro.mac.slotframe import Slotframe
 from repro.mac.tsch import TschConfig, TschEngine
 
 __all__ = [

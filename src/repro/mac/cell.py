@@ -10,7 +10,7 @@ creation rules and the priority order between cell types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, Flag, auto
 from typing import Optional
 

@@ -26,7 +26,7 @@ accumulator would drift with the order of additions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Fraction of the timeslot the radio is on when transmitting a full frame
 #: and waiting for its ACK (about 4.3 ms data + 1 ms turnaround + 2.4 ms ACK

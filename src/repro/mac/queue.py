@@ -12,7 +12,7 @@ Eq. (6).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
 
@@ -32,6 +32,10 @@ class TxQueue:
         self.capacity = capacity
         self.prioritize_control = prioritize_control
         self._queue: Deque[Packet] = deque()
+        #: Queued packets per :class:`PacketType`, maintained by add/remove:
+        #: periodic protocol probes (the EB timer in particular) ask "is one
+        #: of mine queued?" every tick, which this answers in O(1).
+        self._ptype_counts: Dict[PacketType, int] = {}
         #: Number of packets dropped because the queue was full.
         self.drops = 0
         #: Number of *data* packets dropped because the queue was full.
@@ -74,6 +78,7 @@ class TxQueue:
                     self.data_drops += 1
                 return False
             self._queue.remove(evicted)
+            self._ptype_counts[evicted.ptype] -= 1
             self.drops += 1
             self.data_drops += 1
         if self.prioritize_control and packet.is_control:
@@ -89,6 +94,8 @@ class TxQueue:
                 self._queue.append(packet)
         else:
             self._queue.append(packet)
+        counts = self._ptype_counts
+        counts[packet.ptype] = counts.get(packet.ptype, 0) + 1
         self.max_occupancy = max(self.max_occupancy, len(self._queue))
         return True
 
@@ -113,19 +120,17 @@ class TxQueue:
         return self.peek_for(neighbor, broadcast=broadcast) is not None
 
     def contains_ptype(self, ptype: PacketType) -> bool:
-        """Whether any queued packet has the given type (no list copy)."""
-        for packet in self._queue:
-            if packet.ptype is ptype:
-                return True
-        return False
+        """Whether any queued packet has the given type (O(1) count lookup)."""
+        return bool(self._ptype_counts.get(ptype))
 
     def remove(self, packet: Packet) -> bool:
         """Remove a specific packet instance (after delivery or drop)."""
         try:
             self._queue.remove(packet)
-            return True
         except ValueError:
             return False
+        self._ptype_counts[packet.ptype] -= 1
+        return True
 
     def pending_for(self, neighbor: Optional[int]) -> int:
         """Number of queued unicast packets addressed to ``neighbor``."""
@@ -163,3 +168,4 @@ class TxQueue:
 
     def clear(self) -> None:
         self._queue.clear()
+        self._ptype_counts.clear()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
@@ -57,14 +57,26 @@ class TschConfig:
     initial_etx: float = 2.0
 
 
-@dataclass
 class SlotPlan:
-    """The engine's decision for one timeslot."""
+    """The engine's decision for one timeslot.
 
-    action: str  # "tx", "rx" or "sleep"
-    cell: Optional[Cell] = None
-    packet: Optional[Packet] = None
-    channel: Optional[int] = None
+    Hand-rolled ``__slots__`` class (not a dataclass): one is allocated per
+    transmitting slot on the kernel's hot path.
+    """
+
+    __slots__ = ("action", "cell", "packet", "channel")
+
+    def __init__(
+        self,
+        action: str,  # "tx", "rx" or "sleep"
+        cell: Optional[Cell] = None,
+        packet: Optional[Packet] = None,
+        channel: Optional[int] = None,
+    ) -> None:
+        self.action = action
+        self.cell = cell
+        self.packet = packet
+        self.channel = channel
 
     @property
     def is_tx(self) -> bool:
@@ -73,6 +85,9 @@ class SlotPlan:
     @property
     def is_rx(self) -> bool:
         return self.action == "rx"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SlotPlan({self.action}, cell={self.cell!r}, channel={self.channel})"
 
 
 #: Shared immutable "do nothing" plan.  Most (node, slot) pairs in a sweep are
@@ -841,6 +856,28 @@ class TschEngine:
         meter.total_slots += window
         self.duty_accounted_asn = asn
 
+    def account_tx_slot(self, asn: int) -> None:
+        """Settle the deferred window and record slot ``asn`` as a TX slot.
+
+        Fused eager-accounting helper for the dispatch kernel's per-slot
+        hot path (one call instead of settle + watermark + meter record).
+        """
+        if self.duty_accounted_asn < asn:
+            self.settle_duty_cycle(asn)
+        self.duty_accounted_asn = asn + 1
+        meter = self.duty_cycle
+        meter.tx_slots += 1
+        meter.total_slots += 1
+
+    def account_rx_frame_slot(self, asn: int) -> None:
+        """Settle the deferred window and record slot ``asn`` as a busy RX slot."""
+        if self.duty_accounted_asn < asn:
+            self.settle_duty_cycle(asn)
+        self.duty_accounted_asn = asn + 1
+        meter = self.duty_cycle
+        meter.rx_slots += 1
+        meter.total_slots += 1
+
     # ------------------------------------------------------------------
     # deferred shared-cell contention (used by the slot-skipping kernel)
     # ------------------------------------------------------------------
@@ -880,6 +917,16 @@ class TschEngine:
             # None: a non-shared matching cell makes pruning unsound;
             # empty: no matching cell at all (no horizon either way).
             return None
+        if len(progressions) == 1:
+            # Single progression (e.g. 6TiSCH minimal's lone shared cell):
+            # each occurrence consumes ``count`` window units, so the
+            # transmission lands exactly ``window // count`` occurrences
+            # after the next one -- the closed form of the walk below.
+            offset, length, count = progressions[0]
+            first = asn + (offset - asn) % length
+            tx_asn = first + (window // count) * length
+            self._csma_deferral = (asn, destination, window, progressions, tx_asn)
+            return tx_asn
         # Walk the merged occurrence slots until the window runs out.  The
         # planning scan counts one pass per matching cell, and the first
         # matching cell reached with the window at zero transmits -- possibly
@@ -1011,7 +1058,10 @@ class TschEngine:
         if self._signature_version != self.queue_version:
             has_broadcast = False
             destinations: set = set()
-            for packet in self.queue:
+            # Iterate the backing deque directly: TxQueue.__iter__ snapshots
+            # into a list (callers may mutate mid-iteration), which this
+            # read-only signature scan does not need.
+            for packet in self.queue._queue:
                 destination = packet.link_destination
                 if destination == BROADCAST_ADDRESS:
                     has_broadcast = True
@@ -1213,7 +1263,7 @@ class TschEngine:
     def on_frame_received(self, packet: Packet, asn: int, now: float) -> None:
         """Handle a frame decoded by this node's radio."""
         self.stats.frames_received += 1
-        self.etx.record_rx(packet.link_source, now=now)
+        self.etx.record_rx(packet.link_source, now)
         if self.rx_callback is not None:
             self.rx_callback(packet, asn)
 

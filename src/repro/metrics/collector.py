@@ -11,11 +11,7 @@ excluded, mirroring how the paper measures steady-state behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.net.node import Node
-    from repro.net.packet import Packet
+from typing import Dict, List, Optional
 
 
 @dataclass

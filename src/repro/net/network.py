@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from heapq import heappop, heappush
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.mac.tsch import SlotPlan, next_offset_occurrence
 from repro.metrics.collector import MetricsCollector, NetworkMetrics
@@ -83,6 +83,7 @@ class Network:
         fast: bool = True,
         timer_wheels: bool = True,
         csma_pruning: bool = True,
+        rank_memo: bool = True,
     ) -> None:
         self.rngs = RngRegistry(seed)
         self.default_node_config = default_node_config or NodeConfig()
@@ -95,11 +96,21 @@ class Network:
         #: (bulk CSMA back-off settlement; ``False`` keeps the per-slot
         #: countdown of the reference loop -- results are identical).
         self.csma_pruning = csma_pruning
+        #: Enable RPL candidate-rank memoisation on every node built through
+        #: :meth:`add_node` (``False`` is the debugging escape hatch that
+        #: re-ranks on every reception; results are bit-identical either way
+        #: and independent of the ``fast`` kernel flag -- the protocol code
+        #: is shared by both slot loops).
+        self.rank_memo = rank_memo
         self.medium = Medium(
             propagation or UnitDiskLossyEdgeModel(), self.rngs.stream("phy")
         )
         self.metrics = MetricsCollector()
         self.nodes: Dict[int, Node] = {}
+        #: node id -> TSCH engine, kept in sync with :attr:`nodes` (frame
+        #: delivery resolves receivers through this to skip an attribute hop
+        #: per decoded frame).
+        self._engines: Dict[int, "object"] = {}
         self._started = False
         #: Use the slot-skipping kernel in :meth:`run_slots` (bit-identical to
         #: the naive loop; ``fast=False`` is the escape hatch).
@@ -173,6 +184,8 @@ class Network:
             is_root=is_root,
         )
         node.set_metrics(self.metrics)
+        if not self.rank_memo:
+            node.rpl.memo_enabled = False
         if traffic is not None:
             node.set_traffic_generator(traffic)
         node.tsch.on_schedule_change = lambda bound=node: self._on_schedule_change(bound)
@@ -181,6 +194,7 @@ class Network:
         # that elapsed before it existed.
         node.tsch.duty_accounted_asn = self.clock.asn
         self.nodes[node_id] = node
+        self._engines[node_id] = node.tsch
         self.medium.register_node(node_id, position)
         self._dirty_nodes.add(node)
         self._active_index_dirty = True
@@ -310,86 +324,96 @@ class Network:
             return
 
         # 2b. the transmitters' interference audience completes the slot;
-        # sleeping visited nodes are accounted right away (their slot cannot
-        # be affected by the arbitration below), unreachable listeners stay
-        # deferred.
+        # unreachable listeners -- and every listener that ends up decoding
+        # nothing -- stay deferred.
         if not self.medium.frozen:
             # Normally done by start(); covers direct step_slot() use.
             self.medium.freeze()
-        audience: set = set(planned)
-        audience_of = self.medium.audience_of
-        for node_id in intent_owners:
-            audience |= audience_of(node_id)
-        # This ASN's participant buckets from the inverted index: an audience
-        # member with a cell in none of them provably sleeps, so it is
-        # skipped without even being planned.
         if self._active_index_dirty:
             self._refresh_active_index()
+        # This ASN's participant buckets from the inverted index: an audience
+        # member with a cell in none of them provably sleeps, so it is
+        # skipped without even being planned.  Each member's listen/sleep
+        # decision is served from its engine's per-residue memo
+        # (:meth:`~repro.mac.tsch.TschEngine.idle_listen_channel_offset`).
+        # Crucially, nothing is settled here: an idle listener that decodes
+        # nothing this slot is exactly the idle-listen slot its deferred
+        # profile settling credits, so only the nodes whose slot *deviates*
+        # from the pure schedule function (transmitters, and listeners that
+        # actually receive energy) are accounted eagerly in step 4c.
         buckets: List[Dict[int, Node]] = []
         for length, table in self._part_tables.items():
             bucket = table.get(asn % length)
             if bucket:
                 buckets.append(bucket)
+        audience: set = set(planned)
+        audience_of = self.medium.audience_of
+        for node_id in intent_owners:
+            audience |= audience_of(node_id)
         order = self._node_order
-        rx_nodes: List[Node] = []
+        nodes = self.nodes
         listeners: Dict[int, int] = {}
         by_channel: Dict[int, List[int]] = {}
-        next_asn = asn + 1
-        nodes = self.nodes
         backlogged = self._backlogged
         single_bucket = buckets[0] if len(buckets) == 1 else None
         for node_id in sorted(audience, key=order.__getitem__):
-            node = nodes[node_id]
-            engine = node.tsch
-            channel: Optional[int] = None
             plan = planned.get(node_id)
             if plan is None:
                 node_order = order[node_id]
                 if single_bucket is not None:
-                    if node_order not in single_bucket:
+                    node = single_bucket.get(node_order)
+                    if node is None:
+                        # No cell at this residue: the node provably sleeps,
+                        # and deferred settling credits exactly that.
                         continue
-                elif not any(node_order in bucket for bucket in buckets):
-                    continue
+                else:
+                    node = None
+                    for bucket in buckets:
+                        node = bucket.get(node_order)
+                        if node is not None:
+                            break
+                    if node is None:
+                        continue
+                engine = node.tsch
                 if node_id in backlogged:
                     deferral = engine._csma_deferral
                     if deferral is not None and asn < deferral[4]:
                         # Every matching cell this slot is a provably-losing
                         # shared-cell pass: bulk-credit it and fall through
-                        # to the pure listen/sleep decision below, skipping
-                        # the TX scan entirely.
+                        # to the pure listen/sleep decision, skipping the TX
+                        # scan entirely.
                         engine.absorb_deferred_pass(asn)
                     else:
                         # The queue (and CSMA state) may shape this node's
                         # slot: plan it fully, side effects included.
                         plan = engine.plan_slot(asn)
+                        if plan.action != "rx":
+                            # A TX plan is impossible here (the horizon heap
+                            # named every possible transmitter), so the node
+                            # either listens or sleeps -- and both reduce to
+                            # the lazy pure function of its schedule.
+                            continue
+                        channel: Optional[int] = plan.channel
                 if plan is None:
                     # Empty queue, or a backlog fully absorbed above: the
-                    # slot reduces to the memoised per-residue listen/sleep
-                    # decision -- no SlotPlan needed.
+                    # slot is the memoised per-residue listen/sleep decision.
                     offset = engine.idle_listen_channel_offset(asn)
                     if offset is None:
-                        # A sleeping slot is exactly what deferred settling
-                        # credits for this residue, so leave it lazy.
+                        # Pure sleep, exactly what deferred settling credits.
                         continue
                     channel = engine.hopping.channel_for(asn, offset)
-            if plan is not None:
-                if plan.action == "sleep":
+            else:
+                if plan.action != "rx":
+                    # Transmitters are accounted in step 4c; a sleeping plan
+                    # reduces to the lazy schedule function.
                     continue
-                if plan.action == "rx":
-                    channel = plan.channel
-                # TX plans fall through with channel None: they are accounted
-                # in step 4c with the other transmitter bookkeeping.
-            if engine.duty_accounted_asn < asn:
-                engine.settle_duty_cycle(asn)
-            engine.duty_accounted_asn = next_asn
-            if channel is not None:
-                rx_nodes.append(node)
-                listeners[node_id] = channel
-                bucket = by_channel.get(channel)
-                if bucket is None:
-                    by_channel[channel] = [node_id]
-                else:
-                    bucket.append(node_id)
+                channel = plan.channel
+            listeners[node_id] = channel
+            bucket = by_channel.get(channel)
+            if bucket is None:
+                by_channel[channel] = [node_id]
+            else:
+                bucket.append(node_id)
 
         # 3. the medium arbitrates (the per-channel listener grouping was
         # built for free while planning).
@@ -399,27 +423,36 @@ class Network:
         # overhearing neighbours (they listened on the same channel), but only
         # the link-layer destination processes it -- real radios filter on the
         # destination address before handing the frame to the MAC.
+        engines = self._engines
         nodes_that_received = set()
         for result in results:
             packet = result.intent.packet
-            for receiver in result.receivers:
-                nodes_that_received.add(receiver)
-                if packet.is_broadcast or packet.link_destination == receiver:
-                    self.nodes[receiver].tsch.on_frame_received(packet, asn, now)
+            if packet.is_broadcast:
+                for receiver in result.receivers:
+                    nodes_that_received.add(receiver)
+                    engines[receiver].on_frame_received(packet, asn, now)
+            else:
+                destination = packet.link_destination
+                for receiver in result.receivers:
+                    nodes_that_received.add(receiver)
+                    if destination == receiver:
+                        engines[receiver].on_frame_received(packet, asn, now)
 
         # 4b. transmitters process their outcome (ACK, retransmission, drop).
         for node_id, plan, result in zip(intent_owners, tx_plans, results):
-            self.nodes[node_id].tsch.on_transmission_result(plan, result, asn, now)
+            engines[node_id].on_transmission_result(plan, result, asn, now)
 
-        # 4c. duty-cycle accounting (sleeping nodes were credited in step 2).
+        # 4c. eager duty-cycle accounting for exactly the nodes whose slot
+        # deviated from the pure function of their schedule: transmitters
+        # (the profile would credit idle-listen/sleep, not TX) and listeners
+        # that received energy (a frame beats the idle-listen credit).
+        # Every other listener idle-listened, which is exactly what its
+        # deferred profile settling will credit -- bit-identical, so it is
+        # left lazy.
         for node_id in intent_owners:
-            self.nodes[node_id].tsch.duty_cycle.record_tx()
-        if nodes_that_received:
-            for node in rx_nodes:
-                node.tsch.duty_cycle.record_rx(node.node_id in nodes_that_received)
-        else:
-            for node in rx_nodes:
-                node.tsch.duty_cycle.record_rx(False)
+            engines[node_id].account_tx_slot(asn)
+        for node_id in nodes_that_received:
+            engines[node_id].account_rx_frame_slot(asn)
 
         self.clock.advance_slot()
 

@@ -21,7 +21,7 @@ arbitration -- which keeps the layering identical to the real stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.mac.tsch import TschConfig, TschEngine
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
@@ -100,6 +100,7 @@ class Node:
             send_packet=self.enqueue_packet,
             etx_of=self.tsch.etx.etx,
             is_root=is_root,
+            etx_state=self.tsch.etx,
         )
         self.rpl.on_parent_changed = self._on_parent_changed
         self.rpl.on_child_added = self._on_child_added
@@ -229,9 +230,18 @@ class Node:
     # MAC callbacks
     # ------------------------------------------------------------------
     def _on_mac_rx(self, packet: Packet, asn: int) -> None:
-        """Dispatch a frame decoded by the MAC to the proper layer."""
-        now = self.event_queue.now
-        if packet.ptype is PacketType.DATA:
+        """Dispatch a frame decoded by the MAC to the proper layer.
+
+        Broadcast control frames (DIO/EB) dominate receptions at scale --
+        every neighbor decodes them -- so they are dispatched first.
+        """
+        ptype = packet.ptype
+        if ptype is PacketType.DIO:
+            self.rpl.process_dio(packet, self.event_queue.now)
+            self.scheduler.on_dio_received(packet)
+        elif ptype is PacketType.EB:
+            self.scheduler.on_eb_received(packet)
+        elif ptype is PacketType.DATA:
             forwarded = packet.for_next_hop(packet.link_source, packet.link_destination)
             forwarded.hops += 1
             if forwarded.destination == self.node_id:
@@ -239,14 +249,9 @@ class Node:
             else:
                 self.stats.data_forwarded += 1
                 self._route_and_enqueue(forwarded)
-        elif packet.ptype is PacketType.DIO:
-            self.rpl.process_dio(packet, now)
-            self.scheduler.on_dio_received(packet)
-        elif packet.ptype is PacketType.DAO:
-            self.rpl.process_dao(packet, now)
-        elif packet.ptype is PacketType.EB:
-            self.scheduler.on_eb_received(packet)
-        elif packet.ptype is PacketType.SIXP:
+        elif ptype is PacketType.DAO:
+            self.rpl.process_dao(packet, self.event_queue.now)
+        elif ptype is PacketType.SIXP:
             self.sixtop.process_packet(packet)
 
     def _on_mac_tx_done(self, packet: Packet, success: bool, asn: int) -> None:
@@ -282,8 +287,16 @@ class Node:
     # Enhanced Beacons
     # ------------------------------------------------------------------
     def _eb_tick_provably_idle(self) -> bool:
-        """Exactly :meth:`_send_eb`'s early-return conditions, side-effect free."""
-        return not self.rpl.is_joined() or self.tsch.queue.contains_ptype(PacketType.EB)
+        """Exactly :meth:`_send_eb`'s early-return conditions, side-effect free.
+
+        Runs once per EB period per node (the hottest timer family at
+        scale), so the joined test is inlined rather than calling
+        :meth:`~repro.rpl.engine.RplEngine.is_joined`.
+        """
+        rpl = self.rpl
+        if not (rpl.is_root or rpl.preferred_parent is not None):
+            return True
+        return self.tsch.queue.contains_ptype(PacketType.EB)
 
     def _send_eb(self) -> None:
         """Periodically broadcast an Enhanced Beacon.
@@ -297,9 +310,8 @@ class Node:
             return
         # Do not pile up beacons: if the previous EB is still waiting for a
         # broadcast cell, skip this period (Contiki behaves the same way).
-        for queued in self.tsch.queue:
-            if queued.ptype is PacketType.EB:
-                return
+        if self.tsch.queue.contains_ptype(PacketType.EB):
+            return
         payload: Dict[str, Any] = {
             "join_priority": 0 if self.is_root else 1,
         }

@@ -16,7 +16,7 @@ decides the destination (its DODAG root) and handles queueing.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.events import EventQueue, PeriodicTimer
 

@@ -12,14 +12,14 @@ evaluation with an equivalent software model:
   nodes estimate ETX.
 """
 
+from repro.phy.linkstats import EtxEstimator, LinkStats
+from repro.phy.medium import Medium, TransmissionIntent, TransmissionResult
 from repro.phy.propagation import (
     FixedPrrModel,
     LogisticPrrModel,
     PropagationModel,
     UnitDiskLossyEdgeModel,
 )
-from repro.phy.medium import Medium, TransmissionIntent, TransmissionResult
-from repro.phy.linkstats import EtxEstimator, LinkStats
 
 __all__ = [
     "PropagationModel",

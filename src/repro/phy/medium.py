@@ -20,38 +20,78 @@ nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet
 from repro.phy.propagation import Position, PropagationModel
 
+try:  # Optional accelerator: the container ships numpy, CI may not.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
-@dataclass
+
 class TransmissionIntent:
-    """A node's decision to transmit a frame in the current slot."""
+    """A node's decision to transmit a frame in the current slot.
 
-    sender: int
-    packet: Packet
-    channel: int
-    #: True when the sender expects a link-layer ACK (unicast data/6P frames).
-    expects_ack: bool = True
+    Hand-rolled ``__slots__`` class (not a dataclass): one is allocated per
+    transmission on the kernel's hot path.
+    """
+
+    __slots__ = ("sender", "packet", "channel", "expects_ack")
+
+    def __init__(
+        self,
+        sender: int,
+        packet: Packet,
+        channel: int,
+        expects_ack: bool = True,
+    ) -> None:
+        self.sender = sender
+        self.packet = packet
+        self.channel = channel
+        #: True when the sender expects a link-layer ACK (unicast data/6P).
+        self.expects_ack = expects_ack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TransmissionIntent(sender={self.sender}, channel={self.channel}, "
+            f"packet={self.packet!r})"
+        )
 
 
-@dataclass
 class TransmissionResult:
-    """Outcome of one transmission intent after medium arbitration."""
+    """Outcome of one transmission intent after medium arbitration.
 
-    intent: TransmissionIntent
-    #: Node ids that decoded the frame.
-    receivers: List[int] = field(default_factory=list)
-    #: Whether the intended unicast destination decoded the frame.
-    delivered: bool = False
-    #: Whether the sender received the link-layer ACK (unicast only).
-    acked: bool = False
-    #: True when the frame was lost because of a collision at the intended
-    #: destination (as opposed to channel error).
-    collided: bool = False
+    ``__slots__`` class for the same hot-path reason as its intent.
+    """
+
+    __slots__ = ("intent", "receivers", "delivered", "acked", "collided")
+
+    def __init__(
+        self,
+        intent: TransmissionIntent,
+        receivers: Optional[List[int]] = None,
+        delivered: bool = False,
+        acked: bool = False,
+        collided: bool = False,
+    ) -> None:
+        self.intent = intent
+        #: Node ids that decoded the frame.
+        self.receivers = [] if receivers is None else receivers
+        #: Whether the intended unicast destination decoded the frame.
+        self.delivered = delivered
+        #: Whether the sender received the link-layer ACK (unicast only).
+        self.acked = acked
+        #: True when the frame was lost because of a collision at the
+        #: intended destination (as opposed to channel error).
+        self.collided = collided
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TransmissionResult(delivered={self.delivered}, acked={self.acked}, "
+            f"collided={self.collided}, receivers={self.receivers})"
+        )
 
 
 class Medium:
@@ -91,6 +131,13 @@ class Medium:
         self._prr_rows: Dict[int, List[float]] = {}
         self._interf_rows: Dict[int, List[bool]] = {}
         self._audience: Dict[int, frozenset] = {}
+        #: Dense boolean interference matrix (numpy, when available): row =
+        #: sender index, column = listener index.  Pure accelerator for the
+        #: audible-count scan of :meth:`_resolve_same_channel`; the list
+        #: tables above remain the source of truth (PRR floats in
+        #: particular are always read from them, so every RNG comparison
+        #: uses exactly the reference values).
+        self._np_interf = None
         #: Counters for diagnostics / tests.
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -112,6 +159,7 @@ class Medium:
         self._prr_rows = {}
         self._interf_rows = {}
         self._audience = {}
+        self._np_interf = None
 
     @property
     def frozen(self) -> bool:
@@ -159,6 +207,10 @@ class Medium:
             self._audience[a] = frozenset(
                 b for index, b in enumerate(ids) if interf_row[index]
             )
+        if _np is not None and ids:
+            self._np_interf = _np.array(
+                [self._interf_rows[a] for a in ids], dtype=bool
+            )
         self._frozen = True
 
     def export_frozen(self) -> dict:
@@ -200,6 +252,12 @@ class Medium:
         self._interf_rows = state["interf_rows"]
         self._audience = state["audience"]
         self._neighbors_cache.update(state["neighbors"])
+        if _np is not None and self._ids:
+            # Rebuilt locally rather than shipped in the snapshot, keeping
+            # exported state portable to numpy-less interpreters.
+            self._np_interf = _np.array(
+                [self._interf_rows[a] for a in self._ids], dtype=bool
+            )
         self._frozen = True
         return True
 
@@ -402,32 +460,119 @@ class Medium:
         channel_listeners: Sequence[int],
     ) -> None:
         """Resolve several same-channel transmitters (collisions possible)."""
-        audible_map: Optional[Dict[int, List[int]]] = None
+        if (
+            self._np_interf is not None
+            and len(intents) >= 3
+            and len(channel_listeners) >= 8
+        ):
+            # Vectorised audible counting (the dense matrix is a pure
+            # function of the list tables, and PRR values are still read
+            # from the reference lists): same collisions, same marks, same
+            # RNG draws in the same listener order as the scans below.
+            index_of = self._index_of
+            sub = self._np_interf[
+                _np.fromiter(
+                    (index_of[intent.sender] for intent in intents),
+                    dtype=_np.intp,
+                    count=len(intents),
+                )
+            ][
+                :,
+                _np.fromiter(
+                    (index_of[listener] for listener in channel_listeners),
+                    dtype=_np.intp,
+                    count=len(channel_listeners),
+                ),
+            ]
+            counts = sub.sum(axis=0)
+            collided_columns = counts > 1
+            collisions = int(collided_columns.sum())
+            if collisions:
+                self.total_collisions += collisions
+                # An intent audible at any collided listener it addresses is
+                # marked; broadcasts address every listener.
+                audible_at_collided = sub[:, collided_columns]
+                broadcast_hit = audible_at_collided.any(axis=1)
+                collided_listeners = None
+                for index, intent in enumerate(intents):
+                    destination = intent.packet.link_destination
+                    if destination == BROADCAST_ADDRESS:
+                        if broadcast_hit[index]:
+                            results[index].collided = True
+                    else:
+                        if collided_listeners is None:
+                            collided_listeners = {
+                                listener
+                                for listener, flag in zip(
+                                    channel_listeners, collided_columns.tolist()
+                                )
+                                if flag
+                            }
+                        if destination in collided_listeners:
+                            column = channel_listeners.index(destination)
+                            if sub[index][column]:
+                                results[index].collided = True
+            if bool((counts == 1).any()):
+                senders_of = sub.argmax(axis=0).tolist()
+                rng_random = self.rng.random
+                for column, count in enumerate(counts.tolist()):
+                    if count != 1:
+                        continue
+                    index = senders_of[column]
+                    intent = intents[index]
+                    listener = channel_listeners[column]
+                    prr = self._prr_rows[intent.sender][index_of[listener]]
+                    if prr <= 0.0:
+                        continue
+                    if rng_random() <= prr:
+                        results[index].receivers.append(listener)
+                        if intent.packet.link_destination == listener:
+                            results[index].delivered = True
+            return
         if self._frozen:
-            # Invert the audibility scan: walk each sender's (precomputed,
-            # typically small) audience instead of testing every listener
-            # against every sender.  Per-listener audible lists keep intent
-            # order, so collisions, PRR draws and the RNG stream are exactly
-            # those of the listener x sender scan.
-            listener_set = set(channel_listeners)
-            audible_map = {}
-            for index, intent in enumerate(intents):
-                for listener in self._audience[intent.sender]:
-                    if listener in listener_set:
-                        bucket = audible_map.get(listener)
-                        if bucket is None:
-                            audible_map[listener] = [index]
-                        else:
-                            bucket.append(index)
+            # Dense-table path: per listener, test each sender's precomputed
+            # interference row directly -- no per-slot audible-map building,
+            # no set allocations.  Listener order equals ``channel_listeners``
+            # and audible senders keep intent order, so collisions, PRR draws
+            # and the RNG stream are exactly those of the general scan below.
+            index_of = self._index_of
+            interf = [self._interf_rows[intent.sender] for intent in intents]
+            prr_rows = [self._prr_rows[intent.sender] for intent in intents]
+            count = len(intents)
+            rng_random = self.rng.random
+            for listener in channel_listeners:
+                column = index_of[listener]
+                first = -1
+                audible = 0
+                for index in range(count):
+                    if interf[index][column]:
+                        audible += 1
+                        if audible == 1:
+                            first = index
+                if not audible:
+                    continue
+                if audible > 1:
+                    for index in range(count):
+                        if interf[index][column] and intents[
+                            index
+                        ].packet.link_destination in (listener, BROADCAST_ADDRESS):
+                            results[index].collided = True
+                    self.total_collisions += 1
+                    continue
+                prr = prr_rows[first][column]
+                if prr <= 0.0:
+                    continue
+                if rng_random() <= prr:
+                    results[first].receivers.append(listener)
+                    if intents[first].packet.link_destination == listener:
+                        results[first].delivered = True
+            return
         for listener in channel_listeners:
-            if audible_map is not None:
-                audible = audible_map.get(listener, ())
-            else:
-                audible = [
-                    index
-                    for index, intent in enumerate(intents)
-                    if self.interferes(intent.sender, listener)
-                ]
+            audible = [
+                index
+                for index, intent in enumerate(intents)
+                if self.interferes(intent.sender, listener)
+            ]
             if not audible:
                 continue
             if len(audible) > 1:

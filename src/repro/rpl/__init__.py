@@ -13,6 +13,8 @@ provides the pieces of RPL the scheduler depends on:
   parent selection and switching, children tracking, DIO/DAO processing.
 """
 
+from repro.rpl.engine import RplConfig, RplEngine, RplNeighbor
+from repro.rpl.messages import make_dao, make_dio
 from repro.rpl.rank import (
     INFINITE_RANK,
     MIN_HOP_RANK_INCREASE,
@@ -20,8 +22,6 @@ from repro.rpl.rank import (
     RankCalculator,
 )
 from repro.rpl.trickle import TrickleTimer
-from repro.rpl.messages import make_dao, make_dio
-from repro.rpl.engine import RplConfig, RplEngine, RplNeighbor
 
 __all__ = [
     "INFINITE_RANK",

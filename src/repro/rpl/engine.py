@@ -18,10 +18,10 @@ there.  Both cold and warm start paths are exercised by the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
 
-from repro.net.packet import Packet, PacketType
+from repro.net.packet import Packet
 from repro.rpl.messages import make_dao, make_dio
 from repro.rpl.rank import (
     INFINITE_RANK,
@@ -47,6 +47,14 @@ class RplConfig:
     dio_interval_min_s: float = 4.0
     dio_interval_doublings: int = 8
     dio_redundancy: int = 0
+    #: Memoise per-neighbor candidate ranks behind version counters on their
+    #: inputs (advertised rank / DODAG id / DODAG version, per-link ETX
+    #: state, neighbor-set and children-set membership), so a DIO that
+    #: changes nothing settles without re-ranking and evaluations re-score
+    #: only dirtied candidates.  Results are bit-identical either way;
+    #: ``False`` is the debugging escape hatch that re-scores everything on
+    #: every reception, as the seed engine did.
+    rank_memo: bool = True
     #: Delay between selecting a parent and sending the DAO announcing it.
     dao_delay_s: float = 1.0
     #: Period of DAO refreshes (keeps the parent's children set alive).
@@ -69,6 +77,12 @@ class RplNeighbor:
     #: GT-TSCH DIO option: reception cells the neighbor offers to children.
     l_rx: int = 0
     last_heard: float = 0.0
+    #: Memoised candidate rank (the rank this node would advertise if it
+    #: joined through this neighbor) and the input stamp it was computed
+    #: under: ``(rank, dodag_id, dodag version, per-link ETX version)``.
+    #: ``None`` means never scored; see :meth:`RplEngine._evaluate_parents`.
+    cand_rank: int = INFINITE_RANK
+    cand_stamp: Optional[tuple] = None
 
 
 class RplEngine:
@@ -83,6 +97,7 @@ class RplEngine:
         send_packet: Callable[[Packet], None],
         etx_of: Callable[[int], float],
         is_root: bool = False,
+        etx_state=None,
     ) -> None:
         """
         Parameters
@@ -93,6 +108,12 @@ class RplEngine:
         etx_of:
             Callback returning the current ETX estimate towards a neighbor
             (provided by the MAC's link statistics).
+        etx_state:
+            The :class:`~repro.phy.linkstats.EtxEstimator` behind ``etx_of``
+            (anything exposing ``version`` and ``neighbor_versions``).  Its
+            version counters let the engine prove an ETX estimate unchanged
+            since the last parent evaluation; without it the rank memo is
+            disabled and every reception re-ranks, as the seed engine did.
         """
         self.node_id = node_id
         self.config = config
@@ -100,7 +121,26 @@ class RplEngine:
         self.rng = rng
         self._send_packet = send_packet
         self._etx_of = etx_of
+        self._etx_state = etx_state
         self.is_root = is_root
+        #: Rank-memo escape hatch (see :attr:`RplConfig.rank_memo`); may be
+        #: flipped at any time -- the memo stamps conservatively re-score on
+        #: the next evaluation after re-enabling.
+        self.memo_enabled = config.rank_memo
+        #: Version counter over every non-ETX input of parent selection:
+        #: material neighbor-table updates (advertised rank / DODAG id /
+        #: DODAG version, insertion, eviction), children-set membership and
+        #: warm-started DODAG state.  Compared against
+        #: :attr:`_memo_evaluated_inputs` to prove a reception input-free.
+        self._memo_inputs = 0
+        self._memo_evaluated_inputs = -1
+        self._memo_evaluated_etx = -1
+        #: True when the last evaluation left our own rank / preferred parent
+        #: untouched: only then is re-running it with unchanged inputs a
+        #: provable no-op (our own state is itself a selection input -- e.g.
+        #: a rank refresh upward can make rank-rule-filtered neighbors
+        #: eligible), so only then may a reception be skipped.
+        self._memo_fixed_point = False
 
         self.objective = MrhofObjectiveFunction(
             min_hop_rank_increase=config.min_hop_rank_increase,
@@ -139,6 +179,11 @@ class RplEngine:
         self.dio_sent = 0
         self.dao_sent = 0
         self.parent_switches = 0
+        #: Rank-memo diagnostics: full evaluations run, receptions settled
+        #: without re-ranking, and candidate ranks actually recomputed.
+        self.parent_evaluations = 0
+        self.evaluations_skipped = 0
+        self.candidate_recomputes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -157,6 +202,7 @@ class RplEngine:
         """
         self.dodag_id = dodag_id
         self.rank = rank
+        self._memo_inputs += 1
         if self.is_root:
             self.trickle.start()
             return
@@ -174,18 +220,53 @@ class RplEngine:
     # message processing
     # ------------------------------------------------------------------
     def process_dio(self, packet: Packet, now: float) -> None:
-        """Handle a received DIO broadcast."""
+        """Handle a received DIO broadcast.
+
+        Only *material* changes -- the advertised rank, DODAG id or DODAG
+        version, or a brand-new neighbor -- dirty the rank memo; ``l_rx`` and
+        freshness updates influence no candidate rank.  A reception that is
+        provably input-free (memo clean and no ETX estimate changed since the
+        last evaluation) settles without re-ranking anything: re-running the
+        evaluation would recompute the same fixed point, fire no callbacks
+        and draw no randomness, so skipping it is bit-identical.
+        """
         payload = packet.payload
         sender = packet.link_source
-        neighbor = self.neighbors.setdefault(sender, RplNeighbor(node_id=sender))
-        neighbor.rank = payload.get("rank", INFINITE_RANK)
-        neighbor.dodag_id = payload.get("dodag_id")
-        neighbor.version = payload.get("version", 0)
+        rank = payload.get("rank", INFINITE_RANK)
+        dodag_id = payload.get("dodag_id")
+        version = payload.get("version", 0)
+        neighbor = self.neighbors.get(sender)
+        if neighbor is None:
+            neighbor = RplNeighbor(node_id=sender)
+            self.neighbors[sender] = neighbor
+            neighbor.rank = rank
+            neighbor.dodag_id = dodag_id
+            neighbor.version = version
+            self._memo_inputs += 1
+        elif (
+            rank != neighbor.rank
+            or dodag_id != neighbor.dodag_id
+            or version != neighbor.version
+        ):
+            neighbor.rank = rank
+            neighbor.dodag_id = dodag_id
+            neighbor.version = version
+            self._memo_inputs += 1
         neighbor.l_rx = payload.get("l_rx", neighbor.l_rx)
         neighbor.last_heard = now
         self.trickle.hear_consistent()
-        if not self.is_root:
-            self._evaluate_parents()
+        if self.is_root:
+            return
+        if (
+            self.memo_enabled
+            and self._memo_fixed_point
+            and self._etx_state is not None
+            and self._memo_evaluated_inputs == self._memo_inputs
+            and self._memo_evaluated_etx == self._etx_state.version
+        ):
+            self.evaluations_skipped += 1
+            return
+        self._evaluate_parents()
 
     def process_dao(self, packet: Packet, now: float) -> None:
         """Handle a received DAO: the sender declares us as its parent."""
@@ -194,6 +275,9 @@ class RplEngine:
             return
         if child not in self.children:
             self.children.add(child)
+            # Children are filtered out of parent selection, so membership is
+            # an evaluation input even though no candidate rank changes.
+            self._memo_inputs += 1
             if self.on_child_added is not None:
                 self.on_child_added(child)
 
@@ -201,8 +285,28 @@ class RplEngine:
         """Forget a child (e.g. it switched to another parent)."""
         if child in self.children:
             self.children.discard(child)
+            self._memo_inputs += 1
             if self.on_child_removed is not None:
                 self.on_child_removed(child)
+
+    def evict_neighbor(self, node_id: int) -> None:
+        """Drop a neighbor from the candidate set (e.g. lifetime expiry).
+
+        The entry's memoised candidate rank disappears with it and the memo
+        is dirtied, so the next reception re-evaluates.  Evicting the
+        preferred parent detaches first (callback included), then parent
+        selection runs immediately to adopt a replacement if one exists.
+        """
+        if self.neighbors.pop(node_id, None) is None:
+            return
+        self._memo_inputs += 1
+        if node_id == self.preferred_parent:
+            self.preferred_parent = None
+            self.rank = INFINITE_RANK
+            if self.on_parent_changed is not None:
+                self.on_parent_changed(node_id, None)
+        if not self.is_root:
+            self._evaluate_parents()
 
     # ------------------------------------------------------------------
     # parent selection
@@ -214,15 +318,42 @@ class RplEngine:
         return self.objective.rank_via(neighbor.rank, self._etx_of(neighbor.node_id))
 
     def _evaluate_parents(self) -> None:
-        """Run MRHOF parent selection over the current neighbor table."""
+        """Run MRHOF parent selection over the current neighbor table.
+
+        With the rank memo active, each neighbor's candidate rank is a pure
+        function of its stamp ``(advertised rank, DODAG id, DODAG version,
+        per-link ETX version)``: only stamp-dirtied candidates are re-scored,
+        everyone else reuses the memoised rank.  The selection itself (the
+        children filter, the rank rule, hysteresis) always runs live -- it
+        depends on this node's own state, which the stamps do not cover.
+        """
+        self.parent_evaluations += 1
+        entry_rank = self.rank
+        entry_parent = self.preferred_parent
         best: Optional[RplNeighbor] = None
         best_rank = INFINITE_RANK
+        memo = self.memo_enabled and self._etx_state is not None
+        etx_versions = self._etx_state.neighbor_versions if memo else None
         for neighbor in self.neighbors.values():
             # A child must never be selected as parent (avoids 2-node loops);
             # neither can a neighbor advertising a rank not better than ours.
             if neighbor.node_id in self.children:
                 continue
-            candidate = self._candidate_rank(neighbor)
+            if memo:
+                stamp = (
+                    neighbor.rank,
+                    neighbor.dodag_id,
+                    neighbor.version,
+                    etx_versions.get(neighbor.node_id, 0),
+                )
+                if stamp != neighbor.cand_stamp:
+                    neighbor.cand_rank = self._candidate_rank(neighbor)
+                    neighbor.cand_stamp = stamp
+                    self.candidate_recomputes += 1
+                candidate = neighbor.cand_rank
+            else:
+                candidate = self._candidate_rank(neighbor)
+                self.candidate_recomputes += 1
             if candidate >= INFINITE_RANK:
                 continue
             if neighbor.rank >= self.rank and self.preferred_parent is not None:
@@ -233,20 +364,21 @@ class RplEngine:
                 best_rank = candidate
                 best = neighbor
 
-        if best is None:
-            return
+        if best is not None:
+            if self.preferred_parent is None:
+                self._adopt_parent(best, best_rank)
+            elif best.node_id == self.preferred_parent:
+                # Refresh our own rank through the (possibly changed) link cost.
+                self.rank = best_rank
+            elif self.objective.is_worth_switching(self.rank, best_rank):
+                self._adopt_parent(best, best_rank)
 
-        if self.preferred_parent is None:
-            self._adopt_parent(best, best_rank)
-            return
-
-        if best.node_id == self.preferred_parent:
-            # Refresh our own rank through the (possibly changed) link cost.
-            self.rank = best_rank
-            return
-
-        if self.objective.is_worth_switching(self.rank, best_rank):
-            self._adopt_parent(best, best_rank)
+        if memo:
+            self._memo_evaluated_inputs = self._memo_inputs
+            self._memo_evaluated_etx = self._etx_state.version
+            self._memo_fixed_point = (
+                self.rank == entry_rank and self.preferred_parent == entry_parent
+            )
 
     def _adopt_parent(self, neighbor: RplNeighbor, new_rank: int) -> None:
         old_parent = self.preferred_parent

@@ -16,7 +16,7 @@ override what they need.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.sixtop.messages import SixPMessage, SixPReturnCode

@@ -74,7 +74,13 @@ class Event:
 
     def fire(self) -> Any:
         """Invoke the callback (used by the queue; not normally called directly)."""
-        return self.callback(*self.args, **self.kwargs)
+        if self.kwargs:
+            return self.callback(*self.args, **self.kwargs)
+        if self.args:
+            return self.callback(*self.args)
+        # The overwhelmingly common shape (periodic timer ticks): skip the
+        # empty argument spreads.
+        return self.callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "cancelled" if self.cancelled else "pending"
@@ -214,6 +220,22 @@ class EventQueue:
             raise ValueError("delay must not be NaN")
         return self.schedule(self._now + max(0.0, delay), callback, *args, label=label, **kwargs)
 
+    def reschedule_in(self, event: Event, delay: float) -> Event:
+        """Re-arm a fired (popped, uncancelled) event ``delay`` seconds out.
+
+        Self-rescheduling periodic timers re-heap the same :class:`Event`
+        instead of allocating a fresh one every tick; the sequence number is
+        drawn from the same counter at the same point, so firing order is
+        exactly that of a fresh ``schedule_in``.
+        """
+        if delay != delay:
+            raise ValueError("delay must not be NaN")
+        time = self._now + max(0.0, delay)
+        event.time = time
+        event._queue = self
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
+        return event
+
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, if any."""
         heap = self._heap
@@ -223,9 +245,9 @@ class EventQueue:
             self._cancelled -= 1
         best = heap[0].time if heap else None
         for wheel in self._wheels:
-            head = wheel.head_time()
-            if head is not None and (best is None or head < best):
-                best = head
+            key = wheel._head_key()
+            if key is not None and (best is None or key[0] < best):
+                best = key[0]
         return best
 
     def run_until(self, time: float) -> int:
@@ -306,7 +328,16 @@ class TimerWheel:
     #: Compaction never triggers below this heap size.
     COMPACT_MIN_SIZE = 16
 
-    __slots__ = ("queue", "name", "_heap", "_cancelled", "fired", "compactions")
+    __slots__ = (
+        "queue",
+        "name",
+        "_heap",
+        "_cancelled",
+        "fired",
+        "compactions",
+        "_head",
+        "_head_dirty",
+    )
 
     def __init__(self, queue: EventQueue, name: str) -> None:
         self.queue = queue
@@ -316,6 +347,12 @@ class TimerWheel:
         #: Members fired so far (diagnostics, surfaced by EventQueue.stats()).
         self.fired = 0
         self.compactions = 0
+        #: Memoised earliest live (time, sequence), recomputed only after a
+        #: mutation: ``run_until`` re-reads every wheel head once per fired
+        #: event, so serving the unchanged ones from cache keeps the merge
+        #: O(changed wheels) instead of O(wheels x members inspected).
+        self._head: Optional[Tuple[float, int]] = None
+        self._head_dirty = True
 
     def __len__(self) -> int:
         return len(self._heap) - self._cancelled
@@ -338,6 +375,7 @@ class TimerWheel:
         event = Event(time, callback, args, kwargs, label=label)
         event._queue = self
         heapq.heappush(self._heap, (time, next(queue._counter), event))
+        self._head_dirty = True
         return event
 
     def schedule_in(
@@ -355,19 +393,33 @@ class TimerWheel:
             self.queue._now + max(0.0, delay), callback, *args, label=label, **kwargs
         )
 
+    def reschedule_in(self, event: Event, delay: float) -> Event:
+        """Re-arm a fired (popped, uncancelled) member (see EventQueue's)."""
+        if delay != delay:
+            raise ValueError("delay must not be NaN")
+        queue = self.queue
+        time = queue._now + max(0.0, delay)
+        event.time = time
+        event._queue = self
+        heapq.heappush(self._heap, (time, next(queue._counter), event))
+        self._head_dirty = True
+        return event
+
     # ------------------------------------------------------------------
     # head management (driven by the owning EventQueue)
     # ------------------------------------------------------------------
     def _head_key(self) -> Optional[Tuple[float, int]]:
-        """(time, sequence) of the earliest live member, if any."""
+        """(time, sequence) of the earliest live member, if any (memoised)."""
+        if not self._head_dirty:
+            return self._head
         heap = self._heap
         while heap and heap[0][2].cancelled:
             _, _, event = heapq.heappop(heap)
             event._queue = None
             self._cancelled -= 1
-        if not heap:
-            return None
-        return (heap[0][0], heap[0][1])
+        self._head = (heap[0][0], heap[0][1]) if heap else None
+        self._head_dirty = False
+        return self._head
 
     def head_time(self) -> Optional[float]:
         key = self._head_key()
@@ -376,6 +428,7 @@ class TimerWheel:
     def _fire_head(self) -> None:
         """Pop and fire the earliest member (caller checked it is due)."""
         time, _, event = heapq.heappop(self._heap)
+        self._head_dirty = True
         event._queue = None
         self.queue._now = time
         self.fired += 1
@@ -386,6 +439,7 @@ class TimerWheel:
     # ------------------------------------------------------------------
     def _on_event_cancelled(self) -> None:
         self._cancelled += 1
+        self._head_dirty = True
         if (
             len(self._heap) >= self.COMPACT_MIN_SIZE
             and self._cancelled * 2 > len(self._heap)
@@ -399,6 +453,7 @@ class TimerWheel:
         self._heap = [item for item in self._heap if not item[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
+        self._head_dirty = True
         self.compactions += 1
 
     def clear(self) -> None:
@@ -406,6 +461,7 @@ class TimerWheel:
             event._queue = None
         self._heap.clear()
         self._cancelled = 0
+        self._head_dirty = True
 
 
 class PeriodicTimer:
@@ -506,4 +562,13 @@ class PeriodicTimer:
             if result is False:
                 self._running = False
                 return
-        self._event = self._scheduler.schedule_in(self._next_period(), self._tick, label=self.label)
+        event = self._event
+        if event is not None and not event.cancelled:
+            # The tick runs as this event's callback, so it has just been
+            # popped: re-heap the same object instead of allocating one per
+            # period (the sequence draw and firing order are unchanged).
+            self._scheduler.reschedule_in(event, self._next_period())
+        else:
+            self._event = self._scheduler.schedule_in(
+                self._next_period(), self._tick, label=self.label
+            )

@@ -14,6 +14,7 @@ three commands:
 (sequence numbers, matching of responses to requests, timeouts).
 """
 
+from repro.sixtop.layer import SixPConfig, SixPLayer, SixPTransaction
 from repro.sixtop.messages import (
     ASK_CHANNEL_COMMAND_CODE,
     CellDescriptor,
@@ -22,7 +23,6 @@ from repro.sixtop.messages import (
     SixPMessageType,
     SixPReturnCode,
 )
-from repro.sixtop.layer import SixPConfig, SixPLayer, SixPTransaction
 
 __all__ = [
     "SixPCommand",

@@ -11,11 +11,10 @@ from repro.core.scheduler import GtTschScheduler
 from repro.mac.tsch import TschConfig
 from repro.net.network import Network
 from repro.net.node import NodeConfig
-from repro.net.topology import line_topology, multi_dodag_topology, star_topology
+from repro.net.topology import line_topology, star_topology
 from repro.net.traffic import PeriodicTrafficGenerator
-from repro.phy.propagation import FixedPrrModel, UnitDiskLossyEdgeModel
+from repro.phy.propagation import UnitDiskLossyEdgeModel
 from repro.rpl.engine import RplConfig
-from repro.schedulers.minimal import MinimalScheduler
 from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
 from repro.sixtop.layer import SixPConfig
 

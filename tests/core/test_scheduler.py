@@ -1,9 +1,6 @@
 """Tests for the GT-TSCH scheduling function integrated with the node stack."""
 
-import pytest
-
-from repro.core.config import GtTschConfig
-from repro.mac.cell import CellOption, CellPurpose
+from repro.mac.cell import CellPurpose
 from repro.net.topology import line_topology, star_topology
 from repro.sixtop.messages import CellDescriptor, SixPCommand, SixPMessage, SixPMessageType, SixPReturnCode
 

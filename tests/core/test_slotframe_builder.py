@@ -11,7 +11,7 @@ from repro.core.slotframe_builder import (
     broadcast_offsets,
     shared_offsets,
 )
-from repro.mac.cell import CellOption, CellPurpose
+from repro.mac.cell import CellPurpose
 from repro.mac.tsch import TschConfig, TschEngine
 
 

@@ -1,7 +1,5 @@
 """Tests for the ablation runners (fast, reduced configurations)."""
 
-import pytest
-
 from repro.experiments.ablation import (
     run_ewma_ablation,
     run_shared_cell_ablation,

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
-
 from repro.experiments.__main__ import cache_main, main
 from repro.experiments.parallel import ResultCache
 from repro.experiments.scenarios import MINIMAL, traffic_load_scenario

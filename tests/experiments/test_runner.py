@@ -1,12 +1,10 @@
 """Tests for the figure runner (small, fast configurations)."""
 
-import pytest
-
 from repro.experiments.runner import (
     FigureResult,
+    run_figure10,
     run_figure8,
     run_figure9,
-    run_figure10,
     run_scenario,
 )
 from repro.experiments.scenarios import GT_TSCH, ORCHESTRA, traffic_load_scenario

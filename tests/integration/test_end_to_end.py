@@ -5,8 +5,6 @@ topologies and shortened time windows so they stay fast, and assert the
 *relationships* the paper reports rather than absolute numbers.
 """
 
-import pytest
-
 from repro.core.config import GtTschConfig
 from repro.mac.cell import CellPurpose
 from repro.net.topology import line_topology, multi_dodag_topology, star_topology

@@ -6,7 +6,6 @@ shrinking it when the load falls, and keeping the control plane responsive
 while doing so.
 """
 
-import pytest
 
 from repro.net.topology import star_topology
 from repro.net.traffic import PeriodicTrafficGenerator

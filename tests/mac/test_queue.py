@@ -157,3 +157,32 @@ class TestMutation:
             queue.add(data_packet(destination=index % 3))
         assert len(queue) <= capacity
         assert queue.drops == max(0, additions - capacity)
+
+
+class TestPtypeCounts:
+    def test_contains_ptype_tracks_add_remove_and_eviction(self):
+        queue = TxQueue(capacity=2)
+        assert not queue.contains_ptype(PacketType.EB)
+        data = make_data_packet(1, 2, created_at=0.0)
+        data.link_destination = 2
+        queue.add(data)
+        second = make_data_packet(1, 2, created_at=0.0)
+        second.link_destination = 2
+        queue.add(second)
+        assert queue.contains_ptype(PacketType.DATA)
+        # A control frame arriving at a full queue evicts the youngest data
+        # packet; both counts must follow.
+        eb = Packet(
+            ptype=PacketType.EB,
+            source=1,
+            destination=BROADCAST_ADDRESS,
+            link_source=1,
+            link_destination=BROADCAST_ADDRESS,
+        )
+        assert queue.add(eb)
+        assert queue.contains_ptype(PacketType.EB)
+        assert queue.contains_ptype(PacketType.DATA)
+        queue.remove(data)
+        assert not queue.contains_ptype(PacketType.DATA)
+        queue.clear()
+        assert not queue.contains_ptype(PacketType.EB)

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.metrics.aggregate import MetricsAggregate, NUMERIC_KEYS, t_critical_95
+from repro.metrics.aggregate import NUMERIC_KEYS, MetricsAggregate, t_critical_95
 from repro.metrics.collector import NetworkMetrics
 
 

@@ -454,3 +454,71 @@ class TestContentionPruning:
         engine.settle_csma(1)
         network._risky_dirty.add(node)
         assert network._next_risky_asn(1, 10_000) == 7
+
+
+class TestRankMemoEquivalence:
+    """RPL candidate-rank memoisation: memo on vs the escape hatch.
+
+    The memo applies to the protocol code shared by both slot loops, so the
+    standard fast-vs-reference suites above already prove memo-on kernels
+    bit-identical to ``step_slot_reference``; this adds the memo-on vs
+    memo-off comparison (same kernel, both directions of the escape hatch).
+    """
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_memo_on_and_off_bit_identical(self, scheduler, seed):
+        def run(memo):
+            scenario = traffic_load_scenario(
+                rate_ppm=60.0,
+                scheduler=scheduler,
+                seed=seed,
+                measurement_s=8.0,
+                warmup_s=6.0,
+            )
+            network = scenario.build_network()
+            if not memo:
+                network.rank_memo = False
+                for node in network.nodes.values():
+                    node.rpl.memo_enabled = False
+            metrics = network.run_experiment(
+                warmup_s=6.0, measurement_s=8.0, drain_s=2.0, scheduler_name=scheduler
+            )
+            return network, metrics
+
+        memo_net, memo = run(True)
+        plain_net, plain = run(False)
+        assert dataclasses.asdict(memo) == dataclasses.asdict(plain)
+        assert memo_net.clock.asn == plain_net.clock.asn
+        assert memo_net.medium.total_transmissions == plain_net.medium.total_transmissions
+        assert memo_net.medium.total_collisions == plain_net.medium.total_collisions
+        for node_id in plain_net.nodes:
+            memo_rpl = memo_net.nodes[node_id].rpl
+            plain_rpl = plain_net.nodes[node_id].rpl
+            assert memo_rpl.rank == plain_rpl.rank
+            assert memo_rpl.preferred_parent == plain_rpl.preferred_parent
+            assert memo_rpl.parent_switches == plain_rpl.parent_switches
+        # The escape hatch really was off (no skips, full re-scoring) and the
+        # memo really was on.
+        assert all(
+            node.rpl.evaluations_skipped == 0 for node in plain_net.nodes.values()
+        )
+        memo_evals = sum(n.rpl.parent_evaluations for n in memo_net.nodes.values())
+        plain_evals = sum(n.rpl.parent_evaluations for n in plain_net.nodes.values())
+        assert memo_evals <= plain_evals
+        memo_scores = sum(n.rpl.candidate_recomputes for n in memo_net.nodes.values())
+        plain_scores = sum(n.rpl.candidate_recomputes for n in plain_net.nodes.values())
+        # Never more work than the escape hatch (strictly less whenever the
+        # scenario re-advertises anything, e.g. every minimal/GT-TSCH run).
+        assert memo_scores <= plain_scores
+
+    def test_network_escape_hatch_flag(self):
+        assert Network().rank_memo is True
+        network = Network(rank_memo=False)
+        node = network.add_node(
+            1,
+            position=(0.0, 0.0),
+            scheduler=MinimalScheduler(MinimalSchedulerConfig()),
+            is_root=True,
+        )
+        assert node.rpl.memo_enabled is False

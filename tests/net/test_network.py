@@ -3,9 +3,7 @@
 import pytest
 
 from repro.net.network import Network
-from repro.net.node import NodeConfig
 from repro.net.topology import star_topology
-from repro.net.traffic import PeriodicTrafficGenerator
 from repro.schedulers.minimal import MinimalScheduler
 
 from tests.conftest import make_gt_network, make_orchestra_network

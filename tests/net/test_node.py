@@ -1,8 +1,6 @@
 """Tests for the node layer (forwarding, sink behaviour, EBs)."""
 
-import pytest
 
-from repro.net.packet import PacketType
 from repro.net.topology import line_topology, star_topology
 
 from tests.conftest import make_gt_network

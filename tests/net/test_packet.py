@@ -1,6 +1,5 @@
 """Tests for the packet model."""
 
-import pytest
 
 from repro.net.packet import (
     BROADCAST_ADDRESS,

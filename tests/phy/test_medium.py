@@ -239,3 +239,58 @@ class TestFreeze:
         baseline = run(fast_paths=False, frozen=False)
         assert run(fast_paths=True, frozen=False) == baseline
         assert run(fast_paths=True, frozen=True) == baseline
+
+
+class TestVectorisedSameChannelResolve:
+    """The numpy-accelerated audible scan must match the pure-Python scans."""
+
+    def _random_medium(self, seed):
+        rng = random.Random(seed)
+        positions = {node_id: (rng.uniform(0, 60), rng.uniform(0, 60)) for node_id in range(24)}
+        model = UnitDiskLossyEdgeModel(
+            reliable_range=15.0, communication_range=25.0, interference_range=40.0
+        )
+        medium = Medium(model, random.Random(seed + 1))
+        for node_id, position in positions.items():
+            medium.register_node(node_id, position)
+        medium.freeze()
+        return medium, rng
+
+    def _mixed_slot(self, rng):
+        intents = []
+        senders = rng.sample(range(24), 5)
+        for sender in senders[:3]:
+            packet = make_data_packet(sender, BROADCAST_ADDRESS, created_at=0.0)
+            packet.link_source = sender
+            packet.link_destination = BROADCAST_ADDRESS
+            intents.append(
+                TransmissionIntent(sender=sender, packet=packet, channel=20, expects_ack=False)
+            )
+        for sender in senders[3:]:
+            receiver = rng.choice([n for n in range(24) if n not in senders])
+            intents.append(unicast(sender, receiver, channel=20))
+        listeners = {n: 20 for n in range(24) if n not in senders}
+        return intents, listeners
+
+    def test_numpy_path_matches_list_path(self):
+        pytest.importorskip("numpy")
+        for seed in range(6):
+            outcomes = []
+            for use_numpy in (True, False):
+                medium, rng = self._random_medium(seed)
+                if not use_numpy:
+                    medium._np_interf = None
+                intents, listeners = self._mixed_slot(random.Random(seed + 100))
+                results = medium.resolve_slot(intents, dict(listeners))
+                outcomes.append(
+                    (
+                        [
+                            (sorted(r.receivers), r.delivered, r.acked, r.collided)
+                            for r in results
+                        ],
+                        medium.total_collisions,
+                        # The RNG stream must be consumed identically.
+                        medium.rng.random(),
+                    )
+                )
+            assert outcomes[0] == outcomes[1], f"seed {seed}"

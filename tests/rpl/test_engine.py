@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.net.packet import PacketType
-from repro.rpl.engine import RplConfig, RplEngine, RplNeighbor
+from repro.rpl.engine import RplConfig, RplEngine
 from repro.rpl.messages import make_dao, make_dio
 from repro.rpl.rank import INFINITE_RANK, MIN_HOP_RANK_INCREASE
 from repro.sim.events import EventQueue

@@ -3,7 +3,6 @@
 from repro.schedulers.base import SchedulingFunction
 from repro.sixtop.messages import SixPCommand, SixPMessage, SixPMessageType, SixPReturnCode
 
-from tests.conftest import make_gt_network
 
 
 class TestSchedulingFunctionDefaults:

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.mac.cell import CellOption
-from repro.net.topology import star_topology
 from repro.net.network import Network
 from repro.net.node import NodeConfig
+from repro.net.topology import star_topology
 from repro.net.traffic import PeriodicTrafficGenerator
 from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.mac.cell import CellOption, CellPurpose
-from repro.net.topology import line_topology, star_topology
+from repro.net.topology import star_topology
 from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler, orchestra_hash
 
 from tests.conftest import make_orchestra_network

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.sim.events import Event, EventQueue, PeriodicTimer
+from repro.sim.events import EventQueue, PeriodicTimer
 
 
 class TestEventQueue:
@@ -86,7 +86,7 @@ class TestEventQueue:
 
     def test_len_counts_only_pending(self):
         queue = EventQueue()
-        keep = queue.schedule(1.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
         drop = queue.schedule(2.0, lambda: None)
         drop.cancel()
         assert len(queue) == 1

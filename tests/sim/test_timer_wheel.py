@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.sim.events import EventQueue, PeriodicTimer, TimerWheel
+from repro.sim.events import EventQueue, PeriodicTimer
 
 
 class TestWheelOrdering:

@@ -1,8 +1,5 @@
 """Tests for the 6P transaction layer."""
 
-import pytest
-
-from repro.net.packet import Packet
 from repro.sim.events import EventQueue
 from repro.sixtop.layer import SixPConfig, SixPLayer
 from repro.sixtop.messages import (

@@ -1,6 +1,5 @@
 """Tests for 6P message encoding/decoding."""
 
-import pytest
 
 from repro.net.packet import PacketType
 from repro.sixtop.messages import (
