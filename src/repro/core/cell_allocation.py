@@ -23,8 +23,9 @@ rules can be property-tested directly.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Optional
 
 
 class CellAllocationError(RuntimeError):
@@ -37,25 +38,25 @@ class ScheduleView:
 
     slotframe_length: int
     #: Offsets that can never hold negotiated cells (broadcast + shared).
-    reserved_offsets: Set[int] = field(default_factory=set)
+    reserved_offsets: set[int] = field(default_factory=set)
     #: Offsets of this node's Tx data cells (towards its parent).
-    tx_offsets: Set[int] = field(default_factory=set)
+    tx_offsets: set[int] = field(default_factory=set)
     #: Offsets of this node's Rx data cells, keyed by child.
-    rx_offsets_by_child: Dict[int, Set[int]] = field(default_factory=dict)
+    rx_offsets_by_child: dict[int, set[int]] = field(default_factory=dict)
     #: Whether the node is a DODAG root (rule 1 does not constrain roots,
     #: which have no Tx cells at all).
     is_root: bool = False
 
-    def all_rx_offsets(self) -> Set[int]:
-        merged: Set[int] = set()
+    def all_rx_offsets(self) -> set[int]:
+        merged: set[int] = set()
         for offsets in self.rx_offsets_by_child.values():
             merged |= offsets
         return merged
 
-    def occupied_offsets(self) -> Set[int]:
+    def occupied_offsets(self) -> set[int]:
         return self.reserved_offsets | self.tx_offsets | self.all_rx_offsets()
 
-    def free_offsets(self) -> List[int]:
+    def free_offsets(self) -> list[int]:
         occupied = self.occupied_offsets()
         return [o for o in range(self.slotframe_length) if o not in occupied]
 
@@ -92,8 +93,8 @@ class UnicastCellAllocator:
     # offset selection
     # ------------------------------------------------------------------
     def pick_rx_offsets(
-        self, child: int, count: int, allowed: Optional[Set[int]] = None
-    ) -> List[int]:
+        self, child: int, count: int, allowed: Optional[set[int]] = None
+    ) -> list[int]:
         """Choose up to ``count`` offsets for new Rx cells from ``child``.
 
         The number actually granted is bounded by :meth:`rx_budget`.  Offsets
@@ -123,7 +124,7 @@ class UnicastCellAllocator:
         if granted_target == 0:
             return []
 
-        chosen: List[int] = []
+        chosen: list[int] = []
         child_existing = set(self.view.rx_offsets_by_child.get(child, set()))
         all_rx = self.view.all_rx_offsets()
         for _ in range(granted_target):
@@ -140,7 +141,7 @@ class UnicastCellAllocator:
         return sorted(chosen)
 
     def _offset_penalty(
-        self, offset: int, rx_offsets: Set[int], same_child_offsets: Set[int]
+        self, offset: int, rx_offsets: set[int], same_child_offsets: set[int]
     ) -> tuple:
         """Smaller is better.  Encodes rules 2 and 3 as a lexicographic score."""
         length = self.view.slotframe_length
@@ -162,11 +163,11 @@ class UnicastCellAllocator:
         return (adjacent_to_rx, -distance, -follows_tx, offset)
 
     # ------------------------------------------------------------------
-    def pick_tx_offsets_for_root_child(self, count: int) -> List[int]:
+    def pick_tx_offsets_for_root_child(self, count: int) -> list[int]:
         """Convenience for tests: offsets a root grants, ignoring rule 1."""
         return self.pick_rx_offsets(child=-1, count=count)
 
-    def pick_release_offsets(self, child: int, count: int) -> List[int]:
+    def pick_release_offsets(self, child: int, count: int) -> list[int]:
         """Choose which of a child's Rx cells to delete (6P DELETE).
 
         Releases the most recently granted offsets first (highest offsets),
@@ -181,7 +182,7 @@ class UnicastCellAllocator:
 
 def validate_no_consecutive_rx(
     slotframe_length: int, tx_offsets: Sequence[int], rx_offsets: Sequence[int]
-) -> List[str]:
+) -> list[str]:
     """Check rule 2 over a complete schedule; returns violations (empty = ok).
 
     Two Rx cells are "consecutive" when no Tx cell sits between them in the
@@ -190,7 +191,7 @@ def validate_no_consecutive_rx(
     """
     if not rx_offsets or not tx_offsets:
         return []
-    violations: List[str] = []
+    violations: list[str] = []
     marks = {}
     for offset in tx_offsets:
         marks[offset % slotframe_length] = "tx"

@@ -25,7 +25,7 @@ verify the three-hop uniqueness invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Optional
 
 
 class ChannelAllocationError(RuntimeError):
@@ -48,7 +48,7 @@ class ChannelAllocator:
     #: Channel offset this node's children transmit on.
     child_facing_offset: Optional[int] = None
     #: Child-facing channels granted to each child (``f_{j,cs_j}``).
-    child_grants: Dict[int, int] = field(default_factory=dict)
+    child_grants: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_channels < 3:
@@ -57,11 +57,11 @@ class ChannelAllocator:
             raise ValueError("broadcast_offset out of range")
 
     # ------------------------------------------------------------------
-    def available_offsets(self) -> List[int]:
+    def available_offsets(self) -> list[int]:
         """Channel offsets usable for unicast data (everything but broadcast)."""
         return [offset for offset in range(self.num_channels) if offset != self.broadcast_offset]
 
-    def forbidden_offsets(self) -> Set[int]:
+    def forbidden_offsets(self) -> set[int]:
         """Offsets Algorithm 1 forbids for a child's child-facing channel."""
         forbidden = {self.broadcast_offset}
         if self.parent_facing_offset is not None:
@@ -125,11 +125,11 @@ class ChannelAllocator:
 # whole-tree allocation (analysis / examples / property tests)
 # ----------------------------------------------------------------------
 def allocate_channels_in_tree(
-    parent_map: Dict[int, Optional[int]],
+    parent_map: dict[int, Optional[int]],
     num_channels: int,
     broadcast_offset: int = 0,
     rng=None,
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Run GT-TSCH channel allocation over an entire DODAG.
 
     ``parent_map`` maps every node to its parent (roots map to ``None``).
@@ -144,17 +144,17 @@ def allocate_channels_in_tree(
     Raises :class:`ChannelAllocationError` when a node has more children than
     ``num_channels - 3`` allows, matching the constraint of Section III.
     """
-    children: Dict[Optional[int], List[int]] = {}
+    children: dict[Optional[int], list[int]] = {}
     for node, parent in parent_map.items():
         children.setdefault(parent, []).append(node)
     for bucket in children.values():
         bucket.sort()
 
-    allocators: Dict[int, ChannelAllocator] = {
+    allocators: dict[int, ChannelAllocator] = {
         node: ChannelAllocator(num_channels=num_channels, broadcast_offset=broadcast_offset)
         for node in parent_map
     }
-    assignment: Dict[int, int] = {}
+    assignment: dict[int, int] = {}
 
     roots = sorted(children.get(None, []))
     if not roots:
@@ -167,7 +167,7 @@ def allocate_channels_in_tree(
         assignment[root] = allocators[root].pick_own_child_channel(rng)
 
     while frontier:
-        next_frontier: List[int] = []
+        next_frontier: list[int] = []
         for parent in frontier:
             parent_alloc = allocators[parent]
             for child in children.get(parent, []):
@@ -182,8 +182,8 @@ def allocate_channels_in_tree(
 
 
 def verify_three_hop_uniqueness(
-    parent_map: Dict[int, Optional[int]], assignment: Dict[int, int]
-) -> List[str]:
+    parent_map: dict[int, Optional[int]], assignment: dict[int, int]
+) -> list[str]:
     """Return violations of the channel allocation invariants (empty = valid).
 
     Checked invariants (Section III):
@@ -192,7 +192,7 @@ def verify_three_hop_uniqueness(
       grandparent's child-facing channels;
     * siblings have distinct child-facing channels.
     """
-    violations: List[str] = []
+    violations: list[str] = []
     for node, parent in parent_map.items():
         if parent is None:
             continue
@@ -203,13 +203,13 @@ def verify_three_hop_uniqueness(
             violations.append(
                 f"node {node} shares a channel with its grandparent {grandparent}"
             )
-    siblings: Dict[Optional[int], List[int]] = {}
+    siblings: dict[Optional[int], list[int]] = {}
     for node, parent in parent_map.items():
         siblings.setdefault(parent, []).append(node)
     for parent, group in siblings.items():
         if parent is None:
             continue
-        seen: Dict[int, int] = {}
+        seen: dict[int, int] = {}
         for node in group:
             channel = assignment.get(node)
             if channel in seen:

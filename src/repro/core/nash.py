@@ -25,8 +25,9 @@ analysis examples:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from repro.core.game import (
 class BestResponseResult:
     """Outcome of :func:`best_response_dynamics`."""
 
-    profile: List[float]
+    profile: list[float]
     iterations: int
     converged: bool
 
@@ -130,7 +131,7 @@ def verify_diagonal_strict_concavity(
     if not players:
         return True
 
-    candidate_profiles: List[List[float]] = [
+    candidate_profiles: list[list[float]] = [
         [p.l_tx_min for p in players],
         [max(p.l_rx_parent, p.l_tx_min) for p in players],
         [(p.l_tx_min + max(p.l_rx_parent, p.l_tx_min)) / 2.0 for p in players],
@@ -184,7 +185,7 @@ def equilibrium_profile(
     players: Sequence[PlayerState],
     weights: Optional[GameWeights] = None,
     integral: bool = False,
-) -> List[float]:
+) -> list[float]:
     """The unique Nash equilibrium: every player plays Eq. (15)."""
     weights = weights or GameWeights()
     return [optimal_tx_cells(player, weights, integral=integral) for player in players]

@@ -24,7 +24,7 @@ function that runs on every node of the simulated network:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Optional
 
 from repro.core.cell_allocation import (
     CellAllocationError,
@@ -54,7 +54,7 @@ class _PendingRequest:
 
     command: SixPCommand
     num_cells: int = 0
-    cell_list: List[CellDescriptor] = field(default_factory=list)
+    cell_list: list[CellDescriptor] = field(default_factory=list)
     purpose: str = "data"
 
 
@@ -77,17 +77,17 @@ class GtTschScheduler(SchedulingFunction):
         self.own_child_channel: Optional[int] = None
         #: Child-facing channels heard in EBs from any neighbor (cache so a
         #: parent switch can reuse an already-heard announcement).
-        self._eb_channel_cache: Dict[int, int] = {}
+        self._eb_channel_cache: dict[int, int] = {}
 
         # Cell bookkeeping.
-        self._tx_data_cells: List[Cell] = []
-        self._tx_sixp_cells: List[Cell] = []
-        self._rx_cells_by_child: Dict[int, List[Cell]] = {}
+        self._tx_data_cells: list[Cell] = []
+        self._tx_sixp_cells: list[Cell] = []
+        self._rx_cells_by_child: dict[int, list[Cell]] = {}
         self._shared_up_installed = False
         self._shared_down_installed = False
 
         # Bootstrap / request management.
-        self._request_queue: List[_PendingRequest] = []
+        self._request_queue: list[_PendingRequest] = []
         self._asked_channel = False
         self._requested_sixp_cells = False
         self._requested_initial_data = False
@@ -95,7 +95,7 @@ class GtTschScheduler(SchedulingFunction):
         #: Data cells requested by each child but not (yet) granted; this is
         #: the ``l^tx_{cs_i}`` term of Eq. (1) -- the demand that must be
         #: propagated up the DODAG before it can be granted downwards.
-        self._child_outstanding: Dict[int, int] = {}
+        self._child_outstanding: dict[int, int] = {}
 
         #: Diagnostics.
         self.add_requests_sent = 0
@@ -149,13 +149,13 @@ class GtTschScheduler(SchedulingFunction):
     # ------------------------------------------------------------------
     # control-plane piggybacking (Section III / VII)
     # ------------------------------------------------------------------
-    def eb_fields(self) -> Dict[str, Any]:
+    def eb_fields(self) -> dict[str, Any]:
         """Advertise this node's child-facing channel on its EBs."""
         if self.own_child_channel is None:
             return {}
         return {"child_channel": self.own_child_channel}
 
-    def dio_fields(self) -> Dict[str, Any]:
+    def dio_fields(self) -> dict[str, Any]:
         """Advertise ``l^rx`` (the Rx cells offered to children) on DIOs."""
         return {"l_rx": self.advertised_rx_budget()}
 
@@ -337,7 +337,7 @@ class GtTschScheduler(SchedulingFunction):
     # ------------------------------------------------------------------
     def on_sixp_request(
         self, peer: int, message: SixPMessage
-    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    ) -> tuple[SixPReturnCode, dict[str, Any]]:
         # Make sure the response has a way back to the requester even when its
         # DAO has not been processed yet (the request itself proves the peer
         # is a child of ours).
@@ -350,7 +350,7 @@ class GtTschScheduler(SchedulingFunction):
             return self._answer_delete(peer, message)
         return SixPReturnCode.ERR, {}
 
-    def _answer_ask_channel(self, peer: int) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    def _answer_ask_channel(self, peer: int) -> tuple[SixPReturnCode, dict[str, Any]]:
         if self.channels is None or self.own_child_channel is None:
             # We have not obtained our own channel yet; the child will retry.
             return SixPReturnCode.ERR_BUSY, {}
@@ -360,7 +360,7 @@ class GtTschScheduler(SchedulingFunction):
             return SixPReturnCode.ERR_NORES, {}
         return SixPReturnCode.SUCCESS, {"channel_offset": granted}
 
-    def _answer_add(self, peer: int, message: SixPMessage) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    def _answer_add(self, peer: int, message: SixPMessage) -> tuple[SixPReturnCode, dict[str, Any]]:
         if self.own_child_channel is None:
             return SixPReturnCode.ERR_BUSY, {}
         purpose = message.metadata.get("purpose", "data")
@@ -397,7 +397,7 @@ class GtTschScheduler(SchedulingFunction):
 
         slotframe = self.node.tsch.get_slotframe(self.builder.SLOTFRAME_HANDLE)
         cell_purpose = CellPurpose.UNICAST_6P if purpose == "6p" else CellPurpose.UNICAST_DATA
-        granted: List[CellDescriptor] = []
+        granted: list[CellDescriptor] = []
         for offset in offsets:
             cell = slotframe.add_cell(
                 Cell(
@@ -443,13 +443,13 @@ class GtTschScheduler(SchedulingFunction):
 
     def _answer_delete(
         self, peer: int, message: SixPMessage
-    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    ) -> tuple[SixPReturnCode, dict[str, Any]]:
         slotframe = self.node.tsch.get_slotframe(self.builder.SLOTFRAME_HANDLE)
         my_cells = self._rx_cells_by_child.get(peer, [])
         requested = {descriptor.slot_offset for descriptor in message.cell_list}
         if not requested and message.num_cells > 0:
             requested = {cell.slot_offset for cell in my_cells[-message.num_cells:]}
-        removed: List[CellDescriptor] = []
+        removed: list[CellDescriptor] = []
         for cell in list(my_cells):
             if cell.slot_offset in requested:
                 slotframe.remove_cell(cell)
@@ -649,7 +649,7 @@ class GtTschScheduler(SchedulingFunction):
         reserved = set(self.builder.reserved_offsets(group_owners))
         for cell in self._tx_sixp_cells:
             reserved.add(cell.slot_offset)
-        rx_by_child: Dict[int, Set[int]] = {}
+        rx_by_child: dict[int, set[int]] = {}
         for child, cells in self._rx_cells_by_child.items():
             for cell in cells:
                 if cell.purpose is CellPurpose.UNICAST_DATA:
@@ -684,5 +684,5 @@ class GtTschScheduler(SchedulingFunction):
             if cell.purpose is CellPurpose.UNICAST_DATA
         )
 
-    def children_with_cells(self) -> List[int]:
+    def children_with_cells(self) -> list[int]:
         return sorted(self._rx_cells_by_child)

@@ -17,14 +17,14 @@ remain available for them.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Optional
 
 from repro.core.config import GtTschConfig
 from repro.mac.cell import Cell, CellOption, CellPurpose
 from repro.mac.slotframe import Slotframe
 
 
-def broadcast_offsets(slotframe_length: int, num_broadcast_cells: int) -> List[int]:
+def broadcast_offsets(slotframe_length: int, num_broadcast_cells: int) -> list[int]:
     """Slot offsets of the broadcast timeslots (Section IV rule 1).
 
     ``j = {x | x in N0, x < m, x % floor(m/k) == 0}`` -- e.g. ``m=20, k=5``
@@ -45,7 +45,7 @@ def shared_offsets(
     num_broadcast_cells: int,
     num_shared_cells: int,
     group_owner: int = 0,
-) -> List[int]:
+) -> list[int]:
     """Slot offsets of the shared timeslots (Section IV rule 4).
 
     Shared timeslots are "assigned to a node and its children": every
@@ -65,7 +65,7 @@ def shared_offsets(
     rotation = ((group_owner + 1) * 2654435761 & 0xFFFFFFFF) % len(candidates)
     stride = max(1, len(candidates) // num_shared_cells)
     rotated = candidates[rotation:] + candidates[:rotation]
-    chosen: List[int] = []
+    chosen: list[int] = []
     for position in range(0, len(rotated), stride):
         chosen.append(rotated[position])
         if len(chosen) == num_shared_cells:
@@ -117,7 +117,7 @@ class GtSlotframeBuilder:
         return slotframe
 
     # ------------------------------------------------------------------
-    def shared_cell_offsets(self, group_owner: int) -> List[int]:
+    def shared_cell_offsets(self, group_owner: int) -> list[int]:
         """Shared-cell offsets of the group owned by node ``group_owner``."""
         return shared_offsets(
             self.config.slotframe_length,
@@ -128,7 +128,7 @@ class GtSlotframeBuilder:
 
     def install_shared_cells_towards_parent(
         self, tsch_engine, parent: int, parent_channel_offset: int
-    ) -> List[Cell]:
+    ) -> list[Cell]:
         """Child side: shared Tx/Rx cells of the parent's group.
 
         The cells are transmit-capable towards the parent (bootstrap 6P
@@ -156,7 +156,7 @@ class GtSlotframeBuilder:
 
     def install_shared_cells_for_children(
         self, tsch_engine, owner: int, child_channel_offset: int
-    ) -> List[Cell]:
+    ) -> list[Cell]:
         """Parent side: shared RX cells on the node's child-facing channel."""
         slotframe = tsch_engine.get_slotframe(self.SLOTFRAME_HANDLE)
         cells = []
@@ -186,7 +186,7 @@ class GtSlotframeBuilder:
         return removed
 
     # ------------------------------------------------------------------
-    def reserved_offsets(self, group_owners: Optional[List[int]] = None) -> Set[int]:
+    def reserved_offsets(self, group_owners: Optional[list[int]] = None) -> set[int]:
         """Offsets that can never hold negotiated (6P / data) cells.
 
         ``group_owners`` lists the shared-cell groups this node participates
@@ -200,7 +200,7 @@ class GtSlotframeBuilder:
             reserved.update(self.shared_cell_offsets(owner))
         return reserved
 
-    def negotiable_offsets(self, group_owners: Optional[List[int]] = None) -> List[int]:
+    def negotiable_offsets(self, group_owners: Optional[list[int]] = None) -> list[int]:
         """Offsets available for Unicast-6P and Unicast-Data cells."""
         reserved = self.reserved_offsets(group_owners)
         return [

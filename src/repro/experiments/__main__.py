@@ -28,7 +28,8 @@ import os
 import pstats
 import sys
 import time
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.experiments.export import figure_to_csv, figure_to_json
 from repro.experiments.parallel import ResultCache
@@ -194,11 +195,11 @@ def run_one(
     if args.values is not None:
         try:
             kwargs[values_kw] = [value_type(value) for value in args.values]
-        except ValueError:
+        except ValueError as err:
             raise SystemExit(
                 f"--values for figure {figure_id} must be "
                 f"{value_type.__name__}s, got: {' '.join(args.values)}"
-            )
+            ) from err
     return runner(**kwargs)
 
 
@@ -244,7 +245,7 @@ def _print_queue_stats() -> None:
 
 
 def _run_figures(args: argparse.Namespace) -> int:
-    figure_ids: List[str] = list(PAPER_FIGURES) if args.figure == "all" else [args.figure]
+    figure_ids: list[str] = list(PAPER_FIGURES) if args.figure == "all" else [args.figure]
     if args.values is not None and len(figure_ids) != 1:
         print("--values requires a single --figure", file=sys.stderr)
         return 2

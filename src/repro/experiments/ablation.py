@@ -9,7 +9,7 @@ value to the resulting :class:`repro.metrics.collector.NetworkMetrics`.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.game import GameWeights
 from repro.experiments.runner import run_scenario
@@ -18,7 +18,7 @@ from repro.metrics.collector import NetworkMetrics
 
 
 def run_weight_ablation(
-    weight_sets: Sequence[Tuple[float, float, float]] = (
+    weight_sets: Sequence[tuple[float, float, float]] = (
         (8.0, 1.0, 4.0),  # default: queue cost dominates link cost
         (8.0, 4.0, 1.0),  # link cost dominates (paper: for low-quality links)
         (2.0, 1.0, 1.0),  # weak utility: near-minimal allocation
@@ -28,9 +28,9 @@ def run_weight_ablation(
     seed: int = 1,
     measurement_s: float = 45.0,
     warmup_s: float = 30.0,
-) -> Dict[Tuple[float, float, float], NetworkMetrics]:
+) -> dict[tuple[float, float, float], NetworkMetrics]:
     """Sweep the (alpha, beta, gamma) payoff weights of Eq. (8)."""
-    results: Dict[Tuple[float, float, float], NetworkMetrics] = {}
+    results: dict[tuple[float, float, float], NetworkMetrics] = {}
     for alpha, beta, gamma in weight_sets:
         contiki = ContikiConfig(game_weights=GameWeights(alpha=alpha, beta=beta, gamma=gamma))
         scenario = traffic_load_scenario(
@@ -51,9 +51,9 @@ def run_ewma_ablation(
     seed: int = 1,
     measurement_s: float = 45.0,
     warmup_s: float = 30.0,
-) -> Dict[float, NetworkMetrics]:
+) -> dict[float, NetworkMetrics]:
     """Sweep the EWMA smoothing factor zeta of the queue metric (Eq. (6))."""
-    results: Dict[float, NetworkMetrics] = {}
+    results: dict[float, NetworkMetrics] = {}
     for zeta in zetas:
         contiki = ContikiConfig(queue_ewma_zeta=zeta)
         scenario = traffic_load_scenario(
@@ -74,7 +74,7 @@ def run_shared_cell_ablation(
     seed: int = 1,
     measurement_s: float = 45.0,
     warmup_s: float = 30.0,
-) -> Dict[float, NetworkMetrics]:
+) -> dict[float, NetworkMetrics]:
     """Sweep the load-balancing period (how quickly GT-TSCH reacts to load).
 
     The paper monitors the node's load "periodically" without fixing the
@@ -82,7 +82,7 @@ def run_shared_cell_ablation(
     periods adapt faster) and 6P control overhead (long periods negotiate
     less).
     """
-    results: Dict[float, NetworkMetrics] = {}
+    results: dict[float, NetworkMetrics] = {}
     for period in load_balance_periods:
         contiki = ContikiConfig(load_balance_period_s=period)
         scenario = traffic_load_scenario(

@@ -36,7 +36,8 @@ import multiprocessing
 import os
 import pickle
 import tempfile
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Optional, Union
 
 from repro.experiments.scenarios import Scenario
 from repro.metrics.collector import NetworkMetrics
@@ -55,7 +56,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Per-process cache of frozen-medium snapshots, keyed by a content hash of
 #: (topology, propagation model).  Bounded: scale sweeps hold dense N x N
 #: tables (several MB at N=500), so only the most recent topologies stay.
-_FREEZE_CACHE: Dict[str, dict] = {}
+_FREEZE_CACHE: dict[str, dict] = {}
 _FREEZE_CACHE_MAX = 8
 
 #: Event-queue statistics of the most recent scenario run *in this process*
@@ -74,7 +75,7 @@ def _freeze_key(scenario: Scenario) -> str:
         "propagation": _canonical(propagation),
     }
     payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _warm_freeze(network, scenario: Scenario) -> None:
@@ -152,7 +153,7 @@ def scenario_fingerprint(scenario: Scenario) -> str:
         "scenario": _canonical(scenario),
     }
     payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -310,7 +311,7 @@ def get_pool(workers: int) -> multiprocessing.pool.Pool:
     return _POOL
 
 
-def _run_indexed(item: Tuple[int, Scenario]) -> Tuple[int, NetworkMetrics]:
+def _run_indexed(item: tuple[int, Scenario]) -> tuple[int, NetworkMetrics]:
     """Pool task: run one scenario, tagged with its position in the batch."""
     index, scenario = item
     return index, run_scenario(scenario)
@@ -321,7 +322,7 @@ def run_scenarios(
     jobs: int = 1,
     cache: Union[None, bool, ResultCache] = None,
     persistent_pool: bool = True,
-) -> List[NetworkMetrics]:
+) -> list[NetworkMetrics]:
     """Run many scenarios, returning metrics aligned with the input order.
 
     ``jobs=1`` runs serially in-process; ``jobs>1`` fans out over a
@@ -338,8 +339,8 @@ def run_scenarios(
     which is re-assembled by index.
     """
     cache = resolve_cache(cache)
-    results: List[Optional[NetworkMetrics]] = [None] * len(scenarios)
-    pending: List[int] = []
+    results: list[Optional[NetworkMetrics]] = [None] * len(scenarios)
+    pending: list[int] = []
     for index, scenario in enumerate(scenarios):
         cached = cache.get(scenario) if cache is not None else None
         if cached is not None:

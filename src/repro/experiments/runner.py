@@ -18,8 +18,9 @@ seed is requested.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 from repro.experiments.parallel import ResultCache, run_scenarios
 from repro.experiments.parallel import run_scenario as run_scenario  # re-export
@@ -52,14 +53,14 @@ class FigureResult:
 
     figure: str
     sweep_label: str
-    sweep_values: List
+    sweep_values: list
     #: scheduler name -> list of per-point metrics (aggregated across seeds
     #: by the figure runners), aligned with ``sweep_values``.
-    results: Dict[str, List[MetricsLike]] = field(default_factory=dict)
+    results: dict[str, list[MetricsLike]] = field(default_factory=dict)
     #: Seeds each point was averaged over (empty for directly-built results).
-    seeds: List[int] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
 
-    def series(self, scheduler: str, metric_key: str) -> List[float]:
+    def series(self, scheduler: str, metric_key: str) -> list[float]:
         """One plotted line: the metric values of one scheduler across the sweep."""
         return [metrics.as_dict()[metric_key] for metrics in self.results[scheduler]]
 
@@ -69,7 +70,7 @@ class FigureResult:
             self.figure, self.sweep_label, self.sweep_values, self.results
         )
 
-    def rows(self) -> List[dict]:
+    def rows(self) -> list[dict]:
         """Flat list of dict rows (sweep value + scheduler + metrics), CSV-friendly.
 
         Results aggregated over more than one seed additionally carry
@@ -101,7 +102,7 @@ def _run_sweep(
     """Fan a figure out into scenarios, execute, and aggregate across seeds."""
     seeds = list(seeds)
     sweep_values = list(sweep_values)
-    scenarios: List[Scenario] = []
+    scenarios: list[Scenario] = []
     for scheduler in schedulers:
         for value in sweep_values:
             base = scenario_for(value, scheduler)
@@ -115,7 +116,7 @@ def _run_sweep(
     )
     index = 0
     for scheduler in schedulers:
-        series: List[MetricsLike] = []
+        series: list[MetricsLike] = []
         for _ in sweep_values:
             runs = metrics[index : index + len(seeds)]
             index += len(seeds)

@@ -20,8 +20,9 @@ The three factory functions mirror the paper's evaluation section:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.core.config import GtTschConfig
 from repro.core.game import GameWeights

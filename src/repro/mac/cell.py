@@ -10,7 +10,6 @@ creation rules and the priority order between cell types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum, Flag, auto
 from typing import Optional
 
@@ -54,7 +53,6 @@ class CellPurpose(Enum):
         return order[self]
 
 
-@dataclass
 class Cell:
     """One scheduled cell in a slotframe.
 
@@ -75,30 +73,76 @@ class Cell:
         on both link ends.
     """
 
-    slot_offset: int
-    channel_offset: int
-    options: CellOption
-    neighbor: Optional[int] = None
-    purpose: CellPurpose = CellPurpose.UNICAST_DATA
-    slotframe_handle: int = 0
-    owner_is_transmitter: bool = True
-    #: Free-form tag for debugging / tests (e.g. "eb", "orchestra-rbs-rx").
-    label: str = ""
+    __slots__ = (
+        "slot_offset",
+        "channel_offset",
+        "options",
+        "neighbor",
+        "purpose",
+        "slotframe_handle",
+        "owner_is_transmitter",
+        "label",
+        "is_tx",
+        "is_rx",
+        "is_shared",
+        "is_broadcast",
+    )
 
-    def __post_init__(self) -> None:
-        if self.slot_offset < 0:
+    def __init__(
+        self,
+        slot_offset: int,
+        channel_offset: int,
+        options: CellOption,
+        neighbor: Optional[int] = None,
+        purpose: CellPurpose = CellPurpose.UNICAST_DATA,
+        slotframe_handle: int = 0,
+        owner_is_transmitter: bool = True,
+        label: str = "",
+    ) -> None:
+        if slot_offset < 0:
             raise ValueError("slot_offset must be non-negative")
-        if self.channel_offset < 0:
+        if channel_offset < 0:
             raise ValueError("channel_offset must be non-negative")
-        if self.options == CellOption.NONE:
+        if options == CellOption.NONE:
             raise ValueError("a cell must have at least one option")
+        self.slot_offset = slot_offset
+        self.channel_offset = channel_offset
+        self.options = options
+        self.neighbor = neighbor
+        self.purpose = purpose
+        self.slotframe_handle = slotframe_handle
+        self.owner_is_transmitter = owner_is_transmitter
+        #: Free-form tag for debugging / tests (e.g. "eb", "orchestra-rbs-rx").
+        self.label = label
         # Cells are immutable once installed, so the option tests the TSCH
         # engine performs on every planned slot are resolved here once instead
         # of going through Flag arithmetic per query.
-        self.is_tx = bool(self.options & CellOption.TX)
-        self.is_rx = bool(self.options & CellOption.RX)
-        self.is_shared = bool(self.options & CellOption.SHARED)
-        self.is_broadcast = bool(self.options & CellOption.BROADCAST)
+        self.is_tx = bool(options & CellOption.TX)
+        self.is_rx = bool(options & CellOption.RX)
+        self.is_shared = bool(options & CellOption.SHARED)
+        self.is_broadcast = bool(options & CellOption.BROADCAST)
+
+    def _key(self) -> tuple:
+        return (
+            self.slot_offset,
+            self.channel_offset,
+            self.options,
+            self.neighbor,
+            self.purpose,
+            self.slotframe_handle,
+            self.owner_is_transmitter,
+            self.label,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality over the constructor fields, matching the dataclass
+        # semantics this class had before the __slots__ conversion: slotframe
+        # removal (`list.remove`) relies on it.
+        if other.__class__ is not Cell:
+            return NotImplemented
+        return self._key() == other._key()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable value semantics
 
     def matches(self, slot_offset: int, channel_offset: Optional[int] = None) -> bool:
         """True when the cell sits at the given CDU coordinates."""

@@ -15,7 +15,10 @@ This module keeps one back-off state per destination, mirroring the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
 
 
 @dataclass
@@ -27,7 +30,7 @@ class _BackoffState:
 class CsmaBackoff:
     """Per-neighbor TSCH CSMA/CA back-off state machine."""
 
-    def __init__(self, rng, min_be: int = 1, max_be: int = 5) -> None:
+    def __init__(self, rng: random.Random, min_be: int = 1, max_be: int = 5) -> None:
         """
         Parameters
         ----------
@@ -42,7 +45,7 @@ class CsmaBackoff:
         self.rng = rng
         self.min_be = min_be
         self.max_be = max_be
-        self._states: Dict[Optional[int], _BackoffState] = {}
+        self._states: dict[Optional[int], _BackoffState] = {}
 
     def _state(self, neighbor: Optional[int]) -> _BackoffState:
         if neighbor not in self._states:

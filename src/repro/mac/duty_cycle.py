@@ -26,8 +26,6 @@ accumulator would drift with the order of additions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 #: Fraction of the timeslot the radio is on when transmitting a full frame
 #: and waiting for its ACK (about 4.3 ms data + 1 ms turnaround + 2.4 ms ACK
 #: window out of 15 ms).
@@ -39,18 +37,65 @@ RX_SLOT_FRACTION = 0.6
 IDLE_LISTEN_FRACTION = 0.15
 
 
-@dataclass
 class DutyCycleMeter:
     """Per-node Energest-style radio-on accounting at slot granularity."""
 
-    tx_slots: int = 0
-    rx_slots: int = 0
-    idle_listen_slots: int = 0
-    sleep_slots: int = 0
-    total_slots: int = 0
-    tx_fraction: float = TX_SLOT_FRACTION
-    rx_fraction: float = RX_SLOT_FRACTION
-    idle_fraction: float = IDLE_LISTEN_FRACTION
+    __slots__ = (
+        "tx_slots",
+        "rx_slots",
+        "idle_listen_slots",
+        "sleep_slots",
+        "total_slots",
+        "tx_fraction",
+        "rx_fraction",
+        "idle_fraction",
+    )
+
+    def __init__(
+        self,
+        tx_slots: int = 0,
+        rx_slots: int = 0,
+        idle_listen_slots: int = 0,
+        sleep_slots: int = 0,
+        total_slots: int = 0,
+        tx_fraction: float = TX_SLOT_FRACTION,
+        rx_fraction: float = RX_SLOT_FRACTION,
+        idle_fraction: float = IDLE_LISTEN_FRACTION,
+    ) -> None:
+        self.tx_slots = tx_slots
+        self.rx_slots = rx_slots
+        self.idle_listen_slots = idle_listen_slots
+        self.sleep_slots = sleep_slots
+        self.total_slots = total_slots
+        self.tx_fraction = tx_fraction
+        self.rx_fraction = rx_fraction
+        self.idle_fraction = idle_fraction
+
+    def _key(self) -> tuple:
+        return (
+            self.tx_slots,
+            self.rx_slots,
+            self.idle_listen_slots,
+            self.sleep_slots,
+            self.total_slots,
+            self.tx_fraction,
+            self.rx_fraction,
+            self.idle_fraction,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not DutyCycleMeter:
+            return NotImplemented
+        return self._key() == other._key()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable value semantics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DutyCycleMeter(tx={self.tx_slots} rx={self.rx_slots} "
+            f"idle={self.idle_listen_slots} sleep={self.sleep_slots} "
+            f"total={self.total_slots})"
+        )
 
     def record_tx(self) -> None:
         """The node transmitted (and listened for an ACK) this slot."""

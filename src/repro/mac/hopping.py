@@ -14,14 +14,14 @@ default here.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 
 #: Hopping sequence from Table II of the paper (Contiki-NG's TSCH_HOPPING_SEQUENCE_8_8).
-DEFAULT_HOPPING_SEQUENCE: Tuple[int, ...] = (17, 23, 15, 25, 19, 11, 13, 21)
+DEFAULT_HOPPING_SEQUENCE: tuple[int, ...] = (17, 23, 15, 25, 19, 11, 13, 21)
 
 #: The full 16-channel sequence of IEEE 802.15.4 channel page 0 (2.4 GHz).
-FULL_HOPPING_SEQUENCE: Tuple[int, ...] = (
+FULL_HOPPING_SEQUENCE: tuple[int, ...] = (
     16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21,
 )
 
@@ -34,7 +34,7 @@ class ChannelHopping:
             raise ValueError("hopping sequence must not be empty")
         if len(set(sequence)) != len(sequence):
             raise ValueError("hopping sequence must not contain duplicate channels")
-        self.sequence: Tuple[int, ...] = tuple(sequence)
+        self.sequence: tuple[int, ...] = tuple(sequence)
 
     @property
     def num_channels(self) -> int:

@@ -12,7 +12,8 @@ Eq. (6).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from collections.abc import Iterable
+from typing import Optional
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
 
@@ -26,16 +27,26 @@ class TxQueue:
     control traffic is tiny compared to the swept data rates.
     """
 
+    __slots__ = (
+        "capacity",
+        "prioritize_control",
+        "_queue",
+        "_ptype_counts",
+        "drops",
+        "data_drops",
+        "max_occupancy",
+    )
+
     def __init__(self, capacity: int = 8, prioritize_control: bool = True) -> None:
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
         self.prioritize_control = prioritize_control
-        self._queue: Deque[Packet] = deque()
+        self._queue: deque[Packet] = deque()
         #: Queued packets per :class:`PacketType`, maintained by add/remove:
         #: periodic protocol probes (the EB timer in particular) ask "is one
         #: of mine queued?" every tick, which this answers in O(1).
-        self._ptype_counts: Dict[PacketType, int] = {}
+        self._ptype_counts: dict[PacketType, int] = {}
         #: Number of packets dropped because the queue was full.
         self.drops = 0
         #: Number of *data* packets dropped because the queue was full.
@@ -145,7 +156,7 @@ class TxQueue:
         """Number of queued broadcast frames."""
         return sum(1 for packet in self._queue if packet.link_destination == BROADCAST_ADDRESS)
 
-    def data_packets(self) -> List[Packet]:
+    def data_packets(self) -> list[Packet]:
         """Queued application-data packets (used by the queue metric)."""
         return [packet for packet in self._queue if packet.ptype is PacketType.DATA]
 

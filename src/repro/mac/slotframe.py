@@ -15,7 +15,8 @@ schedule caches (sorted active-cell lists, active-offset indexes).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
 
@@ -35,7 +36,7 @@ class Slotframe:
         self.on_change: Optional[Callable[[], None]] = None
         #: Dense lookup table: ``_table[offset]`` lists the cells installed at
         #: that slot offset (insertion order).
-        self._table: List[List[Cell]] = [[] for _ in range(length)]
+        self._table: list[list[Cell]] = [[] for _ in range(length)]
 
     def _mutated(self) -> None:
         self.version += 1
@@ -100,7 +101,7 @@ class Slotframe:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def cells_at(self, asn: int) -> List[Cell]:
+    def cells_at(self, asn: int) -> list[Cell]:
         """Cells active at the given absolute slot number.
 
         Returns the internal per-offset bucket (O(1), no copy); callers must
@@ -108,7 +109,7 @@ class Slotframe:
         """
         return self._table[asn % self.length]
 
-    def cells_at_offset(self, slot_offset: int) -> List[Cell]:
+    def cells_at_offset(self, slot_offset: int) -> list[Cell]:
         """Cells installed at a given slot offset (read-only view)."""
         if slot_offset >= self.length:
             return []
@@ -140,15 +141,15 @@ class Slotframe:
             for cell in bucket:
                 yield cell
 
-    def cells_with_neighbor(self, neighbor: Optional[int]) -> List[Cell]:
+    def cells_with_neighbor(self, neighbor: Optional[int]) -> list[Cell]:
         """All cells dedicated to ``neighbor``."""
         return [cell for cell in self.all_cells() if cell.neighbor == neighbor]
 
-    def used_slot_offsets(self) -> List[int]:
+    def used_slot_offsets(self) -> list[int]:
         """Sorted slot offsets that have at least one cell installed."""
         return [offset for offset, bucket in enumerate(self._table) if bucket]
 
-    def free_slot_offsets(self) -> List[int]:
+    def free_slot_offsets(self) -> list[int]:
         """Slot offsets with no cell installed (GT-TSCH's sleep timeslots)."""
         return [offset for offset, bucket in enumerate(self._table) if not bucket]
 
@@ -184,7 +185,7 @@ class Slotframe:
         return f"Slotframe(handle={self.handle}, length={self.length}, cells={len(self)})"
 
 
-def render_cdu_matrix(slotframes: Iterable[Slotframe], num_channels: int) -> List[List[str]]:
+def render_cdu_matrix(slotframes: Iterable[Slotframe], num_channels: int) -> list[list[str]]:
     """Render slotframes into a CDU-matrix grid of labels (Fig. 1 style).
 
     Returns a list of rows indexed by channel offset; each entry is either an

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
 from repro.mac.csma import CsmaBackoff
@@ -34,6 +35,9 @@ from repro.mac.slotframe import Slotframe
 from repro.net.packet import BROADCAST_ADDRESS, Packet
 from repro.phy.linkstats import EtxEstimator
 from repro.phy.medium import TransmissionIntent, TransmissionResult
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
 
 
 @dataclass
@@ -96,7 +100,7 @@ class SlotPlan:
 SLEEP_PLAN = SlotPlan(action="sleep")
 
 #: Shared empty active-cell list (read-only) returned for idle residues.
-_NO_CELLS: List["Cell"] = []
+_NO_CELLS: list["Cell"] = []
 
 
 def _intersect_progressions(a: tuple, b: tuple) -> Optional[tuple]:
@@ -176,27 +180,27 @@ class ScheduleProfile:
     def __init__(self, slotframes: Sequence[Slotframe], version: int) -> None:
         self.version = version
         #: ``(length, sorted offsets with any cell)`` per slotframe.
-        self.frame_offsets: List[tuple] = []
+        self.frame_offsets: list[tuple] = []
         #: Per slotframe: (length, rx offsets, rx prefix counts, TX offsets).
-        self._frames: List[tuple] = []
+        self._frames: list[tuple] = []
         #: Per slotframe: unicast-match TX cell census for the kernel's
         #: shared-cell contention pruning -- ``(length, anycast offset ->
         #: (count, all shared), neighbor -> offset -> (count, all shared))``,
         #: following exactly :meth:`TschEngine._packet_for_cell`'s match rule
         #: for a queue holding only unicast frames.
-        self._prune_frames: List[tuple] = []
+        self._prune_frames: list[tuple] = []
         for sf in slotframes:
-            used: List[int] = []
-            rx_offsets: List[int] = []
+            used: list[int] = []
+            rx_offsets: list[int] = []
             #: Offsets whose cells can carry a link-layer broadcast frame.
-            broadcast_tx: List[int] = []
+            broadcast_tx: list[int] = []
             #: Offsets whose cells can carry a unicast frame to *any* neighbor
             #: (shared neighbor-less cells, e.g. Orchestra's common cell).
-            anycast_tx: List[int] = []
+            anycast_tx: list[int] = []
             #: neighbor id -> offsets of cells dedicated to that neighbor.
-            neighbor_tx: Dict[int, List[int]] = {}
-            anycast_census: Dict[int, tuple] = {}
-            neighbor_census: Dict[int, Dict[int, tuple]] = {}
+            neighbor_tx: dict[int, list[int]] = {}
+            anycast_census: dict[int, tuple] = {}
+            neighbor_census: dict[int, dict[int, tuple]] = {}
             for offset in range(sf.length):
                 bucket = sf.cells_at_offset(offset)
                 if not bucket:
@@ -209,7 +213,7 @@ class ScheduleProfile:
                         continue
                     # Mirror _packet_for_cell: which queued packet kinds could
                     # this cell carry?
-                    census: Optional[Dict[int, tuple]] = None
+                    census: Optional[dict[int, tuple]] = None
                     if cell.is_broadcast:
                         if offset not in broadcast_tx:
                             broadcast_tx.append(offset)
@@ -242,7 +246,7 @@ class ScheduleProfile:
         #: dedicated neighbors) as set-based lookups for :meth:`matches_tx_at`.
         self._tx_match = []
         for length, _, _, broadcast_tx, anycast_tx, neighbor_tx in self._frames:
-            neighbors_at: Dict[int, set] = {}
+            neighbors_at: dict[int, set] = {}
             for neighbor, offsets in neighbor_tx.items():
                 for offset in offsets:
                     neighbors_at.setdefault(offset, set()).add(neighbor)
@@ -254,7 +258,7 @@ class ScheduleProfile:
         self._single = len(self._frames) == 1
         self._rx_incexc = None if self._single else self._build_rx_incexc()
 
-    def _build_rx_incexc(self) -> Optional[List[tuple]]:
+    def _build_rx_incexc(self) -> Optional[list[tuple]]:
         """Inclusion-exclusion terms for counting multi-slotframe RX slots.
 
         The node's RX occurrences are a union of arithmetic progressions
@@ -265,7 +269,7 @@ class ScheduleProfile:
         ``None`` when there are too many progressions (fall back to the
         walk).
         """
-        progressions: List[tuple] = []
+        progressions: list[tuple] = []
         seen = set()
         for frame in self._frames:
             length, rx_offsets = frame[0], frame[1]
@@ -279,8 +283,8 @@ class ScheduleProfile:
         # merged[mask] = the intersection progression of the chosen subset
         # (or None when empty); standard subset DP over the lowest set bit.
         count = len(progressions)
-        merged: List[Optional[tuple]] = [None] * (1 << count)
-        terms: List[tuple] = []
+        merged: list[Optional[tuple]] = [None] * (1 << count)
+        terms: list[tuple] = []
         for mask in range(1, 1 << count):
             low = (mask & -mask).bit_length() - 1
             rest = mask & (mask - 1)
@@ -325,7 +329,9 @@ class ScheduleProfile:
                         candidates = neighbor_tx.values()
                     else:
                         candidates = [
-                            neighbor_tx[d] for d in destinations if d in neighbor_tx
+                            neighbor_tx[d]
+                            for d in sorted(destinations)
+                            if d in neighbor_tx
                         ]
                     for offsets in candidates:
                         occurrence = next_offset_occurrence(asn, length, offsets)
@@ -361,7 +367,7 @@ class ScheduleProfile:
                     return True
         return False
 
-    def shared_contention_progressions(self, destination: int) -> Optional[List[tuple]]:
+    def shared_contention_progressions(self, destination: int) -> Optional[list[tuple]]:
         """TX opportunities of a unicast-only, single-destination backlog.
 
         Returns ``[(offset, length, cells)]`` arithmetic progressions -- one
@@ -377,9 +383,9 @@ class ScheduleProfile:
         -- exactly then does every matching cell resolve its packet (and its
         CSMA state) to that one destination.
         """
-        progressions: List[tuple] = []
+        progressions: list[tuple] = []
         for length, anycast_census, neighbor_census in self._prune_frames:
-            merged: Dict[int, int] = {}
+            merged: dict[int, int] = {}
             for offset, (count, all_shared) in anycast_census.items():
                 if not all_shared:
                     return None
@@ -395,7 +401,7 @@ class ScheduleProfile:
         return progressions
 
     @staticmethod
-    def _count_residues(prefix: List[int], length: int, start_asn: int, end_asn: int) -> int:
+    def _count_residues(prefix: list[int], length: int, start_asn: int, end_asn: int) -> int:
         """Count ASNs in [start_asn, end_asn) whose residue is marked in ``prefix``."""
         span = end_asn - start_asn
         full, rem = divmod(span, length)
@@ -428,7 +434,7 @@ class ScheduleProfile:
         # Many progressions: walk the merged arithmetic progressions of RX
         # occurrences, deduplicating ASNs covered by several frames.  Costs
         # O(listen slots), independent of the window length.
-        heads: List[List[int]] = []
+        heads: list[list[int]] = []
         for frame in self._frames:
             length, rx_offsets = frame[0], frame[1]
             for offset in rx_offsets:
@@ -468,19 +474,19 @@ class _QuietSet(set):
         super().__init__()
         self._engine = engine
 
-    def add(self, item) -> None:
+    def add(self, item: int) -> None:
         if item not in self:
             super().add(item)
             self._engine._on_quiet_mutated()
         else:
             super().add(item)
 
-    def discard(self, item) -> None:
+    def discard(self, item: int) -> None:
         if item in self:
             super().discard(item)
             self._engine._on_quiet_mutated()
 
-    def remove(self, item) -> None:
+    def remove(self, item: int) -> None:
         super().remove(item)
         self._engine._on_quiet_mutated()
 
@@ -490,45 +496,45 @@ class _QuietSet(set):
         if changed:
             self._engine._on_quiet_mutated()
 
-    def pop(self):
+    def pop(self) -> int:
         item = super().pop()
         self._engine._on_quiet_mutated()
         return item
 
-    def _bulk(self, mutate) -> None:
+    def _bulk(self, mutate: Callable[[], None]) -> None:
         before = len(self)
         mutate()
         if len(self) != before:
             self._engine._on_quiet_mutated()
 
-    def update(self, *others) -> None:
+    def update(self, *others: Iterable[int]) -> None:
         self._bulk(lambda: super(_QuietSet, self).update(*others))
 
-    def difference_update(self, *others) -> None:
+    def difference_update(self, *others: Iterable[int]) -> None:
         self._bulk(lambda: super(_QuietSet, self).difference_update(*others))
 
-    def intersection_update(self, *others) -> None:
+    def intersection_update(self, *others: Iterable[int]) -> None:
         self._bulk(lambda: super(_QuietSet, self).intersection_update(*others))
 
-    def symmetric_difference_update(self, other) -> None:
+    def symmetric_difference_update(self, other: Iterable[int]) -> None:
         # A symmetric difference can change membership while preserving the
         # size, so it always counts as a mutation.
         set.symmetric_difference_update(self, other)
         self._engine._on_quiet_mutated()
 
-    def __ior__(self, other):
+    def __ior__(self, other: Iterable[int]) -> "_QuietSet":
         self.update(other)
         return self
 
-    def __isub__(self, other):
+    def __isub__(self, other: Iterable[int]) -> "_QuietSet":
         self.difference_update(other)
         return self
 
-    def __iand__(self, other):
+    def __iand__(self, other: Iterable[int]) -> "_QuietSet":
         self.intersection_update(other)
         return self
 
-    def __ixor__(self, other):
+    def __ixor__(self, other: Iterable[int]) -> "_QuietSet":
         self.symmetric_difference_update(other)
         return self
 
@@ -549,7 +555,7 @@ class MacStats:
 class TschEngine:
     """Slot-by-slot TSCH MAC machine for one node."""
 
-    def __init__(self, node_id: int, config: TschConfig, rng) -> None:
+    def __init__(self, node_id: int, config: TschConfig, rng: random.Random) -> None:
         self.node_id = node_id
         self.config = config
         self.rng = rng
@@ -561,7 +567,7 @@ class TschEngine:
         self.duty_cycle = DutyCycleMeter()
         self.etx = EtxEstimator(alpha=config.etx_alpha, initial_etx=config.initial_etx)
         self.stats = MacStats()
-        self.slotframes: Dict[int, Slotframe] = {}
+        self.slotframes: dict[int, Slotframe] = {}
         #: Monotonic counter bumped by every schedule mutation (cell add or
         #: remove in any slotframe, slotframe add or remove); pushed by the
         #: slotframes' ``on_change`` hooks, so reading it is O(1).
@@ -580,7 +586,7 @@ class TschEngine:
         self.queue_version = 0
         #: Memoised :meth:`queue_signature` and the queue version it was
         #: computed at.
-        self._signature: Tuple[bool, bool, set] = (False, False, set())
+        self._signature: tuple[bool, bool, set] = (False, False, set())
         self._signature_version = -1
         #: ASN up to which this node's duty-cycle accounting is complete.
         #: Owned by the network's dispatch kernel: slots in
@@ -590,27 +596,27 @@ class TschEngine:
         #: by :meth:`settle_duty_cycle`.
         self.duty_accounted_asn = 0
         #: Slotframes sorted by handle (the planning precedence order).
-        self._frames: Optional[List[Slotframe]] = None
+        self._frames: Optional[list[Slotframe]] = None
         #: Memoised sorted active-cell lists keyed by slot-offset residue(s).
         #: ``cache_enabled=False`` switches :meth:`plan_slot` to the reference
         #: per-slot gather-and-sort (the naive kernel's ground truth; results
         #: are identical either way, only the cost differs).
         self.cache_enabled = True
-        self._active_cache: Dict[object, List[Cell]] = {}
+        self._active_cache: dict[object, list[Cell]] = {}
         self._active_cache_version = -1
         #: Interned RX slot plans keyed by (cell identity, physical channel):
         #: a listening plan is fully determined by those two, so the engine
         #: reuses one immutable SlotPlan per combination.
-        self._rx_plan_cache: Dict[Tuple[int, int], SlotPlan] = {}
+        self._rx_plan_cache: dict[tuple[int, int], SlotPlan] = {}
         #: For single-slotframe nodes with an empty queue, the whole plan is a
         #: pure function of (slot-offset residue, hopping phase); this caches
         #: it so the common listen/sleep decision is one dict lookup.
-        self._idle_plan_cache: Dict[Tuple[int, int], SlotPlan] = {}
+        self._idle_plan_cache: dict[tuple[int, int], SlotPlan] = {}
         #: Per-residue idle listen decision (channel *offset* of the winning
         #: RX cell, or None for sleep), keyed by the slotframe residue(s).
         #: The network's audience pass uses it to decide a non-backlogged
         #: node's radio state without building a SlotPlan at all.
-        self._idle_rx_cache: Dict[object, Optional[int]] = {}
+        self._idle_rx_cache: dict[object, Optional[int]] = {}
         self._idle_rx_version = -1
         self._hop_period = len(self.hopping.sequence)
         self._profile: Optional[ScheduleProfile] = None
@@ -632,7 +638,7 @@ class TschEngine:
         #: node is next planned or its queue/schedule/quiet state changes.
         self._csma_deferral: Optional[tuple] = None
         #: Number of over-the-air attempts already spent on each queued packet.
-        self._attempts: Dict[int, int] = {}
+        self._attempts: dict[int, int] = {}
         #: Upper-layer callback invoked with (packet, asn) for every decoded frame.
         self.rx_callback: Optional[Callable[[Packet, int], None]] = None
         #: Upper-layer callback invoked with (packet, success, asn) when a
@@ -700,14 +706,14 @@ class TschEngine:
         """
         return self._version
 
-    def _sorted_frames(self) -> List[Slotframe]:
+    def _sorted_frames(self) -> list[Slotframe]:
         frames = self._frames
         if frames is None:
             frames = [self.slotframes[handle] for handle in sorted(self.slotframes)]
             self._frames = frames
         return frames
 
-    def _active_cells(self, asn: int) -> List[Cell]:
+    def _active_cells(self, asn: int) -> list[Cell]:
         """Sorted active cells at ``asn`` (memoised per offset residue).
 
         The result is exactly what the planning loop historically built per
@@ -716,7 +722,7 @@ class TschEngine:
         read-only.
         """
         if not self.cache_enabled:
-            active: List[Cell] = []
+            active: list[Cell] = []
             for handle in sorted(self.slotframes):
                 # list() preserves the original cells_at contract (a fresh
                 # list per call), keeping the reference loop cost-faithful.
@@ -741,8 +747,8 @@ class TschEngine:
             # tuple: with coprime slotframe lengths the residues cycle with
             # the lcm of the lengths (thousands of slots), while the distinct
             # non-empty combinations number a handful.
-            key_parts: List[tuple] = []
-            buckets: List[List[Cell]] = []
+            key_parts: list[tuple] = []
+            buckets: list[list[Cell]] = []
             for frame in frames:
                 residue = asn % frame.length
                 bucket = frame.cells_at(residue)
@@ -1048,7 +1054,7 @@ class TschEngine:
         """Current number of queued packets (the game's ``q_i(t)``)."""
         return len(self.queue)
 
-    def queue_signature(self) -> Tuple[bool, bool, set]:
+    def queue_signature(self) -> tuple[bool, bool, set]:
         """``(has_broadcast, has_unicast, unicast destinations)`` of the queue.
 
         Memoised per :attr:`queue_version`; the slot planner and the network
@@ -1139,7 +1145,7 @@ class TschEngine:
         if not active:
             return SLEEP_PLAN
 
-        tx_choice: Optional[Tuple[Cell, Packet]] = None
+        tx_choice: Optional[tuple[Cell, Packet]] = None
         # An empty queue cannot feed any TX cell; skip straight to listening
         # (the reference path scans every cell, as the seed loop did).
         # ``scan_tx=False`` extends that shortcut to queues proven unmatchable
@@ -1294,8 +1300,8 @@ class TschEngine:
             for sf in self.slotframes.values()
         )
 
-    def all_cells(self) -> List[Cell]:
-        cells: List[Cell] = []
+    def all_cells(self) -> list[Cell]:
+        cells: list[Cell] = []
         for handle in sorted(self.slotframes):
             cells.extend(self.slotframes[handle].all_cells())
         return cells

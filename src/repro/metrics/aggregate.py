@@ -16,8 +16,9 @@ single-seed paths.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from repro.metrics.collector import NetworkMetrics
 
@@ -58,8 +59,8 @@ class MetricsAggregate:
     """Mean / stddev / 95% CI of one sweep cell across seeds."""
 
     scheduler: str = ""
-    runs: List[NetworkMetrics] = field(default_factory=list)
-    seeds: List[int] = field(default_factory=list)
+    runs: list[NetworkMetrics] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
 
     @classmethod
     def from_runs(
@@ -81,7 +82,7 @@ class MetricsAggregate:
         """Number of seeds aggregated."""
         return len(self.runs)
 
-    def values(self, key: str) -> List[float]:
+    def values(self, key: str) -> list[float]:
         """Per-seed values of one metric, in seed order."""
         return [run.as_dict()[key] for run in self.runs]
 
@@ -117,7 +118,7 @@ class MetricsAggregate:
 
     def stats_dict(self) -> dict:
         """Dispersion columns: ``n_seeds`` plus ``<key>_std`` / ``<key>_ci95``."""
-        data: Dict[str, float] = {"n_seeds": self.n}
+        data: dict[str, float] = {"n_seeds": self.n}
         for key in NUMERIC_KEYS:
             data[f"{key}_std"] = self.std(key)
             data[f"{key}_ci95"] = self.ci95(key)

@@ -11,7 +11,7 @@ excluded, mirroring how the paper measures steady-state behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
 
 @dataclass
@@ -56,7 +56,7 @@ class NetworkMetrics:
     #: non-zero values mean the game keeps re-placing cells instead of
     #: converging (the ROADMAP's GT-TSCH convergence question).
     sixp_relocations_per_lb_period: float = 0.0
-    per_node: Dict[int, dict] = field(default_factory=dict)
+    per_node: dict[int, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Flat dictionary of the headline metrics (for tables / CSV)."""
@@ -88,17 +88,17 @@ class MetricsCollector:
         self.measuring = False
         self.window_start = 0.0
         self.window_end: Optional[float] = None
-        self._generated: Dict[int, _GeneratedRecord] = {}
-        self._delivered: Dict[int, float] = {}
-        self._delays_ms: List[float] = []
-        self._hops: List[int] = []
-        self._losses: Dict[str, int] = {"queue": 0, "mac-retries": 0, "no-route": 0}
+        self._generated: dict[int, _GeneratedRecord] = {}
+        self._delivered: dict[int, float] = {}
+        self._delays_ms: list[float] = []
+        self._hops: list[int] = []
+        self._losses: dict[str, int] = {"queue": 0, "mac-retries": 0, "no-route": 0}
         #: Per-node counter snapshots taken at the start of the window so the
         #: warm-up phase does not contaminate the measured values.
-        self._node_baselines: Dict[int, dict] = {}
+        self._node_baselines: dict[int, dict] = {}
         #: Per-node counter snapshots taken when the window closes (so that a
         #: drain phase does not contaminate the measured values either).
-        self._node_finals: Dict[int, dict] = {}
+        self._node_finals: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # window control (driven by the Network / experiment runner)

@@ -8,7 +8,7 @@ glance.  These helpers keep the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.metrics.collector import NetworkMetrics
 
@@ -25,7 +25,7 @@ PANEL_KEYS = (
 
 def format_metrics_table(metrics: Iterable[NetworkMetrics], title: str = "") -> str:
     """One row per metrics object; columns are the six panel metrics."""
-    rows: List[str] = []
+    rows: list[str] = []
     if title:
         rows.append(title)
     header = f"{'scheduler':<14}" + "".join(f"{label:>24}" for _, label in PANEL_KEYS)
@@ -43,7 +43,7 @@ def format_metrics_table(metrics: Iterable[NetworkMetrics], title: str = "") -> 
 def format_comparison_table(
     sweep_label: str,
     sweep_values: Sequence,
-    results: Dict[str, List[NetworkMetrics]],
+    results: dict[str, list[NetworkMetrics]],
     metric_key: str,
     metric_label: str = "",
 ) -> str:
@@ -71,7 +71,7 @@ def format_figure_report(
     figure_name: str,
     sweep_label: str,
     sweep_values: Sequence,
-    results: Dict[str, List[NetworkMetrics]],
+    results: dict[str, list[NetworkMetrics]],
 ) -> str:
     """Render all six panels of one paper figure."""
     sections = [f"=== {figure_name} ==="]

@@ -52,8 +52,9 @@ bit-identical to the naive loop's.
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections.abc import Callable
 from heapq import heappop, heappush
-from typing import Callable, Dict, List, Optional
+from typing import Optional
 
 from repro.mac.tsch import SlotPlan, next_offset_occurrence
 from repro.metrics.collector import MetricsCollector, NetworkMetrics
@@ -106,23 +107,23 @@ class Network:
             propagation or UnitDiskLossyEdgeModel(), self.rngs.stream("phy")
         )
         self.metrics = MetricsCollector()
-        self.nodes: Dict[int, Node] = {}
+        self.nodes: dict[int, Node] = {}
         #: node id -> TSCH engine, kept in sync with :attr:`nodes` (frame
         #: delivery resolves receivers through this to skip an attribute hop
         #: per decoded frame).
-        self._engines: Dict[int, "object"] = {}
+        self._engines: dict[int, "object"] = {}
         self._started = False
         #: Use the slot-skipping kernel in :meth:`run_slots` (bit-identical to
         #: the naive loop; ``fast=False`` is the escape hatch).
         self.fast = fast
         #: slotframe length -> sorted union of installed slot offsets, across
         #: every node; rebuilt whenever any schedule version changes.
-        self._active_index: Dict[int, List[int]] = {}
+        self._active_index: dict[int, list[int]] = {}
         self._active_index_dirty = True
         #: Flat node list, kept in sync with :attr:`nodes` (hot-loop iteration).
-        self._node_list: List[Node] = []
+        self._node_list: list[Node] = []
         self._single_length = 0
-        self._single_offsets: List[int] = []
+        self._single_offsets: list[int] = []
         #: Inverted participant index (maintained incrementally, see
         #: :meth:`_refresh_active_index`): ``slotframe length -> slot offset
         #: -> {node order index -> node}`` -- dicts make one node's
@@ -130,29 +131,29 @@ class Network:
         #: schedule changed, and keying by order index lets dispatch restore
         #: node insertion order.  Queried per slot by the dispatch loop and
         #: through :meth:`_participants_at`.
-        self._part_tables: Dict[int, Dict[int, Dict[int, Node]]] = {}
+        self._part_tables: dict[int, dict[int, dict[int, Node]]] = {}
         #: node id -> set of (length, offset) pairs it currently contributes.
-        self._node_contrib: Dict[int, set] = {}
+        self._node_contrib: dict[int, set] = {}
         #: Reference counts behind the active-offset union: ``length ->
         #: offset -> number of contributing nodes``.
-        self._offset_counts: Dict[int, Dict[int, int]] = {}
+        self._offset_counts: dict[int, dict[int, int]] = {}
         #: Nodes whose schedule changed since the last index refresh; only
         #: their contributions are recomputed.
         self._dirty_nodes: set = set()
         #: node id -> position in :attr:`_node_list` (multi-length dispatch
         #: merges participant buckets back into insertion order with this).
-        self._node_order: Dict[int, int] = {}
+        self._node_order: dict[int, int] = {}
         #: Backlog index: nodes currently holding at least one queued packet,
         #: push-maintained through :attr:`TschEngine.on_queue_change`.  Only
         #: these nodes can make a slot "risky", so the kernel's transmission
         #: horizon tracking is bounded by backlogged nodes, not network size.
-        self._backlogged: Dict[int, Node] = {}
+        self._backlogged: dict[int, Node] = {}
         #: Min-heap of per-node TX horizons: ``(occurrence, order index,
         #: node, queue version, schedule version)``.  An entry is authoritative
         #: only while both versions still match its node (stale entries are
         #: discarded lazily when they surface); nodes listed in
         #: :attr:`_risky_dirty` need their horizon (re)computed.
-        self._risky_heap: List[tuple] = []
+        self._risky_heap: list[tuple] = []
         self._risky_dirty: set = set()
         #: Slots actually stepped (planned + arbitrated) by the dispatch
         #: kernel, as opposed to slots jumped in bulk; the scaling benchmark
@@ -209,7 +210,7 @@ class Network:
         traffic_factory: Optional[TrafficFactory] = None,
         warm_start: bool = True,
         config: Optional[NodeConfig] = None,
-    ) -> List[Node]:
+    ) -> list[Node]:
         """Instantiate every node of ``topology``.
 
         ``warm_start=True`` presets the RPL parents/ranks declared by the
@@ -217,7 +218,7 @@ class Network:
         with ``warm_start=False`` the DODAG forms from scratch through
         DIO exchange.
         """
-        created: List[Node] = []
+        created: list[Node] = []
         for spec in topology:
             traffic = traffic_factory(spec.node_id, spec.is_root) if traffic_factory else None
             node = self.add_node(
@@ -304,10 +305,10 @@ class Network:
         # 2a. the possible transmitters plan first (CSMA side effects
         # included); they are the only nodes that can put energy on the air,
         # and the horizon heap names them without scanning anyone else.
-        tx_plans: List[SlotPlan] = []
+        tx_plans: list[SlotPlan] = []
         intents = []
-        intent_owners: List[int] = []
-        planned: Dict[int, SlotPlan] = {}
+        intent_owners: list[int] = []
+        planned: dict[int, SlotPlan] = {}
         for node in self._collect_transmitters(asn):
             plan = node.tsch.plan_slot(asn)
             planned[node.node_id] = plan
@@ -341,7 +342,7 @@ class Network:
         # profile settling credits, so only the nodes whose slot *deviates*
         # from the pure schedule function (transmitters, and listeners that
         # actually receive energy) are accounted eagerly in step 4c.
-        buckets: List[Dict[int, Node]] = []
+        buckets: list[dict[int, Node]] = []
         for length, table in self._part_tables.items():
             bucket = table.get(asn % length)
             if bucket:
@@ -352,8 +353,8 @@ class Network:
             audience |= audience_of(node_id)
         order = self._node_order
         nodes = self.nodes
-        listeners: Dict[int, int] = {}
-        by_channel: Dict[int, List[int]] = {}
+        listeners: dict[int, int] = {}
+        by_channel: dict[int, list[int]] = {}
         backlogged = self._backlogged
         single_bucket = buckets[0] if len(buckets) == 1 else None
         for node_id in sorted(audience, key=order.__getitem__):
@@ -451,7 +452,7 @@ class Network:
         # left lazy.
         for node_id in intent_owners:
             engines[node_id].account_tx_slot(asn)
-        for node_id in nodes_that_received:
+        for node_id in sorted(nodes_that_received):
             engines[node_id].account_rx_frame_slot(asn)
 
         self.clock.advance_slot()
@@ -470,10 +471,10 @@ class Network:
         now = self.clock.now
         self.events.run_until(now)
 
-        plans: Dict[int, SlotPlan] = {}
+        plans: dict[int, SlotPlan] = {}
         intents = []
-        intent_owners: List[int] = []
-        listeners: Dict[int, int] = {}
+        intent_owners: list[int] = []
+        listeners: dict[int, int] = {}
         for node_id, node in self.nodes.items():
             plan = node.tsch.plan_slot(asn)
             plans[node_id] = plan
@@ -555,16 +556,17 @@ class Network:
         if not self._active_index_dirty:
             return
         stale_lengths: set = set()
-        for node in self._dirty_nodes:
+        node_order = self._node_order
+        for node in sorted(self._dirty_nodes, key=lambda n: node_order[n.node_id]):
             node_id = node.node_id
-            order = self._node_order[node_id]
+            order = node_order[node_id]
             old_contrib = self._node_contrib.get(node_id, frozenset())
             profile = node.tsch.schedule_profile()
             new_contrib = set()
             for length, offsets in profile.frame_offsets:
                 for offset in offsets:
                     new_contrib.add((length, offset))
-            for length, offset in old_contrib - new_contrib:
+            for length, offset in sorted(old_contrib - new_contrib):
                 del self._part_tables[length][offset][order]
                 counts = self._offset_counts[length]
                 counts[offset] -= 1
@@ -572,7 +574,7 @@ class Network:
                     del counts[offset]
                     del self._part_tables[length][offset]
                     stale_lengths.add(length)
-            for length, offset in new_contrib - old_contrib:
+            for length, offset in sorted(new_contrib - old_contrib):
                 table = self._part_tables.setdefault(length, {})
                 table.setdefault(offset, {})[order] = node
                 counts = self._offset_counts.setdefault(length, {})
@@ -584,7 +586,7 @@ class Network:
             self._node_contrib[node_id] = new_contrib
         self._dirty_nodes.clear()
         # Re-sort only the per-length offset unions whose membership changed.
-        for length in stale_lengths:
+        for length in sorted(stale_lengths):
             offsets = self._offset_counts.get(length)
             if offsets:
                 self._active_index[length] = sorted(offsets)
@@ -600,7 +602,7 @@ class Network:
             self._single_offsets = []
         self._active_index_dirty = False
 
-    def _participants_at(self, asn: int) -> List[Node]:
+    def _participants_at(self, asn: int) -> list[Node]:
         """Nodes with any installed cell active at ``asn``, in insertion order.
 
         Derived on demand from the inverted index's buckets (dispatch reads
@@ -609,7 +611,7 @@ class Network:
         """
         if self._active_index_dirty:
             self._refresh_active_index()
-        merged: Dict[int, Node] = {}
+        merged: dict[int, Node] = {}
         for length, table in self._part_tables.items():
             bucket = table.get(asn % length)
             if bucket:
@@ -729,7 +731,7 @@ class Network:
         backlogged = self._backlogged
         dirty = self._risky_dirty
         self._risky_dirty = set()
-        for node in dirty:
+        for node in sorted(dirty, key=lambda n: self._node_order[n.node_id]):
             if node.node_id in backlogged:
                 self._push_horizon(node, asn)
 
@@ -772,7 +774,7 @@ class Network:
             return occurrence if occurrence < limit else limit
         return limit
 
-    def _collect_transmitters(self, asn: int) -> List[Node]:
+    def _collect_transmitters(self, asn: int) -> list[Node]:
         """Backlogged nodes with a TX cell matching their queue at ``asn``.
 
         Pops the due horizon entries off the heap (the popped nodes are
@@ -783,7 +785,7 @@ class Network:
         self._refresh_horizons()
         heap = self._risky_heap
         backlogged = self._backlogged
-        matched: List[Node] = []
+        matched: list[Node] = []
         matched_ids: set = set()
         while heap:
             occurrence, _, node, queue_version, schedule_version = heap[0]
@@ -945,7 +947,7 @@ class Network:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def roots(self) -> List[Node]:
+    def roots(self) -> list[Node]:
         return [node for node in self.nodes.values() if node.is_root]
 
     def node(self, node_id: int) -> Node:

@@ -21,7 +21,7 @@ arbitration -- which keeps the layering identical to the real stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.mac.tsch import TschConfig, TschEngine
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
@@ -65,7 +65,7 @@ class Node:
     def __init__(
         self,
         node_id: int,
-        position: Tuple[float, float],
+        position: tuple[float, float],
         scheduler: "SchedulingFunction",
         config: NodeConfig,
         event_queue: EventQueue,
@@ -280,7 +280,7 @@ class Node:
     # ------------------------------------------------------------------
     def _on_sixp_request(
         self, peer: int, message: SixPMessage
-    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    ) -> tuple[SixPReturnCode, dict[str, Any]]:
         return self.scheduler.on_sixp_request(peer, message)
 
     # ------------------------------------------------------------------
@@ -312,7 +312,7 @@ class Node:
         # broadcast cell, skip this period (Contiki behaves the same way).
         if self.tsch.queue.contains_ptype(PacketType.EB):
             return
-        payload: Dict[str, Any] = {
+        payload: dict[str, Any] = {
             "join_priority": 0 if self.is_root else 1,
         }
         payload.update(self.scheduler.eb_fields())

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.rpl.rank import MIN_HOP_RANK_INCREASE
 
-Position = Tuple[float, float]
+Position = tuple[float, float]
 
 
 @dataclass
@@ -43,7 +43,7 @@ class NodeSpec:
 class TopologyBuilder:
     """A collection of node specs plus convenience queries."""
 
-    nodes: List[NodeSpec] = field(default_factory=list)
+    nodes: list[NodeSpec] = field(default_factory=list)
 
     def add(self, spec: NodeSpec) -> NodeSpec:
         if any(existing.node_id == spec.node_id for existing in self.nodes):
@@ -51,10 +51,10 @@ class TopologyBuilder:
         self.nodes.append(spec)
         return spec
 
-    def roots(self) -> List[NodeSpec]:
+    def roots(self) -> list[NodeSpec]:
         return [spec for spec in self.nodes if spec.is_root]
 
-    def node_ids(self) -> List[int]:
+    def node_ids(self) -> list[int]:
         return [spec.node_id for spec in self.nodes]
 
     def spec(self, node_id: int) -> NodeSpec:
@@ -63,10 +63,10 @@ class TopologyBuilder:
                 return candidate
         raise KeyError(node_id)
 
-    def parent_map(self) -> Dict[int, Optional[int]]:
+    def parent_map(self) -> dict[int, Optional[int]]:
         return {spec.node_id: spec.parent for spec in self.nodes}
 
-    def children_of(self, node_id: int) -> List[int]:
+    def children_of(self, node_id: int) -> list[int]:
         return [spec.node_id for spec in self.nodes if spec.parent == node_id]
 
     def max_depth(self) -> int:
@@ -89,7 +89,7 @@ class TopologyBuilder:
 # ----------------------------------------------------------------------
 # position helpers
 # ----------------------------------------------------------------------
-def grid_positions(count: int, spacing: float, origin: Position = (0.0, 0.0)) -> List[Position]:
+def grid_positions(count: int, spacing: float, origin: Position = (0.0, 0.0)) -> list[Position]:
     """Positions on a square grid, row-major, ``spacing`` metres apart."""
     side = max(1, math.ceil(math.sqrt(count)))
     positions = []
@@ -164,7 +164,7 @@ def tree_topology(
     next_id = first_id + 1
     current_level = [root_id]
     for level in range(1, depth + 1):
-        new_level: List[int] = []
+        new_level: list[int] = []
         radius = spacing * level
         total_at_level = len(current_level) * branching
         slot = 0
@@ -210,8 +210,8 @@ def single_dodag_topology(
     topo.add(NodeSpec(node_id=root_id, position=origin, is_root=True, dodag_id=root_id))
 
     # Breadth-first attachment: parents are consumed in creation order.
-    attach_order: List[int] = [root_id]
-    children_count: Dict[int, int] = {root_id: 0}
+    attach_order: list[int] = [root_id]
+    children_count: dict[int, int] = {root_id: 0}
     parent_cursor = 0
     for index in range(1, num_nodes):
         while children_count[attach_order[parent_cursor]] >= max_children_per_node:
@@ -331,7 +331,7 @@ def random_topology(
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
-    positions: List[Position] = [(area / 2.0, area / 2.0)]
+    positions: list[Position] = [(area / 2.0, area / 2.0)]
     for _ in range(num_nodes - 1):
         positions.append((rng.uniform(0, area), rng.uniform(0, area)))
 
@@ -351,11 +351,11 @@ def random_topology(
                 raise RuntimeError("failed to build a connected random topology")
 
     # BFS from the root over the connectivity graph.
-    parents: Dict[int, Optional[int]] = {0: None}
-    depths: Dict[int, int] = {0: 0}
+    parents: dict[int, Optional[int]] = {0: None}
+    depths: dict[int, int] = {0: 0}
     frontier = [0]
     while frontier:
-        nxt: List[int] = []
+        nxt: list[int] = []
         for current in frontier:
             for candidate in range(num_nodes):
                 if candidate in parents:

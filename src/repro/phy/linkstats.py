@@ -11,7 +11,6 @@ with a configurable initial guess for fresh links.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 
 #: Contiki-NG expresses ETX in fixed point with a divisor of 128; we keep
@@ -58,8 +57,8 @@ class EtxEstimator:
             raise ValueError("initial_etx must lie within [ETX_MIN, ETX_MAX]")
         self.alpha = alpha
         self.initial_etx = initial_etx
-        self._etx: Dict[int, float] = {}
-        self._stats: Dict[int, LinkStats] = {}
+        self._etx: dict[int, float] = {}
+        self._stats: dict[int, LinkStats] = {}
         #: Monotonic counter bumped whenever any neighbor's ETX estimate may
         #: have changed (a transmission outcome or a reset; received frames
         #: leave the estimate untouched).  RPL's rank memoisation compares it
@@ -68,7 +67,7 @@ class EtxEstimator:
         #: Per-neighbor flavour of :attr:`version`: bumped only when *that*
         #: link's estimate may have changed, so a stale candidate rank is
         #: re-scored for exactly the dirtied neighbor.
-        self.neighbor_versions: Dict[int, int] = {}
+        self.neighbor_versions: dict[int, int] = {}
 
     def stats(self, neighbor: int) -> LinkStats:
         """Raw counters for the link towards ``neighbor`` (created on demand)."""
@@ -128,7 +127,7 @@ class EtxEstimator:
         stats.rx_frames += 1
         stats.last_rx_time = now
 
-    def known_neighbors(self):
+    def known_neighbors(self) -> set[int]:
         """Neighbors for which any statistic exists."""
         return set(self._stats) | set(self._etx)
 

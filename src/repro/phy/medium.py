@@ -20,10 +20,14 @@ nothing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet
 from repro.phy.propagation import Position, PropagationModel
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
 
 try:  # Optional accelerator: the container ships numpy, CI may not.
     import numpy as _np
@@ -71,7 +75,7 @@ class TransmissionResult:
     def __init__(
         self,
         intent: TransmissionIntent,
-        receivers: Optional[List[int]] = None,
+        receivers: Optional[list[int]] = None,
         delivered: bool = False,
         acked: bool = False,
         collided: bool = False,
@@ -97,7 +101,12 @@ class TransmissionResult:
 class Medium:
     """The shared radio medium: positions, propagation, per-slot arbitration."""
 
-    def __init__(self, propagation: PropagationModel, rng, ack_prr_scale: float = 1.0) -> None:
+    def __init__(
+        self,
+        propagation: PropagationModel,
+        rng: random.Random,
+        ack_prr_scale: float = 1.0,
+    ) -> None:
         """
         Parameters
         ----------
@@ -117,20 +126,20 @@ class Medium:
         #: reference implementation); the single-transmitter shortcut below is
         #: identical in results and RNG draws, it only skips the bookkeeping.
         self.fast_paths = True
-        self._positions: Dict[int, Position] = {}
+        self._positions: dict[int, Position] = {}
         # Caches keyed by ordered node-id pair; the topology is static after
         # build, so propagation queries are answered at most once per pair.
-        self._prr_cache: Dict[Tuple[int, int], float] = {}
-        self._interf_cache: Dict[Tuple[int, int], bool] = {}
-        self._neighbors_cache: Dict[Tuple[int, float], List[int]] = {}
+        self._prr_cache: dict[tuple[int, int], float] = {}
+        self._interf_cache: dict[tuple[int, int], bool] = {}
+        self._neighbors_cache: dict[tuple[int, float], list[int]] = {}
         #: Dense matrix state (populated by :meth:`freeze`): node id ->
         #: contiguous index, and per-sender rows indexed by listener index.
         self._frozen = False
-        self._index_of: Dict[int, int] = {}
-        self._ids: List[int] = []
-        self._prr_rows: Dict[int, List[float]] = {}
-        self._interf_rows: Dict[int, List[bool]] = {}
-        self._audience: Dict[int, frozenset] = {}
+        self._index_of: dict[int, int] = {}
+        self._ids: list[int] = []
+        self._prr_rows: dict[int, list[float]] = {}
+        self._interf_rows: dict[int, list[bool]] = {}
+        self._audience: dict[int, frozenset] = {}
         #: Dense boolean interference matrix (numpy, when available): row =
         #: sender index, column = listener index.  Pure accelerator for the
         #: audible-count scan of :meth:`_resolve_same_channel`; the list
@@ -187,8 +196,8 @@ class Medium:
         in_range = self.propagation.in_interference_range
         for a in ids:
             position_a = self._positions[a]
-            prr_row: List[float] = []
-            interf_row: List[bool] = []
+            prr_row: list[float] = []
+            interf_row: list[bool] = []
             for b in ids:
                 if a == b:
                     prr_row.append(0.0)
@@ -305,7 +314,7 @@ class Medium:
             )
         return self._interf_cache[key]
 
-    def neighbors_of(self, node_id: int, min_prr: float = 0.0) -> List[int]:
+    def neighbors_of(self, node_id: int, min_prr: float = 0.0) -> list[int]:
         """Node ids with a usable link from ``node_id`` (PRR > ``min_prr``).
 
         Memoised per ``(node, threshold)``; the cache is dropped whenever a
@@ -329,9 +338,9 @@ class Medium:
     def resolve_slot(
         self,
         intents: Sequence[TransmissionIntent],
-        listeners: Dict[int, int],
-        listeners_by_channel: Optional[Dict[int, List[int]]] = None,
-    ) -> List[TransmissionResult]:
+        listeners: dict[int, int],
+        listeners_by_channel: Optional[dict[int, list[int]]] = None,
+    ) -> list[TransmissionResult]:
         """Arbitrate one timeslot.
 
         Parameters
@@ -382,7 +391,7 @@ class Medium:
             return results
 
         # Group transmitting senders per physical channel.
-        per_channel: Dict[int, List[int]] = {}
+        per_channel: dict[int, list[int]] = {}
         for index, intent in enumerate(intents):
             per_channel.setdefault(intent.channel, []).append(index)
 
@@ -456,7 +465,7 @@ class Medium:
     def _resolve_same_channel(
         self,
         intents: Sequence[TransmissionIntent],
-        results: List[TransmissionResult],
+        results: list[TransmissionResult],
         channel_listeners: Sequence[int],
     ) -> None:
         """Resolve several same-channel transmitters (collisions possible)."""
@@ -591,7 +600,7 @@ class Medium:
                 if intent.packet.link_destination == listener:
                     results[index].delivered = True
 
-    def _resolve_acks(self, results: List[TransmissionResult]) -> None:
+    def _resolve_acks(self, results: list[TransmissionResult]) -> None:
         """Resolve ACKs for unicast frames that reached their destination."""
         for result in results:
             intent = result.intent

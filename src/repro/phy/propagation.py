@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-Position = Tuple[float, float]
+Position = tuple[float, float]
 
 
 def distance(a: Position, b: Position) -> float:
@@ -135,10 +135,10 @@ class FixedPrrModel(PropagationModel):
             raise ValueError("default_prr must be within [0, 1]")
         self.default_prr = default_prr
         self.symmetric = symmetric
-        self._links: Dict[Tuple[Position, Position], float] = {}
+        self._links: dict[tuple[Position, Position], float] = {}
         self._interference_pairs = interference_pairs or set()
         #: Optional mapping from position to an identifier, purely cosmetic.
-        self.labels: Dict[Position, str] = {}
+        self.labels: dict[Position, str] = {}
 
     def set_link(self, a: Position, b: Position, prr: float) -> None:
         """Set the PRR for the ordered link a -> b (and b -> a if symmetric)."""

@@ -18,8 +18,9 @@ there.  Both cold and warm start paths are exercised by the test suite.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set
+from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import Packet
 from repro.rpl.messages import make_dao, make_dio
@@ -31,6 +32,11 @@ from repro.rpl.rank import (
 )
 from repro.rpl.trickle import TrickleTimer
 from repro.sim.events import EventQueue
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
+
+    from repro.phy.linkstats import EtxEstimator
 
 
 @dataclass
@@ -93,11 +99,11 @@ class RplEngine:
         node_id: int,
         config: RplConfig,
         queue: EventQueue,
-        rng,
+        rng: random.Random,
         send_packet: Callable[[Packet], None],
         etx_of: Callable[[int], float],
         is_root: bool = False,
-        etx_state=None,
+        etx_state: Optional[EtxEstimator] = None,
     ) -> None:
         """
         Parameters
@@ -155,8 +161,8 @@ class RplEngine:
         self.rank: int = config.root_rank if is_root else INFINITE_RANK
         self.version: int = 0
         self.preferred_parent: Optional[int] = None
-        self.neighbors: Dict[int, RplNeighbor] = {}
-        self.children: Set[int] = set()
+        self.neighbors: dict[int, RplNeighbor] = {}
+        self.children: set[int] = set()
 
         # Callbacks wired by the node / scheduling function.
         self.on_parent_changed: Optional[Callable[[Optional[int], Optional[int]], None]] = None

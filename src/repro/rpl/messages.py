@@ -9,7 +9,7 @@ the ``l_rx`` payload field here.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
 
@@ -20,7 +20,7 @@ def make_dio(
     rank: int,
     version: int = 0,
     l_rx: Optional[int] = None,
-    extra: Optional[Dict[str, Any]] = None,
+    extra: Optional[dict[str, Any]] = None,
     now: float = 0.0,
 ) -> Packet:
     """Build a DODAG Information Object broadcast frame.
@@ -41,7 +41,7 @@ def make_dio(
     extra:
         Additional scheduler-specific fields to piggyback.
     """
-    payload: Dict[str, Any] = {
+    payload: dict[str, Any] = {
         "dodag_id": dodag_id,
         "rank": rank,
         "version": version,
@@ -75,7 +75,7 @@ def make_dao(
     root learn downward routes).  GT-TSCH relies on this to maintain the
     children set ``cs_i`` used in channel and cell allocation.
     """
-    payload: Dict[str, Any] = {
+    payload: dict[str, Any] = {
         "dodag_id": dodag_id,
         "rank": rank,
     }

@@ -10,9 +10,13 @@ were already heard.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.events import Event, EventQueue, TimerWheel
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
 
 
 class TrickleTimer:
@@ -21,7 +25,7 @@ class TrickleTimer:
     def __init__(
         self,
         queue: EventQueue,
-        rng,
+        rng: random.Random,
         callback: Callable[[], None],
         i_min: float = 4.0,
         doublings: int = 8,

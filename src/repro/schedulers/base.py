@@ -16,7 +16,7 @@ override what they need.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.net.packet import Packet
 from repro.sixtop.messages import SixPMessage, SixPReturnCode
@@ -61,11 +61,11 @@ class SchedulingFunction:
     # ------------------------------------------------------------------
     # control-plane piggybacking
     # ------------------------------------------------------------------
-    def eb_fields(self) -> Dict[str, Any]:
+    def eb_fields(self) -> dict[str, Any]:
         """Extra fields to piggyback on this node's Enhanced Beacons."""
         return {}
 
-    def dio_fields(self) -> Dict[str, Any]:
+    def dio_fields(self) -> dict[str, Any]:
         """Extra fields to piggyback on this node's DIOs (e.g. ``l_rx``)."""
         return {}
 
@@ -80,7 +80,7 @@ class SchedulingFunction:
     # ------------------------------------------------------------------
     def on_sixp_request(
         self, peer: int, message: SixPMessage
-    ) -> Tuple[SixPReturnCode, Dict[str, Any]]:
+    ) -> tuple[SixPReturnCode, dict[str, Any]]:
         """Answer an incoming 6P request.
 
         Returns the response return code plus the response fields

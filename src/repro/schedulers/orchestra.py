@@ -25,7 +25,7 @@ may hash onto the same cell).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.mac.cell import Cell, CellOption, CellPurpose
 from repro.schedulers.base import SchedulingFunction
@@ -87,7 +87,7 @@ class OrchestraScheduler(SchedulingFunction):
         super().__init__()
         self.config = config or OrchestraConfig()
         self._parent_tx_cell: Optional[Cell] = None
-        self._child_tx_cells: Dict[int, Cell] = {}
+        self._child_tx_cells: dict[int, Cell] = {}
         self._eb_rx_cell: Optional[Cell] = None
 
     # ------------------------------------------------------------------

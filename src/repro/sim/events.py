@@ -23,15 +23,48 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import math
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    import random  # reprolint: disable=RL001
 
 
-@dataclass(order=True)
 class _QueueEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
+    """Heap entry ordered by ``(time, sequence)``; the event never compares."""
+
+    __slots__ = ("time", "sequence", "event")
+
+    def __init__(self, time: float, sequence: int, event: "Event") -> None:
+        self.time = time
+        self.sequence = sequence
+        self.event = event
+
+    def __lt__(self, other: "_QueueEntry") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _QueueEntry):
+            return NotImplemented
+        return (self.time, self.sequence) == (other.time, other.sequence)
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def _validate_rearm_delay(delay: float) -> None:
+    """Reject non-finite and negative re-arm delays.
+
+    ``schedule_in`` documents a clamp for negative delays (a timer computed
+    from stale state fires immediately); ``reschedule_in`` has no such
+    excuse -- its only callers are periodic timers whose period draw must be
+    a finite, non-negative number, so anything else is a bug upstream and is
+    surfaced instead of silently clamped.
+    """
+    if not math.isfinite(delay):
+        raise ValueError("delay must be finite")
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
 
 
 class Event:
@@ -50,7 +83,7 @@ class Event:
         self,
         time: float,
         callback: Callable[..., Any],
-        args: Tuple[Any, ...] = (),
+        args: tuple[Any, ...] = (),
         kwargs: Optional[dict] = None,
         label: str = "",
     ) -> None:
@@ -99,8 +132,19 @@ class EventQueue:
     #: worth it for a handful of entries).
     COMPACT_MIN_SIZE = 16
 
+    __slots__ = (
+        "_heap",
+        "_counter",
+        "_now",
+        "_cancelled",
+        "compactions",
+        "use_wheels",
+        "_wheel_map",
+        "_wheels",
+    )
+
     def __init__(self, use_wheels: bool = True) -> None:
-        self._heap: List[_QueueEntry] = []
+        self._heap: list[_QueueEntry] = []
         self._counter = itertools.count()
         self._now = 0.0
         #: Number of cancelled events still sitting in the heap.
@@ -111,8 +155,8 @@ class EventQueue:
         #: falls back to flat scheduling on this queue -- the reference
         #: configuration the wheel equivalence tests compare against.
         self.use_wheels = use_wheels
-        self._wheel_map: Dict[str, "TimerWheel"] = {}
-        self._wheels: List["TimerWheel"] = []
+        self._wheel_map: dict[str, "TimerWheel"] = {}
+        self._wheels: list["TimerWheel"] = []
 
     @property
     def now(self) -> float:
@@ -228,9 +272,8 @@ class EventQueue:
         drawn from the same counter at the same point, so firing order is
         exactly that of a fresh ``schedule_in``.
         """
-        if delay != delay:
-            raise ValueError("delay must not be NaN")
-        time = self._now + max(0.0, delay)
+        _validate_rearm_delay(delay)
+        time = self._now + delay
         event.time = time
         event._queue = self
         heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
@@ -268,7 +311,7 @@ class EventQueue:
                 self._cancelled -= 1
             if heap:
                 head = heap[0]
-                best_key: Optional[Tuple[float, int]] = (head.time, head.sequence)
+                best_key: Optional[tuple[float, int]] = (head.time, head.sequence)
             else:
                 best_key = None
             best_wheel: Optional["TimerWheel"] = None
@@ -342,7 +385,7 @@ class TimerWheel:
     def __init__(self, queue: EventQueue, name: str) -> None:
         self.queue = queue
         self.name = name
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._cancelled = 0
         #: Members fired so far (diagnostics, surfaced by EventQueue.stats()).
         self.fired = 0
@@ -351,7 +394,7 @@ class TimerWheel:
         #: mutation: ``run_until`` re-reads every wheel head once per fired
         #: event, so serving the unchanged ones from cache keeps the merge
         #: O(changed wheels) instead of O(wheels x members inspected).
-        self._head: Optional[Tuple[float, int]] = None
+        self._head: Optional[tuple[float, int]] = None
         self._head_dirty = True
 
     def __len__(self) -> int:
@@ -395,10 +438,9 @@ class TimerWheel:
 
     def reschedule_in(self, event: Event, delay: float) -> Event:
         """Re-arm a fired (popped, uncancelled) member (see EventQueue's)."""
-        if delay != delay:
-            raise ValueError("delay must not be NaN")
+        _validate_rearm_delay(delay)
         queue = self.queue
-        time = queue._now + max(0.0, delay)
+        time = queue._now + delay
         event.time = time
         event._queue = self
         heapq.heappush(self._heap, (time, next(queue._counter), event))
@@ -408,7 +450,7 @@ class TimerWheel:
     # ------------------------------------------------------------------
     # head management (driven by the owning EventQueue)
     # ------------------------------------------------------------------
-    def _head_key(self) -> Optional[Tuple[float, int]]:
+    def _head_key(self) -> Optional[tuple[float, int]]:
         """(time, sequence) of the earliest live member, if any (memoised)."""
         if not self._head_dirty:
             return self._head
@@ -472,6 +514,22 @@ class PeriodicTimer:
     the timer; any other return value keeps it running.
     """
 
+    __slots__ = (
+        "queue",
+        "period",
+        "callback",
+        "label",
+        "jitter",
+        "rng",
+        "idle_probe",
+        "_period_fn",
+        "_scheduler",
+        "settled_ticks",
+        "_event",
+        "_running",
+        "_start_offset",
+    )
+
     def __init__(
         self,
         queue: EventQueue,
@@ -480,7 +538,7 @@ class PeriodicTimer:
         start_offset: Optional[float] = None,
         label: str = "",
         jitter: float = 0.0,
-        rng=None,
+        rng: Optional[random.Random] = None,
         wheel: Optional[TimerWheel] = None,
         idle_probe: Optional[Callable[[], bool]] = None,
         period_fn: Optional[Callable[[], float]] = None,
@@ -502,8 +560,8 @@ class PeriodicTimer:
         arbitrary per-tick period draw (Poisson traffic, legacy jitter
         formulas); it wins over ``jitter``.
         """
-        if period <= 0:
-            raise ValueError("period must be positive")
+        if not math.isfinite(period) or period <= 0:
+            raise ValueError("period must be positive and finite")
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must lie in [0, 1)")
         if jitter > 0.0 and rng is None:
@@ -543,7 +601,14 @@ class PeriodicTimer:
 
     def _next_period(self) -> float:
         if self._period_fn is not None:
-            return self._period_fn()
+            period = self._period_fn()
+            # An arbitrary per-tick draw (Poisson traffic, legacy jitter
+            # formulas) is the one place a NaN/inf/negative period could
+            # enter the scheduler; fail here, at the source, rather than
+            # corrupt the heap invariant or spin at the current instant.
+            if not math.isfinite(period) or period < 0:
+                raise ValueError("period_fn must return a finite, non-negative period")
+            return period
         if self.jitter <= 0.0:
             return self.period
         return self.period * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))

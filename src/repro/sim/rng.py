@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
 
 
 class RngRegistry:
@@ -33,7 +32,7 @@ class RngRegistry:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream registered under ``name``, creating it on demand."""
@@ -43,7 +42,7 @@ class RngRegistry:
 
     def _derive(self, name: str) -> int:
         """Derive a 64-bit sub-seed from the scenario seed and the stream name."""
-        digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "big")
 
     def reset(self) -> None:

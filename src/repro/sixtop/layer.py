@@ -15,8 +15,9 @@ layer only runs the transaction bookkeeping.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Optional
 
 from repro.net.packet import Packet
 from repro.sim.events import Event, EventQueue
@@ -31,7 +32,7 @@ from repro.sixtop.messages import (
 #: Callback signature a scheduling function registers to answer requests:
 #: ``handler(peer, message) -> (return_code, response_fields)`` where
 #: ``response_fields`` is a dict understood by :class:`SixPMessage`.
-RequestHandler = Callable[[int, SixPMessage], Tuple[SixPReturnCode, Dict[str, Any]]]
+RequestHandler = Callable[[int, SixPMessage], tuple[SixPReturnCode, dict[str, Any]]]
 
 #: Callback invoked when a transaction concludes:
 #: ``callback(peer, request, response_or_None)`` (``None`` = timeout).
@@ -76,15 +77,15 @@ class SixPLayer:
         self.queue = queue
         self._send_packet = send_packet
         #: Next sequence number to use towards each peer.
-        self._seqnum_out: Dict[int, int] = {}
+        self._seqnum_out: dict[int, int] = {}
         #: Last sequence number seen from each peer (duplicate detection).
-        self._seqnum_in: Dict[int, int] = {}
+        self._seqnum_in: dict[int, int] = {}
         #: One in-flight transaction per peer (RFC 8480 allows only one).
-        self._pending: Dict[int, SixPTransaction] = {}
+        self._pending: dict[int, SixPTransaction] = {}
         #: Last response sent to each peer, replayed when the peer retransmits
         #: a request whose response was lost (RFC 8480 duplicate handling) --
         #: without this, a lost response desynchronises the two schedules.
-        self._last_response: Dict[int, SixPMessage] = {}
+        self._last_response: dict[int, SixPMessage] = {}
         #: Handler the scheduling function registers for incoming requests.
         self.request_handler: Optional[RequestHandler] = None
         #: Diagnostics.
@@ -101,7 +102,7 @@ class SixPLayer:
         command: SixPCommand,
         num_cells: int = 0,
         cell_list=None,
-        metadata: Optional[Dict[str, Any]] = None,
+        metadata: Optional[dict[str, Any]] = None,
         callback: Optional[ResponseCallback] = None,
     ) -> bool:
         """Initiate a transaction towards ``peer``.

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional
 
 from repro.net.packet import Packet, PacketType
 
@@ -56,7 +56,7 @@ class CellDescriptor:
     slot_offset: int
     channel_offset: int
 
-    def as_tuple(self) -> Tuple[int, int]:
+    def as_tuple(self) -> tuple[int, int]:
         return (self.slot_offset, self.channel_offset)
 
 
@@ -71,17 +71,17 @@ class SixPMessage:
     #: Number of cells requested (ADD/DELETE requests).
     num_cells: int = 0
     #: Candidate or granted cells.
-    cell_list: List[CellDescriptor] = field(default_factory=list)
+    cell_list: list[CellDescriptor] = field(default_factory=list)
     #: Response code (responses only).
     return_code: Optional[SixPReturnCode] = None
     #: Channel offset granted by an ASK-CHANNEL response.
     channel_offset: Optional[int] = None
     #: Additional scheduler-specific fields.
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
-    def to_payload(self) -> Dict[str, Any]:
+    def to_payload(self) -> dict[str, Any]:
         """Serialise to the packet payload dictionary."""
-        payload: Dict[str, Any] = {
+        payload: dict[str, Any] = {
             "version": SIXP_VERSION,
             "type": self.message_type.value,
             "command": self.command.value,
@@ -98,7 +98,7 @@ class SixPMessage:
         return payload
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "SixPMessage":
+    def from_payload(cls, payload: dict[str, Any]) -> "SixPMessage":
         """Parse a packet payload dictionary back into a message."""
         return cls(
             message_type=SixPMessageType(payload["type"]),

@@ -1,0 +1,5 @@
+"""Repository tooling (static analysis, maintenance scripts).
+
+Nothing under this package ships with the ``repro`` distribution; it runs
+from a repo checkout (``python -m tools.reprolint src/``) and in CI.
+"""

@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths] [--format]``.
+
+Exit status is 0 when every linted file is clean and 1 otherwise, so the
+command can gate merges directly.  ``--format json`` emits a machine-readable
+report (violations plus per-rule hit counts) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from tools.reprolint.config import DEFAULT_CONFIG
+from tools.reprolint.engine import Violation, iter_python_files, lint_paths
+from tools.reprolint.rules import ALL_RULES, RULE_SUMMARIES
+
+
+def _rule_counts(violations: Sequence[Violation]) -> dict[str, int]:
+    counts = {rule.rule_id: 0 for rule in ALL_RULES}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return counts
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific determinism/kernel-invariant lint pass.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json includes per-rule hit counts)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in sorted(RULE_SUMMARIES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    files = iter_python_files(args.paths)
+    violations: list[Violation] = lint_paths(args.paths, DEFAULT_CONFIG)
+
+    if args.format == "json":
+        report = {
+            "files_checked": len(files),
+            "total": len(violations),
+            "counts": _rule_counts(violations),
+            "violations": [violation.as_dict() for violation in violations],
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(violation.format())
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"reprolint: {len(files)} file(s) checked, {status}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Rule configuration for reprolint.
+
+The determinism contract of this repository (see ``docs/determinism.md``) is
+enforced by six rules, most of which are parameterised by repo-specific
+tables: which module owns the RNG registry, which classes carry version
+counters and which of their fields are tracked, which modules hold per-slot
+hot classes, and which integer counters must never see float arithmetic.
+
+Keeping the tables here -- as plain data, separate from the rule visitors --
+means the shipped defaults describe *this* repository while tests (and future
+subsystems) can lint synthetic trees with their own tables.
+
+All module references are path suffixes with forward slashes
+(``"repro/sim/rng.py"``); a linted file matches when its normalised path ends
+with the suffix.  This keeps the tables independent of the checkout location
+and of ``src/`` layout vs installed-package layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VersionedClass:
+    """RL004 table entry: a class whose mutations must bump a version hook.
+
+    Attributes
+    ----------
+    tracked_fields:
+        Instance attributes (container fields) whose mutation invalidates
+        derived caches.  Mutation means re-assignment, item assignment or
+        deletion, or calling a mutating container method on the field (or on
+        a local alias of it / of one of its items).
+    bump_names:
+        Names that count as "the bump": a method of ``self`` that is called
+        (``self._mutated()``) or an attribute of ``self`` that is assigned or
+        augmented (``self.version += 1``).
+    """
+
+    tracked_fields: tuple[str, ...]
+    bump_names: tuple[str, ...]
+
+
+def _default_versioned_classes() -> dict[str, VersionedClass]:
+    return {
+        # Every cell add/remove must bump Slotframe.version (via _mutated),
+        # which pushes on_change up to the TSCH engine and the network kernel.
+        "Slotframe": VersionedClass(tracked_fields=("_table",), bump_names=("_mutated",)),
+        # ETX estimate changes must bump the estimator's version counters or
+        # RPL's rank memo serves stale candidate ranks.
+        "EtxEstimator": VersionedClass(
+            tracked_fields=("_etx",), bump_names=("version", "neighbor_versions")
+        ),
+        # Slotframe membership changes must propagate a schedule mutation.
+        "TschEngine": VersionedClass(
+            tracked_fields=("slotframes",), bump_names=("_on_schedule_mutated",)
+        ),
+        # Neighbor/children table membership is a parent-selection input; the
+        # rank memo proves receptions input-free via _memo_inputs.
+        "RplEngine": VersionedClass(
+            tracked_fields=("neighbors", "children"), bump_names=("_memo_inputs",)
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """All knobs of the six reprolint rules, defaulted for this repository."""
+
+    # -- RL001: all randomness through RngRegistry named streams -----------
+    #: The only module allowed to import :mod:`random`.
+    rng_module: str = "repro/sim/rng.py"
+
+    # -- RL002: no wall-clock reads in simulation code ---------------------
+    #: Modules allowed to read the host clock (CLI timing around runs).
+    wallclock_allowed_modules: tuple[str, ...] = ("repro/experiments/__main__.py",)
+    #: Banned attribute reads per module alias.
+    wallclock_banned_attrs: frozenset[str] = frozenset(
+        {
+            "time",
+            "time_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+            "clock",
+            "sleep",
+            "now",
+            "utcnow",
+            "today",
+        }
+    )
+
+    # -- RL003: no unordered-set iteration in RNG/event-scheduling modules -
+    #: Package prefixes whose modules draw RNG or schedule events.
+    set_iteration_packages: tuple[str, ...] = (
+        "repro/net/",
+        "repro/mac/",
+        "repro/phy/",
+        "repro/sim/",
+    )
+    #: Zero-argument methods known (cross-module) to return a set/frozenset.
+    known_set_returning_methods: frozenset[str] = frozenset(
+        {"known_neighbors", "audience_of"}
+    )
+    #: Call consumers whose result does not depend on iteration order.
+    order_insensitive_consumers: frozenset[str] = frozenset(
+        {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+    )
+    #: Call consumers that materialise iteration order (flagged like ``for``).
+    order_sensitive_consumers: frozenset[str] = frozenset(
+        {"list", "tuple", "iter", "enumerate", "reversed"}
+    )
+
+    # -- RL004: invalidation discipline on versioned classes ---------------
+    versioned_classes: dict[str, VersionedClass] = field(
+        default_factory=_default_versioned_classes
+    )
+    #: Container methods that mutate their receiver in place.
+    mutating_methods: frozenset[str] = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "remove",
+            "pop",
+            "popitem",
+            "clear",
+            "add",
+            "discard",
+            "update",
+            "setdefault",
+            "sort",
+            "reverse",
+            "difference_update",
+            "intersection_update",
+            "symmetric_difference_update",
+        }
+    )
+
+    # -- RL005: __slots__ on per-slot hot classes --------------------------
+    #: Modules whose classes are allocated/touched on the per-slot hot path.
+    slots_modules: tuple[str, ...] = (
+        "repro/mac/cell.py",
+        "repro/mac/queue.py",
+        "repro/mac/duty_cycle.py",
+        "repro/net/packet.py",
+        "repro/sim/events.py",
+    )
+    #: Base classes that exempt a class from the __slots__ requirement
+    #: (enum members live on the class; exceptions are cold by definition).
+    slots_exempt_bases: frozenset[str] = frozenset(
+        {"Enum", "IntEnum", "Flag", "IntFlag", "Exception", "BaseException", "Protocol"}
+    )
+
+    # -- RL006: integer counters stay integer ------------------------------
+    #: Modules whose settle/bulk-accounting paths touch the counters below.
+    int_counter_modules: tuple[str, ...] = (
+        "repro/mac/duty_cycle.py",
+        "repro/mac/tsch.py",
+        "repro/mac/csma.py",
+        "repro/net/network.py",
+    )
+    #: Attribute names of integer duty-cycle / CSMA settlement counters.
+    int_counter_attrs: frozenset[str] = frozenset(
+        {
+            "tx_slots",
+            "rx_slots",
+            "idle_listen_slots",
+            "sleep_slots",
+            "total_slots",
+            "duty_accounted_asn",
+            "window",
+            "exponent",
+        }
+    )
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,216 @@
+"""reprolint driver: file discovery, the shared AST walk, suppressions.
+
+One ``ast.parse`` per file feeds every rule: the :class:`LintRunner` performs
+a single recursive walk and hands each rule the module, class and function
+nodes it subscribes to, so adding a rule never adds another tree traversal.
+
+Suppression follows the familiar per-line comment convention::
+
+    for node in self._dirty:  # reprolint: disable=RL003
+
+A bare ``# reprolint: disable`` (no rule list) silences every rule on that
+line.  Suppressions apply to the line the violation is *reported* on.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from tools.reprolint.config import DEFAULT_CONFIG, LintConfig
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:\s*=\s*(?P<rules>[A-Z0-9,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def normalise(path: str) -> str:
+    """Forward-slash form of ``path`` for suffix matching."""
+    return path.replace("\\", "/")
+
+
+def module_matches(path: str, suffixes: Iterable[str]) -> bool:
+    """Whether ``path`` ends with any of the configured module suffixes."""
+    norm = normalise(path)
+    return any(norm.endswith(suffix) for suffix in suffixes)
+
+
+def module_in_packages(path: str, packages: Iterable[str]) -> bool:
+    """Whether ``path`` lies under any of the configured package prefixes."""
+    norm = normalise(path)
+    return any(f"/{prefix}" in norm or norm.startswith(prefix) for prefix in packages)
+
+
+def parse_suppressions(source: str) -> dict[int, Optional[set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` = every rule)."""
+    suppressions: dict[int, Optional[set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "reprolint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            ids = {item.strip() for item in rules.split(",") if item.strip()}
+            existing = suppressions.get(lineno)
+            if existing is None and lineno in suppressions:
+                continue  # an unconditional disable already covers the line
+            suppressions[lineno] = ids | (existing or set())
+    return suppressions
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and override any of the
+    hooks.  The runner guarantees exactly one call to :meth:`check_module`
+    per file and one :meth:`check_class` / :meth:`check_function` call per
+    (possibly nested) definition, all during a single shared walk.
+    """
+
+    rule_id = "RL000"
+    summary = ""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def applies_to(self, path: str) -> bool:  # pragma: no cover - overridden
+        return True
+
+    def check_module(self, tree: ast.Module, path: str, report) -> None:
+        pass
+
+    def check_class(self, node: ast.ClassDef, path: str, report) -> None:
+        pass
+
+    def check_function(self, node: ast.AST, path: str, report) -> None:
+        """``node`` is a FunctionDef or AsyncFunctionDef."""
+
+
+class LintRunner:
+    """Runs every applicable rule over one parsed module in a single walk."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def run(self, source: str, path: str) -> list[Violation]:
+        tree = ast.parse(source, filename=path)
+        suppressions = parse_suppressions(source)
+        violations: list[Violation] = []
+
+        def report(rule: Rule, node: ast.AST, message: str) -> None:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            suppressed = suppressions.get(line, False)
+            if suppressed is None:
+                return  # bare disable: every rule silenced on this line
+            if suppressed is not False and rule.rule_id in suppressed:
+                return
+            violations.append(Violation(path, line, col, rule.rule_id, message))
+
+        active = [rule for rule in self.rules if rule.applies_to(path)]
+        if not active:
+            return []
+        for rule in active:
+            rule.check_module(tree, path, lambda n, m, r=rule: report(r, n, m))
+
+        # One shared recursive walk dispatching class and function scopes.
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    for rule in active:
+                        rule.check_class(child, path, lambda n, m, r=rule: report(r, n, m))
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for rule in active:
+                        rule.check_function(
+                            child, path, lambda n, m, r=rule: report(r, n, m)
+                        )
+                walk(child)
+
+        walk(tree)
+        violations.sort(key=lambda v: (v.line, v.col, v.rule))
+        return violations
+
+
+def _build_rules(config: LintConfig) -> list[Rule]:
+    from tools.reprolint import rules as rules_module
+
+    return [factory(config) for factory in rules_module.ALL_RULES]
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig = DEFAULT_CONFIG
+) -> list[Violation]:
+    """Lint one in-memory module; ``path`` selects which rules apply."""
+    return LintRunner(_build_rules(config)).run(source, path)
+
+
+def iter_python_files(paths: Sequence[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.append(path)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str], config: LintConfig = DEFAULT_CONFIG
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths`` and return all violations."""
+    runner = LintRunner(_build_rules(config))
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            violations.append(
+                Violation(str(file_path), 1, 0, "RL000", f"unreadable file: {error}")
+            )
+            continue
+        try:
+            violations.extend(runner.run(source, str(file_path)))
+        except SyntaxError as error:
+            violations.append(
+                Violation(
+                    str(file_path),
+                    error.lineno or 1,
+                    error.offset or 0,
+                    "RL000",
+                    f"syntax error: {error.msg}",
+                )
+            )
+    return violations
