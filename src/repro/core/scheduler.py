@@ -146,6 +146,11 @@ class GtTschScheduler(SchedulingFunction):
         )
         self._load_timer.start()
 
+    def stop(self) -> None:
+        """Cancel the load-balancing timer (node crash teardown)."""
+        if self._load_timer is not None:
+            self._load_timer.stop()
+
     # ------------------------------------------------------------------
     # control-plane piggybacking (Section III / VII)
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.experiments.parallel import ResultCache
 from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
     FigureResult,
+    run_churn,
     run_figure10,
     run_figure8,
     run_figure9,
@@ -53,12 +54,14 @@ FIGURES = {
     "9": (run_figure9, "dodag_sizes", int),
     "10": (run_figure10, "unicast_lengths", int),
     "scale": (run_scale, "node_counts", int),
+    "churn": (run_churn, "crash_counts", int),
 }
 
 #: Figures included in ``--figure all`` (the paper's evaluation).  The
 #: scaling sweep simulates hundreds of nodes and must be requested
 #: explicitly: ``--figure scale`` (typically with shorter windows, e.g.
-#: ``--warmup-s 20 --measurement-s 40``).
+#: ``--warmup-s 20 --measurement-s 40``); likewise the fault-injection
+#: head-to-head is ``--figure churn``.
 PAPER_FIGURES = ("8", "9", "10")
 
 
@@ -69,11 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--figure",
-        choices=["8", "9", "10", "scale", "all"],
+        choices=["8", "9", "10", "scale", "churn", "all"],
         default="all",
         help="which figure to run (default: all = the paper's figures; "
-        "the 100-500-node scaling sweep must be asked for with "
-        "--figure scale)",
+        "the 100-500-node scaling sweep and the fault-injection "
+        "robustness sweep must be asked for with --figure scale / "
+        "--figure churn)",
     )
     parser.add_argument(
         "--seeds",
@@ -117,9 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--schedulers",
         nargs="+",
-        default=list(DEFAULT_SCHEDULERS),
+        default=None,
         metavar="NAME",
-        help="schedulers to compare (default: GT-TSCH Orchestra)",
+        help="schedulers to compare (default: GT-TSCH Orchestra; "
+        "--figure churn compares all three)",
     )
     parser.add_argument(
         "--export-dir",
@@ -249,6 +254,12 @@ def _run_figures(args: argparse.Namespace) -> int:
     if args.values is not None and len(figure_ids) != 1:
         print("--values requires a single --figure", file=sys.stderr)
         return 2
+    if args.schedulers is None:
+        # The robustness head-to-head is a three-scheduler comparison by
+        # design; the paper figures default to the GT-TSCH vs Orchestra pair.
+        args.schedulers = (
+            list(KNOWN_SCHEDULERS) if args.figure == "churn" else list(DEFAULT_SCHEDULERS)
+        )
     unknown = [name for name in args.schedulers if name not in KNOWN_SCHEDULERS]
     if unknown:
         print(

@@ -32,6 +32,7 @@ import atexit
 import dataclasses
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 import pickle
@@ -42,12 +43,17 @@ from typing import Optional, Union
 from repro.experiments.scenarios import Scenario
 from repro.metrics.collector import NetworkMetrics
 
+_LOGGER = logging.getLogger(__name__)
+
 #: Bump to invalidate every cached result (e.g. when the simulator's
 #: semantics change in a way the scenario fingerprint cannot see).
 #: 2: duty-cycle accounting switched to integer slot counters (the weighted
 #:    radio-on time is now derived, which changes float rounding in the last
 #:    digits versus the old per-slot accumulator).
-CACHE_SCHEMA_VERSION = 2
+#: 3: scenarios grew a fault-injection plan and recovery metrics; the
+#:    fingerprint document changed shape and old entries lack the new
+#:    ``NetworkMetrics`` fields.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -173,20 +179,47 @@ class ResultCache:
         )
         self.hits = 0
         self.misses = 0
+        #: Entries that existed on disk but could not be loaded (and were
+        #: therefore treated as misses).
+        self.corrupt = 0
 
     def _path(self, scenario: Scenario) -> str:
         return os.path.join(self.root, scenario_fingerprint(scenario) + ".pkl")
 
     def get(self, scenario: Scenario) -> Optional[NetworkMetrics]:
-        """Cached metrics for this exact scenario, or ``None``."""
+        """Cached metrics for this exact scenario, or ``None``.
+
+        A *corrupt* entry -- truncated write, garbage bytes, stale pickle
+        referencing renamed classes, wrong payload type -- is treated exactly
+        like a miss: the caller recomputes the cell and its ``put()``
+        overwrites the bad file.  The discard is logged (once per lookup) so
+        recomputation never silently masks a filesystem problem.
+        """
         path = self._path(scenario)
         try:
             with open(path, "rb") as handle:
                 metrics = pickle.load(handle)
-        except Exception:
-            # Any unreadable entry (missing file, truncated write, stale
-            # pickle referencing renamed classes, ...) is simply a miss.
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except Exception as exc:
+            self.corrupt += 1
+            self.misses += 1
+            _LOGGER.warning(
+                "discarding corrupt cache entry %s (%s: %s)",
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        if not isinstance(metrics, NetworkMetrics):
+            self.corrupt += 1
+            self.misses += 1
+            _LOGGER.warning(
+                "discarding cache entry %s: unexpected payload of type %s",
+                path,
+                type(metrics).__name__,
+            )
             return None
         self.hits += 1
         return metrics
@@ -311,10 +344,122 @@ def get_pool(workers: int) -> multiprocessing.pool.Pool:
     return _POOL
 
 
-def _run_indexed(item: tuple[int, Scenario]) -> tuple[int, NetworkMetrics]:
+class _TaskError:
+    """Picklable marker for a scenario that raised inside a pool worker.
+
+    Exceptions are not re-raised through ``imap_unordered`` directly because
+    a raised result breaks the iterator and loses every other in-flight cell;
+    wrapping lets the parent retry just the failing cell.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+def _run_indexed(
+    item: tuple[int, Scenario],
+) -> tuple[int, Union[NetworkMetrics, _TaskError]]:
     """Pool task: run one scenario, tagged with its position in the batch."""
     index, scenario = item
-    return index, run_scenario(scenario)
+    try:
+        return index, run_scenario(scenario)
+    except Exception as exc:  # noqa: BLE001 - reported and retried by parent
+        return index, _TaskError(f"{type(exc).__name__}: {exc}")
+
+
+#: Poll interval while waiting on pool results; every empty poll is an
+#: opportunity to notice a dead worker.
+_POOL_POLL_S = 0.2
+#: Times one cell may raise inside a worker before the whole run aborts.
+_MAX_CELL_ATTEMPTS = 2
+
+
+def _pool_alive_pids(pool: multiprocessing.pool.Pool) -> frozenset:
+    """Pids of the pool's live worker processes (the crash fingerprint)."""
+    processes = getattr(pool, "_pool", None) or []
+    return frozenset(process.pid for process in processes if process.is_alive())
+
+
+def _run_with_persistent_pool(
+    todo: Sequence[Scenario], workers: int
+) -> list[NetworkMetrics]:
+    """Run ``todo`` on the persistent pool, surviving one worker crash.
+
+    ``multiprocessing.Pool`` silently replaces a worker that dies (OOM kill,
+    segfault in a C extension, ``os._exit``) but never re-runs the tasks the
+    worker held, so a plain ``imap_unordered`` loop would block forever.
+    Results are therefore polled with a timeout, and every empty poll
+    compares the pool's live-worker pid set against the set captured at
+    dispatch: any change means tasks were lost.  Recovery rebuilds the pool
+    once and resubmits every not-yet-received cell -- scenarios are
+    deterministic, so recomputing a cell that finished but was never received
+    is bit-identical.  A second crash aborts.
+
+    Independently, a cell whose scenario *raises* is retried up to
+    ``_MAX_CELL_ATTEMPTS`` times and then reported with the failing cell's
+    name and position.
+    """
+    results: list[Optional[NetworkMetrics]] = [None] * len(todo)
+    outstanding = set(range(len(todo)))
+    failures = [0] * len(todo)
+    rebuilt = False
+    pool = get_pool(workers)
+    while outstanding:
+        batch = sorted(outstanding)
+        chunksize = max(1, len(batch) // (workers * 4))
+        known_pids = _pool_alive_pids(pool)
+        iterator = pool.imap_unordered(
+            _run_indexed,
+            [(position, todo[position]) for position in batch],
+            chunksize=chunksize,
+        )
+        remaining = len(batch)
+        crashed = False
+        while remaining:
+            try:
+                position, outcome = iterator.next(timeout=_POOL_POLL_S)
+            except multiprocessing.TimeoutError:
+                if _pool_alive_pids(pool) == known_pids:
+                    continue
+                crashed = True
+                break
+            except StopIteration:  # pragma: no cover - defensive
+                break
+            remaining -= 1
+            if isinstance(outcome, _TaskError):
+                failures[position] += 1
+                if failures[position] >= _MAX_CELL_ATTEMPTS:
+                    raise RuntimeError(
+                        f"scenario {todo[position].name!r} (cell {position}) "
+                        f"failed {failures[position]} times; last error: "
+                        f"{outcome.message}"
+                    )
+                _LOGGER.warning(
+                    "retrying scenario %r (cell %d) after worker error: %s",
+                    todo[position].name,
+                    position,
+                    outcome.message,
+                )
+                continue  # stays outstanding; resubmitted next round
+            results[position] = outcome
+            outstanding.discard(position)
+        if crashed:
+            if rebuilt:
+                raise RuntimeError(
+                    "experiment pool lost a worker twice; aborting with "
+                    f"{len(outstanding)} cells unfinished"
+                )
+            rebuilt = True
+            _LOGGER.warning(
+                "experiment pool lost a worker; rebuilding and resubmitting "
+                "%d cells",
+                len(outstanding),
+            )
+            shutdown_pool()
+            pool = get_pool(workers)
+    return results  # type: ignore[return-value]
 
 
 def run_scenarios(
@@ -357,29 +502,33 @@ def run_scenarios(
                 results[index] = metrics
                 if cache is not None:
                     cache.put(scenarios[index], metrics)
+        elif persistent_pool:
+            fresh = _run_with_persistent_pool(todo, workers)
+            for index, metrics in zip(pending, fresh):
+                results[index] = metrics
+                if cache is not None:
+                    cache.put(scenarios[index], metrics)
         else:
             # Chunk size balances dispatch overhead against stragglers: small
             # chunks keep slow cells from pinning a whole chunk to one worker.
             chunksize = max(1, len(todo) // (workers * 4))
             tagged = list(zip(range(len(todo)), todo))
-            if persistent_pool:
-                pool = get_pool(workers)
-                iterator = pool.imap_unordered(_run_indexed, tagged, chunksize=chunksize)
-                for position, metrics in iterator:
+            with multiprocessing.Pool(
+                processes=workers, initializer=_pool_initializer
+            ) as pool:
+                for position, outcome in pool.imap_unordered(
+                    _run_indexed, tagged, chunksize=chunksize
+                ):
                     index = pending[position]
-                    results[index] = metrics
+                    if isinstance(outcome, _TaskError):
+                        # The throwaway pool is the isolation escape hatch:
+                        # fail fast instead of retrying, but name the cell.
+                        raise RuntimeError(
+                            f"scenario {scenarios[index].name!r} failed in "
+                            f"worker: {outcome.message}"
+                        )
+                    results[index] = outcome
                     if cache is not None:
-                        cache.put(scenarios[index], metrics)
-            else:
-                with multiprocessing.Pool(
-                    processes=workers, initializer=_pool_initializer
-                ) as pool:
-                    for position, metrics in pool.imap_unordered(
-                        _run_indexed, tagged, chunksize=chunksize
-                    ):
-                        index = pending[position]
-                        results[index] = metrics
-                        if cache is not None:
-                            cache.put(scenarios[index], metrics)
+                        cache.put(scenarios[index], outcome)
 
     return results  # type: ignore[return-value]

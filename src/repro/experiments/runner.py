@@ -30,6 +30,7 @@ from repro.experiments.scenarios import (
     ORCHESTRA,
     SCALE_RATE_PPM,
     Scenario,
+    churn_scenario,
     dodag_size_scenario,
     scale_scenario,
     slotframe_scenario,
@@ -215,6 +216,48 @@ def run_scale(
         sweep_values=node_counts,
         scenario_for=lambda count, scheduler: scale_scenario(
             num_nodes=count,
+            scheduler=scheduler,
+            rate_ppm=rate_ppm,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+        ),
+        schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+def run_churn(
+    crash_counts: Sequence[int] = (1, 2, 3),
+    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
+) -> FigureResult:
+    """Churn sweep: robustness vs number of injected node crashes.
+
+    A three-scheduler head-to-head beyond the paper's steady-state
+    evaluation: each point replays one deterministic
+    :class:`~repro.faults.FaultPlan` (crashes + warm rejoins + a
+    link-degradation epoch + a parent-loss injection) against the Fig. 8
+    topology and reports the recovery metrics -- time-to-reconverge,
+    PDR-under-churn, packets-lost-to-crash, orphaned cell slots -- alongside
+    the six steady-state series.  Multi-seed runs keep the fault plan fixed
+    (``plan_seed`` stays at its default) so the confidence intervals measure
+    the network's response to one fault scenario, not plan variability.
+    """
+    return _run_sweep(
+        figure="Churn: robustness vs injected node crashes",
+        sweep_label="node crashes",
+        sweep_values=crash_counts,
+        scenario_for=lambda crashes, scheduler: churn_scenario(
+            num_crashes=crashes,
             scheduler=scheduler,
             rate_ppm=rate_ppm,
             seed=seed,

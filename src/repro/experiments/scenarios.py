@@ -27,6 +27,7 @@ from typing import Optional
 from repro.core.config import GtTschConfig
 from repro.core.game import GameWeights
 from repro.core.scheduler import GtTschScheduler
+from repro.faults import FaultInjector, FaultPlan
 from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE
 from repro.mac.tsch import TschConfig
 from repro.net.network import Network
@@ -122,6 +123,10 @@ class Scenario:
     #: Radio model; the default reproduces Cooja's UDGM with a lossy edge.
     propagation: Optional[UnitDiskLossyEdgeModel] = None
     warm_start: bool = True
+    #: Deterministic fault plan (crashes, rejoins, link-degradation epochs,
+    #: parent losses), armed on the network's event queue at build time.
+    #: Part of the scenario fingerprint like every other knob.
+    faults: Optional[FaultPlan] = None
 
     def build_network(self) -> Network:
         """Instantiate the network for this scenario (not yet run)."""
@@ -137,6 +142,12 @@ class Scenario:
             traffic_factory=self._traffic_factory(),
             warm_start=self.warm_start,
         )
+        if self.faults is not None and not self.faults.is_empty():
+            injector = FaultInjector(
+                network, self.faults, scheduler_factory=self._scheduler_factory()
+            )
+            injector.arm()
+            network.fault_injector = injector
         return network
 
     # ------------------------------------------------------------------
@@ -245,6 +256,66 @@ def slotframe_scenario(
         seed=seed,
         warmup_s=warmup_s,
         measurement_s=measurement_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# the churn / fault-injection family (robustness head-to-head)
+# ----------------------------------------------------------------------
+def churn_scenario(
+    num_crashes: int,
+    scheduler: str,
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    contiki: Optional[ContikiConfig] = None,
+    num_dodags: int = 2,
+    nodes_per_dodag: int = 7,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+    plan_seed: int = 1,
+) -> Scenario:
+    """Robustness sweep: ``num_crashes`` node crashes under the Fig. 8 topology.
+
+    Each crashed node reboots a quarter of the measurement window later and
+    warm-rejoins the DODAG; a link-degradation epoch and a parent-loss
+    injection exercise the remaining fault classes.  ``plan_seed`` is kept
+    separate from the simulation ``seed`` so a multi-seed sweep replays the
+    *same* fault plan against different stochastic networks -- the CIs then
+    measure the network's response to one fixed fault scenario.
+    """
+    topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
+    # Roots sit at d * nodes_per_dodag and must never crash; everything else
+    # is a crash candidate.
+    candidates = [
+        dodag * nodes_per_dodag + index
+        for dodag in range(num_dodags)
+        for index in range(1, nodes_per_dodag)
+    ]
+    plan = FaultPlan.churn(
+        candidates,
+        seed=plan_seed,
+        num_crashes=num_crashes,
+        crash_window=(
+            warmup_s + 0.15 * measurement_s,
+            warmup_s + 0.45 * measurement_s,
+        ),
+        detect_after_s=2.0,
+        rejoin_after_s=0.25 * measurement_s,
+        degrade_at_s=warmup_s + 0.50 * measurement_s,
+        degrade_scale=0.7,
+        degrade_duration_s=0.15 * measurement_s,
+        parent_loss_at_s=warmup_s + 0.75 * measurement_s,
+    )
+    return Scenario(
+        name=f"churn-{num_crashes}crash-{scheduler}",
+        scheduler=scheduler,
+        topology=topology,
+        rate_ppm=rate_ppm,
+        contiki=contiki or ContikiConfig(),
+        seed=seed,
+        warmup_s=warmup_s,
+        measurement_s=measurement_s,
+        faults=plan,
     )
 
 

@@ -1,0 +1,26 @@
+"""Deterministic fault injection and churn.
+
+:class:`FaultPlan` describes *what fails when* as pure, fingerprintable
+data; :class:`FaultInjector` applies a plan to a live network through the
+event queue and the protocol layers' existing mutation barriers, so the
+slot-skipping fast kernel stays bit-identical to the reference loop under
+every fault scenario.  See ``docs/faults.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+    NodeRejoin,
+    ParentLoss,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "NodeCrash",
+    "NodeRejoin",
+    "ParentLoss",
+]

@@ -1050,6 +1050,31 @@ class TschEngine:
         self._attempts.pop(packet.packet_id, None)
         self.mark_queue_mutated()
 
+    def flush_queue(self, destination: Optional[int] = None) -> list[Packet]:
+        """Drop every queued packet -- or only those link-addressed to
+        ``destination`` -- returning the flushed packets in queue order.
+
+        The fault-injection flush policy: a crashing node loses its whole
+        queue with the device, and a survivor flushes traffic addressed to
+        a dead neighbor instead of burning retries on it.  Loss accounting
+        is the caller's responsibility (the MAC does not know *why* it is
+        flushing); retry state is forgotten here so a packet id reused
+        after a reboot starts from a clean attempt count.  The single
+        mutation notification keeps the kernel's CSMA settlement and
+        backlog index exact.
+        """
+        flushed = [
+            packet
+            for packet in self.queue
+            if destination is None or packet.link_destination == destination
+        ]
+        for packet in flushed:
+            self.queue.remove(packet)
+            self._attempts.pop(packet.packet_id, None)
+        if flushed:
+            self.mark_queue_mutated()
+        return flushed
+
     def queue_length(self) -> int:
         """Current number of queued packets (the game's ``q_i(t)``)."""
         return len(self.queue)

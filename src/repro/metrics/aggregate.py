@@ -34,6 +34,10 @@ NUMERIC_KEYS = (
     "delivered",
     "sixp_cell_relocations",
     "sixp_relocations_per_lb_period",
+    "time_to_reconverge_s",
+    "pdr_under_churn_percent",
+    "packets_lost_to_crash",
+    "orphaned_cell_slots",
 )
 
 #: Two-sided 95% critical values of Student's t distribution, indexed by

@@ -56,6 +56,24 @@ class NetworkMetrics:
     #: non-zero values mean the game keeps re-placing cells instead of
     #: converging (the ROADMAP's GT-TSCH convergence question).
     sixp_relocations_per_lb_period: float = 0.0
+    #: Recovery metrics (fault injection, see docs/faults.md).  All stay
+    #: zero in fault-free runs.  ``time_to_reconverge_s`` averages the
+    #: orphan episodes -- parent lost to re-attachment, with episodes still
+    #: open at window close censored at the window end -- over every node
+    #: that lost its parent to a fault (crashed nodes included, measured
+    #: from the crash).  ``pdr_under_churn_percent`` is the PDR restricted
+    #: to packets generated at or after the first injected fault.
+    time_to_reconverge_s: float = 0.0
+    pdr_under_churn_percent: float = 0.0
+    #: Data packets flushed by crash handling: queue lost with a crashing
+    #: node, survivor queues flushed towards a dead neighbor, and
+    #: parent-loss flushes.
+    packets_lost_to_crash: int = 0
+    #: Scheduled cells that pointed at a dead neighbor when its crash was
+    #: detected (torn down at that instant).
+    orphaned_cell_slots: int = 0
+    #: Fault events injected inside the measurement window.
+    faults_injected: int = 0
     per_node: dict[int, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -72,6 +90,10 @@ class NetworkMetrics:
             "delivered": self.delivered,
             "sixp_cell_relocations": self.sixp_cell_relocations,
             "sixp_relocations_per_lb_period": self.sixp_relocations_per_lb_period,
+            "time_to_reconverge_s": self.time_to_reconverge_s,
+            "pdr_under_churn_percent": self.pdr_under_churn_percent,
+            "packets_lost_to_crash": self.packets_lost_to_crash,
+            "orphaned_cell_slots": self.orphaned_cell_slots,
         }
 
 
@@ -93,6 +115,14 @@ class MetricsCollector:
         self._delays_ms: list[float] = []
         self._hops: list[int] = []
         self._losses: dict[str, int] = {"queue": 0, "mac-retries": 0, "no-route": 0}
+        #: Fault-injection / recovery state (fed by the FaultInjector and
+        #: the nodes' parent-change hook).
+        self._first_fault_time: Optional[float] = None
+        self._faults_injected = 0
+        #: node id -> time its current orphan episode opened.
+        self._orphan_open: dict[int, float] = {}
+        self._reconverge_durations: list[float] = []
+        self._orphaned_cells = 0
         #: Per-node counter snapshots taken at the start of the window so the
         #: warm-up phase does not contaminate the measured values.
         self._node_baselines: dict[int, dict] = {}
@@ -113,6 +143,11 @@ class MetricsCollector:
         self._hops.clear()
         for key in self._losses:
             self._losses[key] = 0
+        self._first_fault_time = None
+        self._faults_injected = 0
+        self._orphan_open.clear()
+        self._reconverge_durations.clear()
+        self._orphaned_cells = 0
         for node in nodes:
             node.tsch.duty_cycle.reset()
             self._node_baselines[node.node_id] = {
@@ -171,6 +206,33 @@ class MetricsCollector:
         if reason not in self._losses:
             self._losses[reason] = 0
         self._losses[reason] += 1
+
+    # ------------------------------------------------------------------
+    # fault / recovery hooks (called by the FaultInjector and the nodes)
+    # ------------------------------------------------------------------
+    def on_fault_injected(self, kind: str, now: float) -> None:
+        """A fault event fired; the first one anchors PDR-under-churn."""
+        self._faults_injected += 1
+        if self._first_fault_time is None:
+            self._first_fault_time = now
+
+    def on_node_orphaned(self, node_id: int, now: float) -> None:
+        """A node lost its preferred parent (eviction or its own crash)."""
+        self._orphan_open.setdefault(node_id, now)
+
+    def on_node_recovered(self, node_id: int, now: float) -> None:
+        """An orphaned node re-attached; closes its episode if one is open.
+
+        Re-attachments with no matching episode (cold-start joins, warm
+        rejoin of a node that crashed while already detached) are ignored.
+        """
+        started = self._orphan_open.pop(node_id, None)
+        if started is not None:
+            self._reconverge_durations.append(now - started)
+
+    def on_cells_orphaned(self, count: int) -> None:
+        """``count`` scheduled cells pointed at a neighbor now known dead."""
+        self._orphaned_cells += count
 
     # ------------------------------------------------------------------
     # finalisation
@@ -245,6 +307,37 @@ class MetricsCollector:
                 "rank": node.rpl.rank,
                 "parent": node.rpl.preferred_parent,
             }
+
+        # --- recovery metrics (all zero without injected faults) ---------
+        metrics.faults_injected = self._faults_injected
+        metrics.packets_lost_to_crash = self._losses.get("crash", 0) + self._losses.get(
+            "parent-loss", 0
+        )
+        metrics.orphaned_cell_slots = self._orphaned_cells
+        episode_durations = list(self._reconverge_durations)
+        for _node_id, started in sorted(self._orphan_open.items()):
+            # Still orphaned at finalisation: censor at the window close so
+            # a node that never reconverges drags the average up instead of
+            # silently vanishing from it.
+            episode_durations.append(max(0.0, window_end - started))
+        if episode_durations:
+            metrics.time_to_reconverge_s = sum(episode_durations) / len(
+                episode_durations
+            )
+        if self._first_fault_time is not None:
+            cutoff = self._first_fault_time
+            churn_generated = [
+                packet_id
+                for packet_id, record in self._generated.items()
+                if record.created_at >= cutoff
+            ]
+            if churn_generated:
+                churn_delivered = sum(
+                    1 for packet_id in churn_generated if packet_id in self._delivered
+                )
+                metrics.pdr_under_churn_percent = (
+                    100.0 * churn_delivered / len(churn_generated)
+                )
 
         metrics.queue_loss_total = queue_loss_total
         metrics.mac_drop_total = mac_drop_total

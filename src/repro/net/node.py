@@ -85,6 +85,11 @@ class Node:
         #: packets (used by the experiment runner to drain in-flight traffic
         #: at the end of the measurement window).
         self.traffic_enabled = True
+        #: Crash state (fault injection): a dead node's MAC refuses every
+        #: enqueue silently -- its timers are stopped by the injector, but
+        #: already-scheduled protocol callbacks (6top retransmissions, the
+        #: periodic DAO refresh) may still fire and must not transmit.
+        self.alive = True
 
         # --- MAC -------------------------------------------------------
         self.tsch = TschEngine(node_id, config.tsch, rng_registry.stream(f"mac.{node_id}"))
@@ -177,7 +182,7 @@ class Node:
         traffic (matching the paper's setup where only non-root motes source
         data).  Returns the packet when one was created, ``None`` otherwise.
         """
-        if not self.traffic_enabled or self.is_root:
+        if not self.alive or not self.traffic_enabled or self.is_root:
             return None
         if not self.rpl.is_joined() or self.rpl.dodag_id is None:
             return None
@@ -216,6 +221,10 @@ class Node:
 
     def enqueue_packet(self, packet: Packet) -> bool:
         """Put a packet (control or data) on the MAC queue."""
+        if not self.alive:
+            # Dead device: nothing is queued and nothing is loss-accounted
+            # (the packet was never offered to a working stack).
+            return False
         accepted = self.tsch.enqueue(packet, now=self.event_queue.now)
         if not accepted:
             if packet.ptype is PacketType.DATA:
@@ -267,6 +276,14 @@ class Node:
         if old_parent is not None and new_parent is not None:
             if self.tsch.queue.retarget(old_parent, new_parent):
                 self.tsch.mark_queue_mutated()
+        if self.metrics is not None:
+            # Recovery accounting (see MetricsCollector): losing the parent
+            # opens an orphan episode, regaining one closes it.  Same-parent
+            # switches (both ends non-None) are not churn.
+            if old_parent is not None and new_parent is None:
+                self.metrics.on_node_orphaned(self.node_id, self.event_queue.now)
+            elif old_parent is None and new_parent is not None:
+                self.metrics.on_node_recovered(self.node_id, self.event_queue.now)
         self.scheduler.on_parent_changed(old_parent, new_parent)
 
     def _on_child_added(self, child: int) -> None:

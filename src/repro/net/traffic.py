@@ -72,8 +72,15 @@ class TrafficGenerator:
         raise NotImplementedError
 
     def stop(self) -> None:
-        """Stop generating new packets (existing queue contents still drain)."""
+        """Stop generating new packets (existing queue contents still drain).
+
+        Cancels the underlying timer outright rather than letting it die on
+        its next tick: a stop/start cycle (node crash + reboot) must never
+        leave a zombie timer armed next to the fresh one ``start`` creates.
+        """
         self.enabled = False
+        if self._timer is not None:
+            self._timer.stop()
 
     def _start_timer(self, first_offset: float) -> None:
         """Arm the shared periodic machinery with the subclass's period draw."""

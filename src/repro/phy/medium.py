@@ -140,6 +140,12 @@ class Medium:
         self._prr_rows: dict[int, list[float]] = {}
         self._interf_rows: dict[int, list[bool]] = {}
         self._audience: dict[int, frozenset] = {}
+        #: Link-degradation epochs (fault injection): the pristine frozen
+        #: PRR rows, kept aside the first time :meth:`set_prr_scale`
+        #: degrades the medium so ending the last epoch restores them
+        #: bit-exactly, and the scale currently applied.
+        self._prr_base_rows: Optional[dict[int, list[float]]] = None
+        self._prr_scale = 1.0
         #: Dense boolean interference matrix (numpy, when available): row =
         #: sender index, column = listener index.  Pure accelerator for the
         #: audible-count scan of :meth:`_resolve_same_channel`; the list
@@ -168,6 +174,8 @@ class Medium:
         self._prr_rows = {}
         self._interf_rows = {}
         self._audience = {}
+        self._prr_base_rows = None
+        self._prr_scale = 1.0
         self._np_interf = None
 
     @property
@@ -234,6 +242,11 @@ class Medium:
         """
         if not self._frozen:
             raise RuntimeError("export_frozen() requires a frozen medium")
+        if self._prr_scale != 1.0:
+            # A snapshot taken mid-epoch would poison every adopter with
+            # degraded tables; the sweep engine snapshots right after
+            # freeze(), before any fault fires, so this never triggers there.
+            raise RuntimeError("export_frozen() during a link-degradation epoch")
         return {
             "ids": self._ids,
             "index_of": self._index_of,
@@ -269,6 +282,43 @@ class Medium:
             )
         self._frozen = True
         return True
+
+    def set_prr_scale(self, scale: float) -> None:
+        """Enter (or leave) a link-degradation epoch on a frozen medium.
+
+        Rebuilds the dense PRR tables as ``pristine_row * scale`` without
+        unfreezing: interference ranges, audience sets and neighbor
+        reachability are untouched (``scale`` is strictly positive, so
+        ``prr > 0`` membership is preserved), which keeps the dispatch
+        kernel's participant planning valid across epochs.  The pristine
+        rows are kept aside on first use and re-installed -- the very same
+        list objects, bit-exact -- when the scale returns to 1.0.  Rows are
+        always *new* lists, never mutated in place, because snapshots from
+        :meth:`export_frozen` (the sweep engine's per-topology freeze
+        cache) share them.
+        """
+        if not self._frozen:
+            raise RuntimeError("set_prr_scale() requires a frozen medium")
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"PRR scale must be in (0, 1], got {scale}")
+        if scale == self._prr_scale:
+            return
+        if self._prr_base_rows is None:
+            self._prr_base_rows = self._prr_rows
+        self._prr_scale = scale
+        if scale == 1.0:
+            self._prr_rows = self._prr_base_rows
+        else:
+            base = self._prr_base_rows
+            self._prr_rows = {
+                sender: [value * scale for value in row]
+                for sender, row in base.items()
+            }
+
+    @property
+    def prr_scale(self) -> float:
+        """The link-degradation scale currently applied (1.0 = pristine)."""
+        return self._prr_scale
 
     def audience_of(self, sender: int) -> frozenset:
         """Node ids within interference range of ``sender`` (frozen medium).

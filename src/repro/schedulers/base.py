@@ -46,6 +46,16 @@ class SchedulingFunction:
     def start(self) -> None:
         """Install the initial schedule (slotframes, minimal cells)."""
 
+    def stop(self) -> None:
+        """Tear down any live resources (timers) on node crash.
+
+        Called by the fault injector when the node powers off; the
+        schedule itself is cleared separately (``TschEngine.clear_schedule``)
+        and a later rejoin boots a *fresh* SF instance, so implementations
+        only need to cancel what would otherwise keep firing on the event
+        queue.  The default SF owns no timers.
+        """
+
     # ------------------------------------------------------------------
     # RPL events
     # ------------------------------------------------------------------

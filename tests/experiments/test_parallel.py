@@ -2,6 +2,9 @@
 
 import csv
 import json
+import logging
+import os
+import pickle
 from dataclasses import replace
 
 import pytest
@@ -79,6 +82,141 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         run_scenarios([fast_scenario()], cache=True)
         assert list((tmp_path / "env-cache").glob("*.pkl"))
+
+
+class TestCorruptCache:
+    """A corrupt cache entry is a miss: logged, recomputed, overwritten."""
+
+    def test_garbage_entry_recomputed_and_overwritten(self, tmp_path, caplog):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = fast_scenario()
+        first = run_scenarios([scenario], cache=cache)
+        path = cache._path(scenario)
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a pickle")
+
+        fresh = ResultCache(root=str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+            again = run_scenarios([scenario], cache=fresh)
+        assert (fresh.hits, fresh.misses, fresh.corrupt) == (0, 1, 1)
+        assert "corrupt" in caplog.text
+        assert again[0].as_dict() == first[0].as_dict()
+        # The recomputation overwrote the garbage: a third lookup hits.
+        healed = ResultCache(root=str(tmp_path))
+        assert healed.get(scenario).as_dict() == first[0].as_dict()
+        assert (healed.hits, healed.corrupt) == (1, 0)
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = fast_scenario()
+        run_scenarios([scenario], cache=cache)
+        path = cache._path(scenario)
+        payload = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        fresh = ResultCache(root=str(tmp_path))
+        assert fresh.get(scenario) is None
+        assert fresh.corrupt == 1
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        scenario = fast_scenario()
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache._path(scenario), "wb") as handle:
+            pickle.dump({"not": "metrics"}, handle)
+        assert cache.get(scenario) is None
+        assert (cache.misses, cache.corrupt) == (1, 1)
+
+    def test_missing_file_is_a_silent_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        assert cache.get(fast_scenario()) is None
+        assert (cache.misses, cache.corrupt) == (1, 0)
+
+
+class TestWorkerCrashSurvival:
+    """The persistent pool survives one worker death and bounded cell errors.
+
+    The pool uses the ``fork`` start method on Linux, so monkeypatching
+    ``run_scenario`` in the parent *before* the pool is (re)built patches
+    the workers too -- each test tears the pool down first and after.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fresh_pool(self):
+        from repro.experiments import parallel as engine
+
+        engine.shutdown_pool()
+        yield
+        engine.shutdown_pool()
+
+    @staticmethod
+    def _fake_metrics(seed):
+        from repro.metrics.collector import NetworkMetrics
+
+        metrics = NetworkMetrics()
+        metrics.generated = seed
+        return metrics
+
+    def test_worker_death_rebuilds_pool_and_resubmits(self, tmp_path, monkeypatch):
+        from repro.experiments import parallel as engine
+
+        marker = tmp_path / "crashed-once"
+
+        def flaky(scenario):
+            if scenario.seed == 2 and not marker.exists():
+                marker.write_text("crashed")
+                os._exit(1)  # hard worker death, no exception to catch
+            return TestWorkerCrashSurvival._fake_metrics(scenario.seed)
+
+        monkeypatch.setattr(engine, "run_scenario", flaky)
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2, 3)]
+        results = engine.run_scenarios(scenarios, jobs=2)
+        assert [metrics.generated for metrics in results] == [1, 2, 3]
+        assert marker.exists()
+
+    def test_transient_cell_error_is_retried(self, tmp_path, monkeypatch):
+        from repro.experiments import parallel as engine
+
+        marker = tmp_path / "raised-once"
+
+        def flaky(scenario):
+            if scenario.seed == 2 and not marker.exists():
+                marker.write_text("raised")
+                raise ValueError("transient failure")
+            return TestWorkerCrashSurvival._fake_metrics(scenario.seed)
+
+        monkeypatch.setattr(engine, "run_scenario", flaky)
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2, 3)]
+        results = engine.run_scenarios(scenarios, jobs=2)
+        assert [metrics.generated for metrics in results] == [1, 2, 3]
+        assert marker.exists()
+
+    def test_permanent_cell_failure_names_the_cell(self, monkeypatch):
+        from repro.experiments import parallel as engine
+
+        def broken(scenario):
+            if scenario.seed == 2:
+                raise ValueError("always broken")
+            return TestWorkerCrashSurvival._fake_metrics(scenario.seed)
+
+        monkeypatch.setattr(engine, "run_scenario", broken)
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2, 3)]
+        with pytest.raises(RuntimeError) as excinfo:
+            engine.run_scenarios(scenarios, jobs=2)
+        message = str(excinfo.value)
+        assert scenarios[1].name in message
+        assert "always broken" in message
+
+    def test_throwaway_pool_fails_fast_with_cell_name(self, monkeypatch):
+        from repro.experiments import parallel as engine
+
+        def broken(scenario):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(engine, "run_scenario", broken)
+        scenarios = [fast_scenario(seed=seed) for seed in (1, 2)]
+        with pytest.raises(RuntimeError, match="failed in worker"):
+            engine.run_scenarios(scenarios, jobs=2, persistent_pool=False)
 
 
 class TestParallelParity:

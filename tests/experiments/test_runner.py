@@ -56,3 +56,40 @@ class TestFigureRunners:
         assert rows[0]["sweep"] == 60
         assert rows[0]["scheduler"] == GT_TSCH
         assert "pdr_percent" in rows[0]
+
+
+class TestChurnRunner:
+    def test_churn_reports_recovery_metrics_with_cis(self):
+        from repro.experiments.runner import run_churn
+        from repro.experiments.scenarios import MINIMAL
+
+        result = run_churn(
+            crash_counts=(1,),
+            schedulers=(MINIMAL,),
+            rate_ppm=60.0,
+            seeds=(1, 2),
+            measurement_s=14.0,
+            warmup_s=8.0,
+        )
+        assert result.sweep_values == [1]
+        assert "crashes" in result.sweep_label
+        point = result.results[MINIMAL][0]
+        assert point.n == 2
+        row = result.rows()[0]
+        # The recovery metrics flow through aggregate + rows with CIs.
+        for key in (
+            "time_to_reconverge_s",
+            "pdr_under_churn_percent",
+            "packets_lost_to_crash",
+            "orphaned_cell_slots",
+        ):
+            assert key in row
+            assert f"{key}_ci95" in row
+        assert row["time_to_reconverge_s"] > 0.0
+
+    def test_multi_seed_sweep_replays_the_same_fault_plan(self):
+        from repro.experiments.scenarios import MINIMAL, churn_scenario
+
+        first = churn_scenario(1, MINIMAL, seed=1)
+        second = churn_scenario(1, MINIMAL, seed=2)
+        assert first.faults == second.faults

@@ -1,0 +1,203 @@
+"""Unit tests for :class:`repro.faults.FaultInjector` against live networks."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.scenarios import MINIMAL, traffic_load_scenario
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+    NodeRejoin,
+    ParentLoss,
+)
+
+#: Victim of the canonical test plan (a non-root node of the Fig. 8
+#: topology, whose roots sit at ids 0 and 7).
+VICTIM = 3
+
+PLAN = FaultPlan(
+    crashes=(NodeCrash(time_s=10.0, node_id=VICTIM, detect_after_s=1.5),),
+    rejoins=(NodeRejoin(time_s=16.0, node_id=VICTIM),),
+    link_epochs=(LinkDegradation(time_s=12.0, prr_scale=0.6, duration_s=4.0),),
+    parent_losses=(ParentLoss(time_s=18.0, node_id=1),),
+)
+
+
+def build_network(plan, scheduler=MINIMAL, seed=1):
+    scenario = traffic_load_scenario(
+        rate_ppm=60.0,
+        scheduler=scheduler,
+        seed=seed,
+        measurement_s=14.0,
+        warmup_s=8.0,
+    )
+    scenario = replace(scenario, faults=plan)
+    return scenario.build_network(), scenario
+
+
+def run_to(network, seconds: float) -> None:
+    """Advance the simulation to (at least) ``seconds``."""
+    target = network.clock.seconds_to_slots(seconds)
+    if target > network.clock.asn:
+        network.run_slots(target - network.clock.asn)
+
+
+class TestArmValidation:
+    def test_root_crash_rejected(self):
+        plan = FaultPlan(crashes=(NodeCrash(time_s=5.0, node_id=0),))
+        with pytest.raises(ValueError, match="root"):
+            build_network(plan)
+
+    def test_unknown_node_rejected(self):
+        plan = FaultPlan(crashes=(NodeCrash(time_s=5.0, node_id=999),))
+        with pytest.raises(ValueError, match="unknown node"):
+            build_network(plan)
+
+    def test_rejoin_requires_scheduler_factory(self):
+        network, _scenario = build_network(None)
+        plan = FaultPlan(
+            crashes=(NodeCrash(time_s=5.0, node_id=VICTIM),),
+            rejoins=(NodeRejoin(time_s=9.0, node_id=VICTIM),),
+        )
+        injector = FaultInjector(network, plan)
+        with pytest.raises(ValueError, match="scheduler_factory"):
+            injector.arm()
+
+    def test_arm_is_idempotent(self):
+        network, _scenario = build_network(PLAN)
+        injector = network.fault_injector
+        before = len(network.events._heap)
+        injector.arm()  # second call: no duplicate events
+        assert len(network.events._heap) == before
+
+    def test_empty_plan_not_armed_by_scenario(self):
+        network, _scenario = build_network(FaultPlan())
+        assert not hasattr(network, "fault_injector")
+
+
+class TestCrash:
+    def test_crash_silences_the_node(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 11.0)
+        node = network.nodes[VICTIM]
+        assert node.alive is False
+        assert node.traffic_enabled is False
+        assert node.traffic.enabled is False
+        assert len(node.tsch.queue) == 0
+        assert node.tsch.all_cells() == []
+        assert node.rpl.preferred_parent is None
+        assert node.rpl.dodag_id is None
+
+    def test_dead_node_refuses_packets(self):
+        from repro.net.packet import make_data_packet
+
+        network, _scenario = build_network(PLAN)
+        run_to(network, 11.0)
+        node = network.nodes[VICTIM]
+        packet = make_data_packet(VICTIM, 0, created_at=11.0)
+        assert node.enqueue_packet(packet) is False
+        assert node.generate_data() is None
+
+    def test_detection_evicts_the_dead_neighbor_everywhere(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 13.0)  # past crash (10.0) + detect_after (1.5)
+        for node in network.nodes.values():
+            if node.node_id == VICTIM:
+                continue
+            assert VICTIM not in node.rpl.neighbors
+            assert VICTIM not in node.rpl.children
+            for frame in node.tsch.slotframes.values():
+                assert frame.cells_with_neighbor(VICTIM) == []
+
+
+class TestRejoin:
+    def test_rejoin_restores_a_working_node(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 11.0)
+        crashed_scheduler = network.nodes[VICTIM].scheduler
+        run_to(network, 17.0)
+        node = network.nodes[VICTIM]
+        assert node.alive is True
+        assert node.traffic_enabled is True
+        assert node.scheduler is not crashed_scheduler  # cold reboot
+        # Warm re-attach: the pre-crash parent survived, so the node is
+        # joined again without waiting for a Trickle-timed DIO.
+        assert node.rpl.preferred_parent is not None
+        assert node.rpl.dodag_id is not None
+
+    def test_rejoin_is_noop_for_alive_node(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 9.0)
+        node = network.nodes[VICTIM]
+        scheduler = node.scheduler
+        network.fault_injector._rejoin(NodeRejoin(time_s=9.0, node_id=VICTIM))
+        assert node.scheduler is scheduler
+
+
+class TestLinkDegradation:
+    def test_epoch_scales_then_restores_exactly(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 13.0)  # inside the [12, 16) epoch
+        assert network.medium.prr_scale == 0.6
+        with pytest.raises(RuntimeError, match="link-degradation"):
+            network.medium.export_frozen()
+        run_to(network, 17.0)  # epoch closed
+        assert network.medium.prr_scale == 1.0
+        network.medium.export_frozen()  # snapshots allowed again
+
+    def test_overlapping_epochs_multiply(self):
+        plan = FaultPlan(
+            link_epochs=(
+                LinkDegradation(time_s=9.0, prr_scale=0.5, duration_s=4.0),
+                LinkDegradation(time_s=10.0, prr_scale=0.5, duration_s=1.0),
+            )
+        )
+        network, _scenario = build_network(plan)
+        run_to(network, 10.5)
+        assert network.medium.prr_scale == 0.25
+        run_to(network, 12.0)
+        assert network.medium.prr_scale == 0.5
+        run_to(network, 14.0)
+        assert network.medium.prr_scale == 1.0
+
+
+class TestParentLoss:
+    def test_parent_loss_evicts_and_reselects(self):
+        network, _scenario = build_network(PLAN)
+        run_to(network, 17.9)
+        node = network.nodes[1]
+        old_parent = node.rpl.preferred_parent
+        assert old_parent is not None
+        run_to(network, 18.5)
+        assert old_parent not in node.rpl.neighbors
+        # MRHOF re-ran immediately; with other candidates advertised the
+        # node re-attaches (possibly to a different parent).
+        assert node.rpl.preferred_parent != old_parent or old_parent is None
+
+
+class TestRecoveryMetrics:
+    def test_full_plan_reports_recovery_metrics(self):
+        network, scenario = build_network(PLAN)
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scenario.scheduler,
+        )
+        assert metrics.faults_injected == 4
+        assert metrics.time_to_reconverge_s > 0.0
+        assert metrics.packets_lost_to_crash >= 0
+        assert 0.0 <= metrics.pdr_under_churn_percent <= 100.0
+        data = metrics.as_dict()
+        for key in (
+            "time_to_reconverge_s",
+            "pdr_under_churn_percent",
+            "packets_lost_to_crash",
+            "orphaned_cell_slots",
+        ):
+            assert key in data

@@ -151,3 +151,134 @@ class TestSixpChurnMetric:
         assert "sixp_relocations_per_lb_period" in data
         for per_node in metrics.per_node.values():
             assert "sixp_cell_relocations" in per_node
+
+
+class TestRecoveryMetrics:
+    """Unit tests for the fault/recovery hooks, driven without a network."""
+
+    def _collector(self):
+        collector = MetricsCollector()
+        collector.begin_measurement([], now=10.0)
+        return collector
+
+    def test_fault_free_run_reports_zeroes(self):
+        collector = self._collector()
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.faults_injected == 0
+        assert metrics.time_to_reconverge_s == 0.0
+        assert metrics.pdr_under_churn_percent == 0.0
+        assert metrics.packets_lost_to_crash == 0
+        assert metrics.orphaned_cell_slots == 0
+
+    def test_reconverge_time_averages_closed_episodes(self):
+        collector = self._collector()
+        collector.on_fault_injected("crash", 12.0)
+        collector.on_node_orphaned(3, 12.0)
+        collector.on_node_recovered(3, 14.0)  # 2 s episode
+        collector.on_node_orphaned(5, 16.0)
+        collector.on_node_recovered(5, 22.0)  # 6 s episode
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.time_to_reconverge_s == pytest.approx(4.0)
+
+    def test_open_episode_censored_at_window_close(self):
+        collector = self._collector()
+        collector.on_fault_injected("crash", 12.0)
+        collector.on_node_orphaned(3, 20.0)  # never recovers
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.time_to_reconverge_s == pytest.approx(10.0)
+
+    def test_double_orphan_keeps_the_first_episode_start(self):
+        collector = self._collector()
+        collector.on_node_orphaned(3, 12.0)
+        collector.on_node_orphaned(3, 15.0)  # duplicate: ignored
+        collector.on_node_recovered(3, 16.0)
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.time_to_reconverge_s == pytest.approx(4.0)
+
+    def test_recovery_without_episode_is_ignored(self):
+        collector = self._collector()
+        collector.on_node_recovered(3, 16.0)  # cold-start join
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.time_to_reconverge_s == 0.0
+
+    def test_pdr_under_churn_counts_only_post_fault_packets(self):
+        class FakeNode:
+            def __init__(self, now):
+                self.node_id = 1
+
+                class _Queue:
+                    pass
+
+                self.event_queue = _Queue()
+                self.event_queue.now = now
+
+        class FakePacket:
+            def __init__(self, packet_id, created_at):
+                self.packet_id = packet_id
+                self.created_at = created_at
+                self.hops = 1
+
+        collector = self._collector()
+        # Two pre-fault packets, both delivered.
+        for packet_id in (1, 2):
+            packet = FakePacket(packet_id, created_at=11.0)
+            collector.on_data_generated(FakeNode(11.0), packet)
+            collector.on_data_delivered(FakeNode(12.0), packet)
+        collector.on_fault_injected("crash", 15.0)
+        # Four post-fault packets, one delivered.
+        for packet_id in (3, 4, 5, 6):
+            packet = FakePacket(packet_id, created_at=16.0)
+            collector.on_data_generated(FakeNode(16.0), packet)
+            if packet_id == 3:
+                collector.on_data_delivered(FakeNode(17.0), packet)
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.pdr_percent == pytest.approx(100.0 * 3 / 6)
+        assert metrics.pdr_under_churn_percent == pytest.approx(25.0)
+
+    def test_crash_and_parent_loss_losses_are_summed(self):
+        class FakeNode:
+            node_id = 1
+
+        class FakePacket:
+            def __init__(self, packet_id):
+                self.packet_id = packet_id
+                self.created_at = 11.0
+                self.hops = 0
+
+        collector = self._collector()
+        collector.measuring = True
+        for packet_id, reason in ((1, "crash"), (2, "crash"), (3, "parent-loss")):
+            packet = FakePacket(packet_id)
+
+            class _Node:
+                node_id = 1
+
+                class event_queue:
+                    now = 11.0
+
+            collector.on_data_generated(_Node(), packet)
+            collector.on_data_lost(_Node(), packet, reason)
+        collector.on_cells_orphaned(4)
+        collector.on_cells_orphaned(3)
+        collector.end_measurement(now=30.0)
+        metrics = collector.finalize([], 30.0, "X")
+        assert metrics.packets_lost_to_crash == 3
+        assert metrics.orphaned_cell_slots == 7
+
+    def test_begin_measurement_resets_recovery_state(self):
+        collector = self._collector()
+        collector.on_fault_injected("crash", 12.0)
+        collector.on_node_orphaned(3, 12.0)
+        collector.on_cells_orphaned(5)
+        collector.begin_measurement([], now=40.0)
+        collector.end_measurement(now=60.0)
+        metrics = collector.finalize([], 60.0, "X")
+        assert metrics.faults_injected == 0
+        assert metrics.time_to_reconverge_s == 0.0
+        assert metrics.orphaned_cell_slots == 0

@@ -18,6 +18,7 @@ from repro.experiments.scenarios import (
     GT_TSCH,
     MINIMAL,
     ORCHESTRA,
+    churn_scenario,
     traffic_load_scenario,
 )
 from repro.mac.cell import Cell, CellOption
@@ -66,6 +67,74 @@ class TestSkipEquivalence:
     def test_fast_flag_defaults_on(self):
         assert Network().fast is True
         assert Network(fast=False).fast is False
+
+
+#: Explicit ids so CI can select a cheap subset with ``-k`` (e.g.
+#: ``-k "gt-s1 or orchestra-s1"`` for the churn-equivalence smoke job).
+_FAULT_CASES = [
+    pytest.param(MINIMAL, 1, id="minimal-s1"),
+    pytest.param(MINIMAL, 2, id="minimal-s2"),
+    pytest.param(ORCHESTRA, 1, id="orchestra-s1"),
+    pytest.param(ORCHESTRA, 2, id="orchestra-s2"),
+    pytest.param(GT_TSCH, 1, id="gt-s1"),
+    pytest.param(GT_TSCH, 2, id="gt-s2"),
+]
+
+
+class TestFaultEquivalence:
+    """Fault injection composes with the fast kernel bit-identically.
+
+    Every injected fault (node crash, warm rejoin, link-degradation epoch,
+    parent loss) mutates schedules, queues and the frozen medium mid-run;
+    each mutation routes through the kernel's settlement barriers, so
+    ``fast=True`` must still finalize exactly the reference loop's metrics.
+    The plan exercises all four fault classes inside the measurement window.
+    """
+
+    def _run(self, scheduler: str, seed: int, fast: bool):
+        scenario = churn_scenario(
+            num_crashes=1,
+            scheduler=scheduler,
+            seed=seed,
+            rate_ppm=60.0,
+            measurement_s=14.0,
+            warmup_s=8.0,
+        )
+        # The short windows must still contain every fault class.
+        plan = scenario.faults
+        assert plan is not None
+        assert len(plan.crashes) >= 1
+        assert len(plan.rejoins) >= 1
+        assert len(plan.link_epochs) >= 1
+        assert len(plan.parent_losses) >= 1
+        network = scenario.build_network()
+        network.fast = fast
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scheduler,
+        )
+        return network, metrics
+
+    @pytest.mark.parametrize("scheduler,seed", _FAULT_CASES)
+    def test_metrics_bit_identical_under_faults(self, scheduler, seed):
+        naive_net, naive = self._run(scheduler, seed, fast=False)
+        fast_net, fast = self._run(scheduler, seed, fast=True)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(naive)
+        assert fast_net.clock.asn == naive_net.clock.asn
+        assert fast_net.medium.total_transmissions == naive_net.medium.total_transmissions
+        assert fast_net.medium.total_collisions == naive_net.medium.total_collisions
+        for node_id in naive_net.nodes:
+            assert dataclasses.asdict(fast_net.nodes[node_id].tsch.stats) == (
+                dataclasses.asdict(naive_net.nodes[node_id].tsch.stats)
+            )
+        # The run actually injected the whole plan and measured recovery.
+        assert naive.faults_injected == 4
+        assert naive.time_to_reconverge_s > 0.0
+        # The epoch closed: the medium is back to its pristine tables.
+        assert naive_net.medium.prr_scale == 1.0
+        assert fast_net.medium.prr_scale == 1.0
 
 
 class TestNextActiveAsn:

@@ -150,6 +150,71 @@ class TestPerCandidateInvalidation:
         assert engine.parent_evaluations == evals + 1
 
 
+class TestEvictionMemoInteraction:
+    """``evict_neighbor`` (the fault path's detach primitive) vs the memo.
+
+    Fault detection evicts dead neighbors from every survivor; the memo
+    must never serve a stale score for an evicted candidate, and a
+    preferred-parent eviction must force re-evaluation rather than settle
+    on the pre-eviction fixed point.
+    """
+
+    def setup_pair(self):
+        engine, estimator = make_engine()
+        deliver_dio(engine, sender=1, rank=256)
+        deliver_dio(engine, sender=2, rank=4 * 256)
+        converge(engine)
+        return engine, estimator
+
+    def test_evicted_then_readvertised_candidate_is_scored_fresh(self):
+        """Re-adding an evicted neighbor re-scores it: no stale memo entry."""
+        engine, _ = self.setup_pair()
+        engine.evict_neighbor(2)
+        assert 2 not in engine.neighbors
+        recomputes = engine.candidate_recomputes
+        deliver_dio(engine, sender=2, rank=4 * 256)
+        assert 2 in engine.neighbors
+        assert engine.candidate_recomputes == recomputes + 1
+
+    def test_sole_parent_eviction_detaches_then_fresh_dio_readopts(self):
+        from repro.rpl.rank import INFINITE_RANK
+
+        engine, _ = make_engine()
+        deliver_dio(engine, sender=1, rank=256)
+        converge(engine)
+        engine.evict_neighbor(1)
+        assert engine.preferred_parent is None
+        assert engine.rank == INFINITE_RANK
+        assert engine.neighbors == {}
+        # The re-advertising neighbor is evaluated from scratch, never
+        # served from a stale memoised candidate score.
+        recomputes = engine.candidate_recomputes
+        evals = engine.parent_evaluations
+        deliver_dio(engine, sender=1, rank=256)
+        assert engine.preferred_parent == 1
+        assert engine.rank < INFINITE_RANK
+        assert engine.parent_evaluations == evals + 1
+        assert engine.candidate_recomputes == recomputes + 1
+
+    def test_parent_eviction_clears_the_fixed_point_skip(self):
+        """After evicting the preferred parent, the next reception must
+        evaluate (own rank changed with the switch), not skip."""
+        engine, _ = self.setup_pair()
+        assert engine.preferred_parent == 1
+        engine.evict_neighbor(1)
+        assert engine.preferred_parent == 2  # switched to the survivor
+        evals = engine.parent_evaluations
+        skips = engine.evaluations_skipped
+        deliver_dio(engine, sender=2, rank=4 * 256)
+        assert engine.parent_evaluations == evals + 1
+        assert engine.evaluations_skipped == skips
+        # Once the post-eviction state is a fixed point, skipping resumes.
+        converge(engine)
+        skips = engine.evaluations_skipped
+        deliver_dio(engine, sender=2, rank=4 * 256)
+        assert engine.evaluations_skipped == skips + 1
+
+
 class TestEscapeHatch:
     def test_memo_off_rescores_every_reception(self):
         engine, _ = make_engine(memo=False)

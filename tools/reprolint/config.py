@@ -101,6 +101,7 @@ class LintConfig:
         "repro/mac/",
         "repro/phy/",
         "repro/sim/",
+        "repro/faults/",
     )
     #: Zero-argument methods known (cross-module) to return a set/frozenset.
     known_set_returning_methods: frozenset[str] = frozenset(
