@@ -27,6 +27,16 @@ Modes
   Unlike the kernel-speed benchmark, smoke is the default here: the full
   mode simulates 500 nodes through the uncached reference loop, which is
   too slow for the tier-1 suite that collects this file.
+* ``REPRO_BENCH_NODE_COUNTS="100,300"`` overrides the node-count sweep of
+  either mode (same comma-separated convention as ``REPRO_BENCH_SEEDS`` /
+  ``REPRO_BENCH_JOBS``).  Overridden sweeps never rewrite the committed
+  baseline, even with ``REPRO_BENCH_REBASELINE=1`` -- the record's node
+  counts are part of its identity.
+
+A third benchmark (``test_flatness_large_n``) runs the fast kernel alone --
+no reference loop, which would take hours at this size -- at N=1000 and
+records the per-stepped-slot cost growth relative to N=200 under the
+record's ``"flatness"`` key; see the gate notes at its constants.
 
 Record files
 ------------
@@ -80,7 +90,14 @@ ENFORCE = bool(os.environ.get("REPRO_BENCH_ENFORCE"))
 REBASELINE = bool(os.environ.get("REPRO_BENCH_REBASELINE"))
 MODE = "smoke" if SMOKE else "full"
 
-NODE_COUNTS = (100, 200) if SMOKE else (100, 200, 500)
+#: Optional comma-separated override of the node-count sweep, matching the
+#: REPRO_BENCH_SEEDS / REPRO_BENCH_JOBS conventions in benchmarks/conftest.
+_COUNT_OVERRIDE = tuple(
+    int(count)
+    for count in os.environ.get("REPRO_BENCH_NODE_COUNTS", "").split(",")
+    if count.strip()
+)
+NODE_COUNTS = _COUNT_OVERRIDE or ((100, 200) if SMOKE else (100, 200, 500))
 WARMUP_S = 10.0 if SMOKE else 20.0
 MEASUREMENT_S = 15.0 if SMOKE else 40.0
 DRAIN_S = DEFAULT_DRAIN_S
@@ -185,7 +202,8 @@ def test_scaling_slots_per_second():
                 reference["metrics"]
             ), f"{scheduler} N={num_nodes}: kernel diverged from reference"
             assert fast["slots"] == reference["slots"]
-            pre_pr = PRE_PR_STEADY_SLOTS_PER_S[MODE][num_nodes][scheduler]
+            # Custom REPRO_BENCH_NODE_COUNTS sweeps have no pre-PR origin.
+            pre_pr = PRE_PR_STEADY_SLOTS_PER_S[MODE].get(num_nodes, {}).get(scheduler)
             per_n[str(num_nodes)] = {
                 "slots": fast["slots"],
                 "stepped_slots": fast["stepped_slots"],
@@ -200,8 +218,8 @@ def test_scaling_slots_per_second():
                 "speedup_vs_reference": round(
                     fast["steady_slots_per_s"] / reference["steady_slots_per_s"], 3
                 ),
-                "speedup_vs_pre_pr_kernel": round(
-                    fast["steady_slots_per_s"] / pre_pr, 3
+                "speedup_vs_pre_pr_kernel": (
+                    round(fast["steady_slots_per_s"] / pre_pr, 3) if pre_pr else None
                 ),
             }
         results[scheduler] = per_n
@@ -231,17 +249,18 @@ def test_scaling_slots_per_second():
         "schedulers": results,
     }
     _write_record(record, RESULT_FILE)
-    if REBASELINE:
+    if REBASELINE and not _COUNT_OVERRIDE:
         _write_record(record, BENCH_FILE)
 
     for scheduler, per_n in results.items():
         for count, entry in per_n.items():
+            vs_pre_pr = entry["speedup_vs_pre_pr_kernel"]
             print(
                 f"[scaling/{MODE}] {scheduler} N={count}: "
                 f"{entry['steady_slots_per_s']:,.0f} slots/s steady "
                 f"({entry['speedup_vs_reference']:.2f}x vs reference, "
-                f"{entry['speedup_vs_pre_pr_kernel']:.2f}x vs pre-PR kernel, "
-                f"{entry['us_per_stepped_slot']:.0f} us/stepped slot)"
+                + (f"{vs_pre_pr:.2f}x vs pre-PR kernel, " if vs_pre_pr else "")
+                + f"{entry['us_per_stepped_slot']:.0f} us/stepped slot)"
             )
 
     # Informational (non-gating): raw steady slots/s vs the committed record.
@@ -300,6 +319,95 @@ def test_scaling_slots_per_second():
                 f"{measured:.2f}x vs reference, committed "
                 f"{committed_speedup:.2f}x"
             )
+
+
+# ----------------------------------------------------------------------
+# large-N flatness: per-stepped-slot cost growth, fast kernel only
+# ----------------------------------------------------------------------
+#: The flatness pair.  The reference loop is not run at all here -- at
+#: N=1000 it would take hours -- so this leg has no bit-identity cross-check
+#: (the sweep above provides that at every size it covers).
+FLATNESS_SMALL_N = 200
+FLATNESS_LARGE_N = 1000
+FLATNESS_SCHEDULER = MINIMAL
+FLATNESS_REPEATS = 2
+
+#: Gate on us_per_stepped_slot[1000] / us_per_stepped_slot[200].  A truly
+#: flat dispatch kernel would hold this near 1.0; the measured value on the
+#: dev container is ~5x, and that is a property of the scenario, not of the
+#: dispatch bookkeeping: scale_topology's DODAGs are spatially isolated but
+#: share schedule residues, so every DODAG is active in the *same* stepped
+#: slots and the participant count per stepped slot grows with N.  The
+#: per-participant protocol work (DIO processing, frame reception, slot
+#: planning) is pure Python and dominates.  The gate therefore pins the
+#: growth at "linear in participants, with headroom" -- it exists to catch
+#: superlinear regressions (an accidental O(N^2) scan would push the ratio
+#: past ~25x), not to certify O(1) dispatch.
+FLATNESS_RATIO_MAX = 8.0
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_flatness_large_n():
+    """Fast-kernel-only N=1000 leg: per-stepped-slot cost vs N=200."""
+    best: dict[int, dict] = {}
+    for num_nodes in (FLATNESS_SMALL_N, FLATNESS_LARGE_N):
+        for _ in range(FLATNESS_REPEATS):
+            run = _run_phases_once(num_nodes, FLATNESS_SCHEDULER, fast=True)
+            kept = best.get(num_nodes)
+            if kept is None or run["elapsed_s"] < kept["elapsed_s"]:
+                best[num_nodes] = run
+
+    def us_per_stepped(run: dict) -> float:
+        return 1e6 * run["elapsed_s"] / max(1, run["stepped_slots"])
+
+    small = us_per_stepped(best[FLATNESS_SMALL_N])
+    large = us_per_stepped(best[FLATNESS_LARGE_N])
+    ratio = large / small
+    print(
+        f"[scaling/flatness] {FLATNESS_SCHEDULER}: "
+        f"N={FLATNESS_SMALL_N} {small:.0f} us/stepped slot, "
+        f"N={FLATNESS_LARGE_N} {large:.0f} us/stepped slot "
+        f"(ratio {ratio:.2f}x, gate {FLATNESS_RATIO_MAX:.1f}x)"
+    )
+
+    # Merge into this run's fresh record when the throughput test already
+    # wrote one, else extend the committed baseline.
+    try:
+        with open(RESULT_FILE, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        record = _load_committed()
+    record = dict(record) if isinstance(record, dict) else {}
+    record["flatness"] = {
+        "scheduler": FLATNESS_SCHEDULER,
+        "mode": MODE,
+        "node_counts": [FLATNESS_SMALL_N, FLATNESS_LARGE_N],
+        "warmup_s": WARMUP_S,
+        "measurement_s": MEASUREMENT_S,
+        "stepped_slots": {
+            str(n): best[n]["stepped_slots"] for n in sorted(best)
+        },
+        "us_per_stepped_slot": {
+            str(FLATNESS_SMALL_N): round(small, 1),
+            str(FLATNESS_LARGE_N): round(large, 1),
+        },
+        "ratio": round(ratio, 2),
+        "ratio_max": FLATNESS_RATIO_MAX,
+        "note": (
+            "fast kernel only (reference loop infeasible at N=1000); ratio "
+            "grows with N because shared schedule residues keep every DODAG "
+            "active in the same stepped slots -- see FLATNESS_RATIO_MAX"
+        ),
+    }
+    _write_record(record, RESULT_FILE)
+    if REBASELINE:
+        _write_record(record, BENCH_FILE)
+
+    assert ratio <= FLATNESS_RATIO_MAX, (
+        f"per-stepped-slot cost grew {ratio:.2f}x from N={FLATNESS_SMALL_N} "
+        f"to N={FLATNESS_LARGE_N} (gate {FLATNESS_RATIO_MAX:.1f}x) -- "
+        "superlinear dispatch regression"
+    )
 
 
 # ----------------------------------------------------------------------

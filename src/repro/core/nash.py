@@ -29,8 +29,6 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.game import (
     GameWeights,
     PlayerState,
@@ -38,6 +36,24 @@ from repro.core.game import (
     payoff,
     payoff_second_derivative,
 )
+from repro.sim.accel import numpy_or_none
+
+# numpy is a hard dependency of the *numeric verification* functions below
+# (they exist to sample derivatives and quadratic forms), not of the
+# simulator: the shared gate keeps detection in one place, and
+# ``ignore_disable=True`` means the REPRO_NO_NUMPY escape hatch -- which
+# forces the kernel's pure-Python fallbacks -- does not break analyses that
+# have no fallback to force.
+np = numpy_or_none(ignore_disable=True)
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ImportError(
+            "repro.core.nash numeric verification requires numpy; "
+            "install it to run the equilibrium analyses"
+        )
+
 
 
 @dataclass
@@ -87,6 +103,7 @@ def verify_concavity(
     samples: int = 32,
 ) -> bool:
     """Check Eq. (10): the second derivative is negative across the strategy set."""
+    _require_numpy()
     weights = weights or GameWeights()
     lower = state.l_tx_min
     upper = max(state.l_rx_parent, lower + 1.0)
@@ -104,6 +121,7 @@ def pseudo_gradient_jacobian(
     Player ``i``'s payoff depends only on ``s_i``, so the Jacobian is diagonal
     with entries ``∂²v_i/∂s_i²``; the off-diagonal terms are exactly zero.
     """
+    _require_numpy()
     weights = weights or GameWeights()
     n = len(players)
     jacobian = np.zeros((n, n))
@@ -126,6 +144,7 @@ def verify_diagonal_strict_concavity(
     with strictly negative entries, the quadratic form is negative definite;
     the numeric check documents that rather than assuming it.
     """
+    _require_numpy()
     weights = weights or GameWeights()
     rng = rng or np.random.default_rng(7)
     if not players:
@@ -166,6 +185,7 @@ def is_nash_equilibrium(
     the check passes when no sampled deviation improves the player's payoff
     by more than ``tolerance``.
     """
+    _require_numpy()
     weights = weights or GameWeights()
     for player, strategy in zip(players, profile):
         lower = player.l_tx_min

@@ -1,0 +1,13 @@
+"""Struct-of-arrays node-state kernel.
+
+:mod:`repro.kernel.state` holds the per-node hot counters and flags in
+contiguous columns indexed by node row, so the dispatch kernel in
+:mod:`repro.net.network` can settle duty cycles, account broadcast
+receptions and scan liveness/backlog state as bulk array operations instead
+of pointer-chasing across hundreds of per-node Python objects.  See
+``docs/soa.md`` for the array layout and the view contract.
+"""
+
+from repro.kernel.state import LocalBacking, NodeStateStore
+
+__all__ = ["LocalBacking", "NodeStateStore"]

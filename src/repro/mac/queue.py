@@ -15,6 +15,7 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Optional
 
+from repro.kernel.state import PTYPE_INDEX, LocalBacking, NodeStateStore, bind_backing
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType
 
 
@@ -31,7 +32,8 @@ class TxQueue:
         "capacity",
         "prioritize_control",
         "_queue",
-        "_ptype_counts",
+        "_backing",
+        "_row",
         "drops",
         "data_drops",
         "max_occupancy",
@@ -43,16 +45,24 @@ class TxQueue:
         self.capacity = capacity
         self.prioritize_control = prioritize_control
         self._queue: deque[Packet] = deque()
-        #: Queued packets per :class:`PacketType`, maintained by add/remove:
-        #: periodic protocol probes (the EB timer in particular) ask "is one
-        #: of mine queued?" every tick, which this answers in O(1).
-        self._ptype_counts: dict[PacketType, int] = {}
+        #: Queued packets per :class:`PacketType` and the queue occupancy are
+        #: maintained in the struct-of-arrays backing row (see
+        #: :mod:`repro.kernel.state`): periodic protocol probes (the EB timer
+        #: in particular) ask "is one of mine queued?" every tick, which the
+        #: count row answers in O(1), and the dispatch kernel scans backlog
+        #: over the ``queue_len`` column without touching queue objects.
+        self._backing = LocalBacking()
+        self._row = 0
         #: Number of packets dropped because the queue was full.
         self.drops = 0
         #: Number of *data* packets dropped because the queue was full.
         self.data_drops = 0
         #: High-water mark, useful for tests and diagnostics.
         self.max_occupancy = 0
+
+    def bind(self, store: NodeStateStore, row: int) -> None:
+        """Move the occupancy/per-type counts onto ``store[row]``."""
+        bind_backing(self, store, row, ("queue_len", "ptype_counts"))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -89,7 +99,7 @@ class TxQueue:
                     self.data_drops += 1
                 return False
             self._queue.remove(evicted)
-            self._ptype_counts[evicted.ptype] -= 1
+            self._backing.ptype_counts[self._row][PTYPE_INDEX[evicted.ptype]] -= 1
             self.drops += 1
             self.data_drops += 1
         if self.prioritize_control and packet.is_control:
@@ -105,8 +115,8 @@ class TxQueue:
                 self._queue.append(packet)
         else:
             self._queue.append(packet)
-        counts = self._ptype_counts
-        counts[packet.ptype] = counts.get(packet.ptype, 0) + 1
+        self._backing.ptype_counts[self._row][PTYPE_INDEX[packet.ptype]] += 1
+        self._backing.queue_len[self._row] = len(self._queue)
         self.max_occupancy = max(self.max_occupancy, len(self._queue))
         return True
 
@@ -132,7 +142,7 @@ class TxQueue:
 
     def contains_ptype(self, ptype: PacketType) -> bool:
         """Whether any queued packet has the given type (O(1) count lookup)."""
-        return bool(self._ptype_counts.get(ptype))
+        return bool(self._backing.ptype_counts[self._row][PTYPE_INDEX[ptype]])
 
     def remove(self, packet: Packet) -> bool:
         """Remove a specific packet instance (after delivery or drop)."""
@@ -140,7 +150,8 @@ class TxQueue:
             self._queue.remove(packet)
         except ValueError:
             return False
-        self._ptype_counts[packet.ptype] -= 1
+        self._backing.ptype_counts[self._row][PTYPE_INDEX[packet.ptype]] -= 1
+        self._backing.queue_len[self._row] = len(self._queue)
         return True
 
     def pending_for(self, neighbor: Optional[int]) -> int:
@@ -179,4 +190,7 @@ class TxQueue:
 
     def clear(self) -> None:
         self._queue.clear()
-        self._ptype_counts.clear()
+        counts = self._backing.ptype_counts[self._row]
+        for index in range(len(counts)):
+            counts[index] = 0
+        self._backing.queue_len[self._row] = 0

@@ -30,6 +30,7 @@ from repro.mac.cell import Cell, CellOption, CellPurpose
 from repro.mac.csma import CsmaBackoff
 from repro.mac.duty_cycle import DutyCycleMeter
 from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE, ChannelHopping
+from repro.kernel.state import LocalBacking, NodeStateStore, bind_backing
 from repro.mac.queue import TxQueue
 from repro.mac.slotframe import Slotframe
 from repro.net.packet import BROADCAST_ADDRESS, Packet
@@ -593,8 +594,19 @@ class TschEngine:
         #: ``[duty_accounted_asn, clock.asn)`` not yet recorded on the meter
         #: are slots the node provably spent sleeping or idle-listening per
         #: its (constant-over-the-window) schedule, credited lazily in bulk
-        #: by :meth:`settle_duty_cycle`.
+        #: by :meth:`settle_duty_cycle`.  Stored in the struct-of-arrays
+        #: backing row (see :meth:`bind_state`) so the network's bulk
+        #: settlement reads the watermark column directly.
+        self._backing = LocalBacking()
+        self._row = 0
         self.duty_accounted_asn = 0
+        # Consolidate the sub-views onto this engine's own backing row, so a
+        # standalone engine (no network) behaves exactly like a bound one:
+        # the fused accounting paths below write the meter columns through
+        # ``self._backing`` unconditionally.
+        bind_backing(self.queue, self._backing, 0, ("queue_len", "ptype_counts"))
+        bind_backing(self.duty_cycle, self._backing, 0, DutyCycleMeter._COLUMNS)
+        bind_backing(self.etx, self._backing, 0, ("etx_version",))
         #: Slotframes sorted by handle (the planning precedence order).
         self._frames: Optional[list[Slotframe]] = None
         #: Memoised sorted active-cell lists keyed by slot-offset residue(s).
@@ -644,6 +656,30 @@ class TschEngine:
         #: Upper-layer callback invoked with (packet, success, asn) when a
         #: unicast packet leaves the MAC (delivered or dropped after retries).
         self.tx_done_callback: Optional[Callable[[Packet, bool, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # struct-of-arrays view plumbing
+    # ------------------------------------------------------------------
+    @property
+    def duty_accounted_asn(self) -> int:
+        return int(self._backing.duty_accounted_asn[self._row])
+
+    @duty_accounted_asn.setter
+    def duty_accounted_asn(self, value: int) -> None:
+        self._backing.duty_accounted_asn[self._row] = value
+
+    def bind_state(self, store: NodeStateStore, row: int) -> None:
+        """Move this engine's hot state onto ``store[row]``.
+
+        Binds the engine's own deferred-accounting watermark plus its
+        queue's, meter's and ETX estimator's columns; values accumulated on
+        the standalone backings are preserved.  Called once per node by
+        :meth:`repro.net.network.Network.add_node`.
+        """
+        bind_backing(self, store, row, ("duty_accounted_asn",))
+        self.queue.bind(store, row)
+        self.duty_cycle.bind(store, row)
+        self.etx.bind(store, row)
 
     # ------------------------------------------------------------------
     # slotframe management (used by scheduling functions)
@@ -829,7 +865,9 @@ class TschEngine:
         recording.  Callers that just mutated the schedule must pass the
         pre-mutation profile (see :meth:`cached_profile`).
         """
-        accounted = self.duty_accounted_asn
+        backing = self._backing
+        row = self._row
+        accounted = backing.duty_accounted_asn[row]
         if accounted >= asn:
             return
         if profile is None:
@@ -839,7 +877,6 @@ class TschEngine:
             if profile is None or profile.version != self._version:
                 profile = self.schedule_profile()
         window = asn - accounted
-        meter = self.duty_cycle
         if not profile.has_rx:
             idle = 0
         elif profile._single:
@@ -855,12 +892,15 @@ class TschEngine:
                 idle += (prefix[length] - prefix[start]) + prefix[start + rem - length]
         else:
             idle = profile.count_idle_listen(accounted, asn)
+        # The sub-views share this engine's backing (see __init__), so the
+        # meter columns are written directly -- the fused form of the
+        # meter's record_rx/record_sleep credits.
         if idle:
-            meter.rx_slots += idle
-            meter.idle_listen_slots += idle
-        meter.sleep_slots += window - idle
-        meter.total_slots += window
-        self.duty_accounted_asn = asn
+            backing.rx_slots[row] += idle
+            backing.idle_listen_slots[row] += idle
+        backing.sleep_slots[row] += window - idle
+        backing.total_slots[row] += window
+        backing.duty_accounted_asn[row] = asn
 
     def account_tx_slot(self, asn: int) -> None:
         """Settle the deferred window and record slot ``asn`` as a TX slot.
@@ -868,21 +908,23 @@ class TschEngine:
         Fused eager-accounting helper for the dispatch kernel's per-slot
         hot path (one call instead of settle + watermark + meter record).
         """
-        if self.duty_accounted_asn < asn:
+        backing = self._backing
+        row = self._row
+        if backing.duty_accounted_asn[row] < asn:
             self.settle_duty_cycle(asn)
-        self.duty_accounted_asn = asn + 1
-        meter = self.duty_cycle
-        meter.tx_slots += 1
-        meter.total_slots += 1
+        backing.duty_accounted_asn[row] = asn + 1
+        backing.tx_slots[row] += 1
+        backing.total_slots[row] += 1
 
     def account_rx_frame_slot(self, asn: int) -> None:
         """Settle the deferred window and record slot ``asn`` as a busy RX slot."""
-        if self.duty_accounted_asn < asn:
+        backing = self._backing
+        row = self._row
+        if backing.duty_accounted_asn[row] < asn:
             self.settle_duty_cycle(asn)
-        self.duty_accounted_asn = asn + 1
-        meter = self.duty_cycle
-        meter.rx_slots += 1
-        meter.total_slots += 1
+        backing.duty_accounted_asn[row] = asn + 1
+        backing.rx_slots[row] += 1
+        backing.total_slots[row] += 1
 
     # ------------------------------------------------------------------
     # deferred shared-cell contention (used by the slot-skipping kernel)

@@ -25,14 +25,14 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import BROADCAST_ADDRESS, Packet
 from repro.phy.propagation import Position, PropagationModel
+from repro.sim.accel import numpy_or_none
 
 if TYPE_CHECKING:
     import random  # reprolint: disable=RL001
 
-try:  # Optional accelerator: the container ships numpy, CI may not.
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised on numpy-less installs
-    _np = None
+# Optional accelerator: the container ships numpy, CI may not (and
+# REPRO_NO_NUMPY=1 forces the pure-Python fallback for equivalence tests).
+_np = numpy_or_none()
 
 
 class TransmissionIntent:
@@ -153,6 +153,12 @@ class Medium:
         #: particular are always read from them, so every RNG comparison
         #: uses exactly the reference values).
         self._np_interf = None
+        #: Dense float64 PRR matrix, same indexing.  Unlike ``_np_interf``
+        #: it is also an *RNG comparison* input on the batched broadcast
+        #: path, which stays bit-identical because float64 round-trips the
+        #: list values exactly; it is rebuilt whenever ``_prr_rows`` is
+        #: replaced (freeze, adopt, link-degradation epochs).
+        self._np_prr = None
         #: Counters for diagnostics / tests.
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -177,6 +183,7 @@ class Medium:
         self._prr_base_rows = None
         self._prr_scale = 1.0
         self._np_interf = None
+        self._np_prr = None
 
     @property
     def frozen(self) -> bool:
@@ -228,6 +235,7 @@ class Medium:
             self._np_interf = _np.array(
                 [self._interf_rows[a] for a in ids], dtype=bool
             )
+            self._rebuild_np_prr()
         self._frozen = True
 
     def export_frozen(self) -> dict:
@@ -280,6 +288,7 @@ class Medium:
             self._np_interf = _np.array(
                 [self._interf_rows[a] for a in self._ids], dtype=bool
             )
+            self._rebuild_np_prr()
         self._frozen = True
         return True
 
@@ -314,6 +323,19 @@ class Medium:
                 sender: [value * scale for value in row]
                 for sender, row in base.items()
             }
+        if self._np_interf is not None:
+            self._rebuild_np_prr()
+
+    def _rebuild_np_prr(self) -> None:
+        """Mirror ``_prr_rows`` into the dense numpy table (frozen media).
+
+        Always rebuilt *from* the list rows so every batched comparison uses
+        bit-exact copies of the reference values, including mid-epoch scaled
+        rows.
+        """
+        self._np_prr = _np.array(
+            [self._prr_rows[a] for a in self._ids], dtype=float
+        )
 
     @property
     def prr_scale(self) -> float:
@@ -489,6 +511,38 @@ class Medium:
             interf_row = self._interf_rows[intent.sender]
             prr_row = self._prr_rows[intent.sender]
             index_of = self._index_of
+            if self._np_prr is not None and len(channel_listeners) >= 16:
+                # Broadcast-sized audiences (EB/DIO on the frozen topology):
+                # mask eligibility in one vectorised pass, then draw the RNG
+                # for exactly the eligible listeners, in listener order --
+                # the same scalar draws the loop below would make -- and
+                # compare the whole batch at once.  float64 copies of the
+                # list PRRs make the comparison bit-identical.
+                columns = _np.fromiter(
+                    (index_of[listener] for listener in channel_listeners),
+                    dtype=_np.intp,
+                    count=len(channel_listeners),
+                )
+                sender_row = index_of[intent.sender]
+                prr_sub = self._np_prr[sender_row, columns]
+                eligible = _np.flatnonzero(
+                    self._np_interf[sender_row, columns] & (prr_sub > 0.0)
+                )
+                if not len(eligible):
+                    return
+                draws = _np.fromiter(
+                    (rng_random() for _ in range(len(eligible))),
+                    dtype=float,
+                    count=len(eligible),
+                )
+                received = eligible[draws <= prr_sub[eligible]]
+                receivers = result.receivers
+                for position in received.tolist():
+                    listener = channel_listeners[position]
+                    receivers.append(listener)
+                    if destination == listener:
+                        result.delivered = True
+                return
             for listener in channel_listeners:
                 index = index_of[listener]
                 if not interf_row[index]:

@@ -525,6 +525,101 @@ class TestContentionPruning:
         assert network._next_risky_asn(1, 10_000) == 7
 
 
+class TestSoaEquivalence:
+    """Struct-of-arrays bulk kernel: SoA-on vs SoA-off vs the reference loop.
+
+    Node state always lives in the :class:`repro.kernel.state.NodeStateStore`
+    columns (the views guarantee coherence by construction); the ``soa`` flag
+    only gates the *bulk* array paths of the dispatch kernel -- masked
+    duty-cycle settlement, batched broadcast rx accounting.  All three legs
+    must finalize bit-identical metrics, clocks, medium counters and per-node
+    MAC stats on every scenario family.
+    """
+
+    def _assert_triple(self, runs):
+        (soa_net, soa), (off_net, off), (ref_net, ref) = runs
+        assert dataclasses.asdict(soa) == dataclasses.asdict(off)
+        assert dataclasses.asdict(soa) == dataclasses.asdict(ref)
+        assert soa_net.clock.asn == off_net.clock.asn == ref_net.clock.asn
+        for other in (off_net, ref_net):
+            assert soa_net.medium.total_transmissions == other.medium.total_transmissions
+            assert soa_net.medium.total_collisions == other.medium.total_collisions
+            for node_id in soa_net.nodes:
+                assert dataclasses.asdict(soa_net.nodes[node_id].tsch.stats) == (
+                    dataclasses.asdict(other.nodes[node_id].tsch.stats)
+                )
+
+    def _triple(self, make_scenario):
+        def run(fast, soa):
+            scenario = make_scenario()
+            network = scenario.build_network()
+            network.fast = fast
+            network.soa = soa
+            metrics = network.run_experiment(
+                warmup_s=scenario.warmup_s,
+                measurement_s=scenario.measurement_s,
+                drain_s=2.0,
+                scheduler_name=scenario.scheduler,
+            )
+            return network, metrics
+
+        return run(True, True), run(True, False), run(False, True)
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fig8_load_bit_identical(self, scheduler, seed):
+        self._assert_triple(
+            self._triple(
+                lambda: traffic_load_scenario(
+                    rate_ppm=60.0,
+                    scheduler=scheduler,
+                    seed=seed,
+                    measurement_s=8.0,
+                    warmup_s=6.0,
+                )
+            )
+        )
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_scale_bit_identical(self, scheduler, seed):
+        from repro.experiments.scenarios import scale_scenario
+
+        self._assert_triple(
+            self._triple(
+                lambda: scale_scenario(
+                    num_nodes=30,
+                    scheduler=scheduler,
+                    seed=seed,
+                    measurement_s=6.0,
+                    warmup_s=4.0,
+                )
+            )
+        )
+
+    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_churn_bit_identical(self, scheduler, seed):
+        """All four fault classes mutate mid-run; the bulk paths must still
+        settle through the same barriers as the per-object code."""
+        self._assert_triple(
+            self._triple(
+                lambda: churn_scenario(
+                    num_crashes=1,
+                    scheduler=scheduler,
+                    seed=seed,
+                    rate_ppm=60.0,
+                    measurement_s=12.0,
+                    warmup_s=8.0,
+                )
+            )
+        )
+
+    def test_soa_flag_defaults_on(self):
+        assert Network().soa is True
+        assert Network(soa=False).soa is False
+
+
 class TestRankMemoEquivalence:
     """RPL candidate-rank memoisation: memo on vs the escape hatch.
 

@@ -61,6 +61,12 @@ def _default_versioned_classes() -> dict[str, VersionedClass]:
         "RplEngine": VersionedClass(
             tracked_fields=("neighbors", "children"), bump_names=("_memo_inputs",)
         ),
+        # Column growth reallocates the struct-of-arrays buffers; cached raw
+        # column references (numpy frombuffer views) are invalid across a
+        # layout_version bump, so every capacity change must advertise one.
+        "NodeStateStore": VersionedClass(
+            tracked_fields=("_capacity",), bump_names=("layout_version",)
+        ),
     }
 
 
@@ -102,6 +108,7 @@ class LintConfig:
         "repro/phy/",
         "repro/sim/",
         "repro/faults/",
+        "repro/kernel/",
     )
     #: Zero-argument methods known (cross-module) to return a set/frozenset.
     known_set_returning_methods: frozenset[str] = frozenset(
@@ -150,6 +157,7 @@ class LintConfig:
         "repro/mac/duty_cycle.py",
         "repro/net/packet.py",
         "repro/sim/events.py",
+        "repro/kernel/state.py",
     )
     #: Base classes that exempt a class from the __slots__ requirement
     #: (enum members live on the class; exceptions are cold by definition).
@@ -164,6 +172,7 @@ class LintConfig:
         "repro/mac/tsch.py",
         "repro/mac/csma.py",
         "repro/net/network.py",
+        "repro/kernel/state.py",
     )
     #: Attribute names of integer duty-cycle / CSMA settlement counters.
     int_counter_attrs: frozenset[str] = frozenset(
