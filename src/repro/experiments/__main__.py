@@ -37,9 +37,11 @@ from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
     FigureResult,
     run_churn,
+    run_churn_dynamic,
     run_figure10,
     run_figure8,
     run_figure9,
+    run_join,
     run_scale,
 )
 from repro.experiments.scenarios import DEFAULT_DRAIN_S, GT_TSCH, MINIMAL, ORCHESTRA
@@ -55,14 +57,21 @@ FIGURES = {
     "10": (run_figure10, "unicast_lengths", int),
     "scale": (run_scale, "node_counts", int),
     "churn": (run_churn, "crash_counts", int),
+    "churn-dynamic": (run_churn_dynamic, "crash_counts", int),
+    "join": (run_join, "dodag_sizes", int),
 }
 
 #: Figures included in ``--figure all`` (the paper's evaluation).  The
 #: scaling sweep simulates hundreds of nodes and must be requested
 #: explicitly: ``--figure scale`` (typically with shorter windows, e.g.
 #: ``--warmup-s 20 --measurement-s 40``); likewise the fault-injection
-#: head-to-head is ``--figure churn``.
+#: head-to-head (``--figure churn`` / ``--figure churn-dynamic``) and the
+#: cold-start join sweep (``--figure join``, best with ``--warmup-s 5
+#: --measurement-s 90``).
 PAPER_FIGURES = ("8", "9", "10")
+
+#: Figures whose default line-up is the full three-scheduler comparison.
+THREE_SCHEDULER_FIGURES = ("churn", "churn-dynamic", "join")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,12 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--figure",
-        choices=["8", "9", "10", "scale", "churn", "all"],
+        # Derived from the registry so an unknown figure id errors out with
+        # the full list of valid figures and the two can never drift apart.
+        choices=[*FIGURES, "all"],
         default="all",
         help="which figure to run (default: all = the paper's figures; "
-        "the 100-500-node scaling sweep and the fault-injection "
-        "robustness sweep must be asked for with --figure scale / "
-        "--figure churn)",
+        "the 100-500-node scaling sweep and the robustness sweeps must "
+        "be asked for explicitly: --figure scale / churn / "
+        "churn-dynamic / join)",
     )
     parser.add_argument(
         "--seeds",
@@ -255,10 +266,13 @@ def _run_figures(args: argparse.Namespace) -> int:
         print("--values requires a single --figure", file=sys.stderr)
         return 2
     if args.schedulers is None:
-        # The robustness head-to-head is a three-scheduler comparison by
-        # design; the paper figures default to the GT-TSCH vs Orchestra pair.
+        # The robustness head-to-heads and the join sweep are three-scheduler
+        # comparisons by design; the paper figures default to the GT-TSCH vs
+        # Orchestra pair.
         args.schedulers = (
-            list(KNOWN_SCHEDULERS) if args.figure == "churn" else list(DEFAULT_SCHEDULERS)
+            list(KNOWN_SCHEDULERS)
+            if args.figure in THREE_SCHEDULER_FIGURES
+            else list(DEFAULT_SCHEDULERS)
         )
     unknown = [name for name in args.schedulers if name not in KNOWN_SCHEDULERS]
     if unknown:
@@ -292,6 +306,16 @@ def _run_figures(args: argparse.Namespace) -> int:
             slots_per_s = simulated_cells * slots_per_cell / elapsed
             throughput_note = f", {slots_per_s:,.0f} slots/s"
         print(result.report())
+        if figure_id in ("churn", "churn-dynamic"):
+            # Robustness ranking: which scheduler degrades least across the
+            # whole churn sweep (mean PDR over all crash counts).
+            ranking = ", ".join(
+                f"{position}. {scheduler} (pdr {mean:.1f}%)"
+                for position, (scheduler, mean) in enumerate(
+                    result.ranking("pdr_percent"), start=1
+                )
+            )
+            print(f"[figure {figure_id}] robustness ranking: {ranking}")
         print(
             f"[figure {figure_id}] {len(result.sweep_values)} points x "
             f"{len(args.schedulers)} schedulers x {len(args.seeds)} seeds "

@@ -53,7 +53,9 @@ _LOGGER = logging.getLogger(__name__)
 #: 3: scenarios grew a fault-injection plan and recovery metrics; the
 #:    fingerprint document changed shape and old entries lack the new
 #:    ``NetworkMetrics`` fields.
-CACHE_SCHEMA_VERSION = 3
+#: 4: scenarios grew cold-start join knobs, arrival faults and an
+#:    epoch-varying link-drift policy; old entries lack the join metrics.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

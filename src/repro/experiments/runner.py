@@ -32,6 +32,7 @@ from repro.experiments.scenarios import (
     Scenario,
     churn_scenario,
     dodag_size_scenario,
+    join_scenario,
     scale_scenario,
     slotframe_scenario,
     traffic_load_scenario,
@@ -39,6 +40,7 @@ from repro.experiments.scenarios import (
 from repro.metrics.aggregate import MetricsAggregate
 from repro.metrics.collector import NetworkMetrics
 from repro.metrics.report import format_figure_report
+from repro.phy.dynamic import DynamicMediumPolicy, default_drift_policy
 
 #: Scheduler line-up used in the paper's comparisons.
 DEFAULT_SCHEDULERS = (GT_TSCH, ORCHESTRA)
@@ -70,6 +72,22 @@ class FigureResult:
         return format_figure_report(
             self.figure, self.sweep_label, self.sweep_values, self.results
         )
+
+    def ranking(
+        self, metric_key: str = "pdr_percent", descending: bool = True
+    ) -> list[tuple[str, float]]:
+        """Schedulers ranked by the metric's mean across the whole sweep.
+
+        Used by the churn figure to print a robustness ranking: under a
+        combined arrival/departure/link-drift plan the interesting answer
+        is not one point but which scheduler degrades least over the sweep.
+        Ties keep the scheduler line-up order (sorts are stable).
+        """
+        means = [
+            (scheduler, sum(self.series(scheduler, metric_key)) / len(self.sweep_values))
+            for scheduler in self.results
+        ]
+        return sorted(means, key=lambda item: item[1], reverse=descending)
 
     def rows(self) -> list[dict]:
         """Flat list of dict rows (sweep value + scheduler + metrics), CSV-friendly.
@@ -239,6 +257,9 @@ def run_churn(
     seeds: Optional[Sequence[int]] = None,
     jobs: int = 1,
     cache: Union[None, bool, ResultCache] = None,
+    num_arrivals: int = 0,
+    link_drift: Optional[DynamicMediumPolicy] = None,
+    cold_start: bool = False,
 ) -> FigureResult:
     """Churn sweep: robustness vs number of injected node crashes.
 
@@ -251,6 +272,11 @@ def run_churn(
     the six steady-state series.  Multi-seed runs keep the fault plan fixed
     (``plan_seed`` stays at its default) so the confidence intervals measure
     the network's response to one fault scenario, not plan variability.
+
+    ``num_arrivals``, ``link_drift``, and ``cold_start`` switch on the
+    dynamic-network extensions (late node power-ons, epoch-varying per-link
+    PRR drift, unsynchronised boots); the defaults reproduce the recorded
+    legacy series bit-for-bit.
     """
     return _run_sweep(
         figure="Churn: robustness vs injected node crashes",
@@ -258,6 +284,96 @@ def run_churn(
         sweep_values=crash_counts,
         scenario_for=lambda crashes, scheduler: churn_scenario(
             num_crashes=crashes,
+            scheduler=scheduler,
+            rate_ppm=rate_ppm,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+            num_arrivals=num_arrivals,
+            link_drift=link_drift,
+            cold_start=cold_start,
+        ),
+        schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+def run_churn_dynamic(
+    crash_counts: Sequence[int] = (1, 2),
+    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    rate_ppm: float = 120.0,
+    seed: int = 1,
+    measurement_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
+) -> FigureResult:
+    """Combined-stress churn: crashes + late arrivals + epoch link drift.
+
+    The robustness-ranking variant of :func:`run_churn`: every point layers
+    one late arrival and a three-epoch per-link PRR drift schedule on top
+    of the legacy crash plan, so ``result.ranking("pdr")`` answers which
+    scheduler degrades least when departures, arrivals, and medium drift
+    all hit the same window.  The drift epochs are pinned inside the
+    measurement window so the final restore barrier always fires.
+    """
+    drift = default_drift_policy(
+        seed=seed,
+        start_s=warmup_s + 0.20 * measurement_s,
+        epoch_s=0.15 * measurement_s,
+        num_epochs=3,
+    )
+    return _run_sweep(
+        figure="Churn (dynamic): crashes + arrivals + link drift",
+        sweep_label="node crashes",
+        sweep_values=crash_counts,
+        scenario_for=lambda crashes, scheduler: churn_scenario(
+            num_crashes=crashes,
+            scheduler=scheduler,
+            rate_ppm=rate_ppm,
+            seed=seed,
+            measurement_s=measurement_s,
+            warmup_s=warmup_s,
+            num_arrivals=1,
+            link_drift=drift,
+        ),
+        schedulers=schedulers,
+        seeds=_resolve_seeds(seeds, seed),
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+def run_join(
+    dodag_sizes: Sequence[int] = (5, 7, 9),
+    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    rate_ppm: float = 60.0,
+    seed: int = 1,
+    measurement_s: float = 90.0,
+    warmup_s: float = 5.0,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache: Union[None, bool, ResultCache] = None,
+) -> FigureResult:
+    """Cold-start join sweep: time-to-join / time-to-first-packet vs DODAG size.
+
+    Every non-root node boots unsynchronised and must scan for a beacon,
+    synchronise, and acquire an RPL parent before it may source traffic
+    (see :func:`~repro.experiments.scenarios.join_scenario`).  The headline
+    series are ``time_to_join_s`` and ``time_to_first_packet_s`` with
+    cross-seed CIs; both are censored at the window close for nodes that
+    never complete, so deeper DODAGs report honest lower bounds rather
+    than dropping their stragglers.
+    """
+    return _run_sweep(
+        figure="Join: cold-start formation vs DODAG size",
+        sweep_label="nodes per DODAG",
+        sweep_values=dodag_sizes,
+        scenario_for=lambda size, scheduler: join_scenario(
+            nodes_per_dodag=size,
             scheduler=scheduler,
             rate_ppm=rate_ppm,
             seed=seed,

@@ -21,7 +21,7 @@ The three factory functions mirror the paper's evaluation section:
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.config import GtTschConfig
@@ -34,6 +34,7 @@ from repro.net.network import Network
 from repro.net.node import NodeConfig
 from repro.net.topology import TopologyBuilder, multi_dodag_topology, scale_topology
 from repro.net.traffic import PeriodicTrafficGenerator
+from repro.phy.dynamic import DynamicMediumPolicy, arm_link_drift
 from repro.phy.propagation import UnitDiskLossyEdgeModel
 from repro.rpl.engine import RplConfig
 from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
@@ -74,6 +75,13 @@ class ContikiConfig:
     queue_ewma_zeta: float = 0.5
     load_balance_period_s: float = 4.0
     num_broadcast_cells: int = 4
+    #: Cold-start join (docs/faults.md): non-root nodes boot unsynchronised
+    #: and scan for an Enhanced Beacon before anything above the MAC runs.
+    cold_start_join: bool = False
+    #: Slots per scan-channel dwell while unsynchronised.
+    scan_dwell_slots: int = 64
+    #: Keepalive silence window in seconds; 0 disables the desync watchdog.
+    desync_timeout_s: float = 0.0
 
     def node_config(self) -> NodeConfig:
         """Bundle the per-node protocol configuration."""
@@ -84,9 +92,12 @@ class ContikiConfig:
                 max_retries=self.max_retries,
                 queue_capacity=self.queue_capacity,
                 eb_period_s=self.eb_period_s,
+                scan_dwell_slots=self.scan_dwell_slots,
+                desync_timeout_s=self.desync_timeout_s,
             ),
             rpl=RplConfig(dio_interval_min_s=self.dio_interval_min_s),
             sixp=SixPConfig(timeout_s=6.0, max_retries=2),
+            cold_start_join=self.cold_start_join,
         )
 
     def gt_tsch_config(self) -> GtTschConfig:
@@ -124,9 +135,14 @@ class Scenario:
     propagation: Optional[UnitDiskLossyEdgeModel] = None
     warm_start: bool = True
     #: Deterministic fault plan (crashes, rejoins, link-degradation epochs,
-    #: parent losses), armed on the network's event queue at build time.
-    #: Part of the scenario fingerprint like every other knob.
+    #: parent losses, late arrivals), armed on the network's event queue at
+    #: build time.  Part of the scenario fingerprint like every other knob.
     faults: Optional[FaultPlan] = None
+    #: Epoch-varying link quality: a seeded per-link PRR drift schedule
+    #: (:class:`~repro.phy.dynamic.DynamicMediumPolicy`), armed at build
+    #: time.  Epoch times are absolute, so they must land inside the run
+    #: (warm-up + measurement + drain) for the final restore to fire.
+    link_drift: Optional[DynamicMediumPolicy] = None
 
     def build_network(self) -> Network:
         """Instantiate the network for this scenario (not yet run)."""
@@ -148,6 +164,10 @@ class Scenario:
             )
             injector.arm()
             network.fault_injector = injector
+        if self.link_drift is not None:
+            # Epoch boundaries are plain event-queue callbacks; the medium
+            # is frozen by network.start() before the first one can fire.
+            network.link_drift_driver = arm_link_drift(network, self.link_drift)
         return network
 
     # ------------------------------------------------------------------
@@ -273,6 +293,9 @@ def churn_scenario(
     measurement_s: float = 60.0,
     warmup_s: float = 30.0,
     plan_seed: int = 1,
+    num_arrivals: int = 0,
+    link_drift: Optional[DynamicMediumPolicy] = None,
+    cold_start: bool = False,
 ) -> Scenario:
     """Robustness sweep: ``num_crashes`` node crashes under the Fig. 8 topology.
 
@@ -282,6 +305,13 @@ def churn_scenario(
     separate from the simulation ``seed`` so a multi-seed sweep replays the
     *same* fault plan against different stochastic networks -- the CIs then
     measure the network's response to one fixed fault scenario.
+
+    The dynamic-network extensions are strictly opt-in (defaults leave the
+    legacy plan bit-identical): ``num_arrivals`` nodes are absent from slot
+    0 and power on inside the second half of the window; ``link_drift``
+    layers a seeded per-link PRR drift schedule on top of the plan's
+    network-wide degradation epoch; ``cold_start`` boots every non-root
+    node unsynchronised (EB scan first, ``warm_start`` off).
     """
     topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
     # Roots sit at d * nodes_per_dodag and must never crash; everything else
@@ -305,9 +335,22 @@ def churn_scenario(
         degrade_scale=0.7,
         degrade_duration_s=0.15 * measurement_s,
         parent_loss_at_s=warmup_s + 0.75 * measurement_s,
+        num_arrivals=num_arrivals,
+        arrival_window=(
+            warmup_s + 0.55 * measurement_s,
+            warmup_s + 0.70 * measurement_s,
+        ),
     )
+    suffix = ""
+    if num_arrivals:
+        suffix += f"-{num_arrivals}arrive"
+    if link_drift is not None:
+        suffix += "-drift"
+    if cold_start:
+        suffix += "-cold"
+        contiki = replace(contiki or ContikiConfig(), cold_start_join=True)
     return Scenario(
-        name=f"churn-{num_crashes}crash-{scheduler}",
+        name=f"churn-{num_crashes}crash{suffix}-{scheduler}",
         scheduler=scheduler,
         topology=topology,
         rate_ppm=rate_ppm,
@@ -315,7 +358,58 @@ def churn_scenario(
         seed=seed,
         warmup_s=warmup_s,
         measurement_s=measurement_s,
+        warm_start=not cold_start,
         faults=plan,
+        link_drift=link_drift,
+    )
+
+
+# ----------------------------------------------------------------------
+# the cold-start join family (dynamic-network robustness)
+# ----------------------------------------------------------------------
+def join_scenario(
+    nodes_per_dodag: int,
+    scheduler: str,
+    rate_ppm: float = 60.0,
+    seed: int = 1,
+    contiki: Optional[ContikiConfig] = None,
+    num_dodags: int = 2,
+    measurement_s: float = 90.0,
+    warmup_s: float = 5.0,
+    desync_timeout_s: float = 0.0,
+    link_drift: Optional[DynamicMediumPolicy] = None,
+) -> Scenario:
+    """Cold-start join sweep: every non-root node boots unsynchronised.
+
+    Nothing is warm-started: the roots anchor the ASN and advertise EBs and
+    DIOs; every other node scans for a beacon, synchronises, acquires an
+    RPL parent, and only then sources traffic.  The headline outputs are
+    ``time_to_join_s`` and ``time_to_first_packet_s`` (collector-censored
+    at the window close for nodes that never make it), swept over the
+    DODAG size -- deeper DODAGs join strictly later because a child can
+    only hear beacons once its ancestors advertise.
+
+    The warm-up is kept short on purpose: join clocks are boot-relative
+    (they are not reset when the measurement window opens), but the first
+    packets must land inside the window to close the first-packet episodes.
+    """
+    contiki = replace(
+        contiki or ContikiConfig(),
+        cold_start_join=True,
+        desync_timeout_s=desync_timeout_s,
+    )
+    topology = multi_dodag_topology(num_dodags=num_dodags, nodes_per_dodag=nodes_per_dodag)
+    return Scenario(
+        name=f"join-{nodes_per_dodag}nodes-{scheduler}",
+        scheduler=scheduler,
+        topology=topology,
+        rate_ppm=rate_ppm,
+        contiki=contiki,
+        seed=seed,
+        warmup_s=warmup_s,
+        measurement_s=measurement_s,
+        warm_start=False,
+        link_drift=link_drift,
     )
 
 

@@ -11,6 +11,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     FaultPlan,
     LinkDegradation,
+    NodeArrival,
     NodeCrash,
     NodeRejoin,
     ParentLoss,
@@ -20,6 +21,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkDegradation",
+    "NodeArrival",
     "NodeCrash",
     "NodeRejoin",
     "ParentLoss",

@@ -25,8 +25,12 @@ are already settlement barriers for the fast kernel:
 
 Because of that, the injector adds no new synchronisation of its own --
 the fault-on equivalence suite in ``tests/net/test_fast_kernel.py`` holds
-the two loops bit-identical under crash, rejoin, link-degradation and
-parent-loss faults.  See ``docs/faults.md`` for the full contract.
+the two loops bit-identical under crash, rejoin, link-degradation,
+parent-loss and late-arrival faults.  Late arrivals
+(:class:`~repro.faults.plan.NodeArrival`) are additionally *pre-marked*
+absent at arm time -- before slot 0 -- so the initial state both loops
+start from is identical by construction.  See ``docs/faults.md`` for the
+full contract.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.faults.plan import (
     FaultPlan,
     LinkDegradation,
+    NodeArrival,
     NodeCrash,
     NodeRejoin,
     ParentLoss,
@@ -107,6 +112,29 @@ class FaultInjector:
             raise ValueError(
                 "plan contains rejoins but no scheduler_factory was provided"
             )
+        for arrival in self.plan.arrivals:
+            node = self.network.nodes.get(arrival.node_id)
+            if node is None:
+                raise ValueError(f"fault plan names unknown node {arrival.node_id}")
+            if node.is_root:
+                raise ValueError(
+                    f"fault plan delays root node {arrival.node_id}; the root "
+                    "anchors the ASN and the DODAG and cannot arrive late"
+                )
+        if self.plan.arrivals:
+            if self._scheduler_factory is None:
+                raise ValueError(
+                    "plan contains arrivals but no scheduler_factory was provided"
+                )
+            if self.network._started:
+                raise ValueError(
+                    "arrival plans must be armed before the network starts"
+                )
+            # Pre-mark every late arrival absent *now*, before slot 0: both
+            # slot loops then see identical initial state, and Network.start
+            # skips the dead nodes (their boot is the scheduled event below).
+            for arrival in self.plan.arrivals:
+                self._mark_absent(self.network.nodes[arrival.node_id])
         events = self.network.events
         for time_s, _order, event in self.plan.events():
             if isinstance(event, NodeCrash):
@@ -138,7 +166,64 @@ class FaultInjector:
                     event,
                     label=f"fault-parent-loss.{event.node_id}",
                 )
+            elif isinstance(event, NodeArrival):
+                events.schedule(
+                    time_s,
+                    self._arrival,
+                    event,
+                    label=f"fault-arrival.{event.node_id}",
+                )
         self.armed = True
+
+    def _mark_absent(self, node: "Node") -> None:
+        """Strip a late arrival's presence before the simulation starts.
+
+        Runs at arm time, before any timer is armed and before any
+        scheduler starts, so every mutation is hook-free by construction:
+        there are no installed cells to tear down, no queued packets to
+        flush, and no running timer to stop.  The node keeps its medium row
+        (the frozen N x N tables stay dense); only its liveness and any
+        warm-started DODAG state -- its own and every reference other
+        nodes' presets hold to it -- are erased.
+        """
+        rpl = node.rpl
+        self._records[node.node_id] = _CrashRecord(
+            parent=None,
+            rank=INFINITE_RANK,
+            dodag_id=None,
+            traffic_enabled=node.traffic_enabled,
+        )
+        node.alive = False
+        node.traffic_enabled = False
+        rpl.preferred_parent = None
+        rpl.rank = INFINITE_RANK
+        if not rpl.is_root:
+            rpl.dodag_id = None
+        rpl.neighbors.clear()
+        rpl.children.clear()
+        rpl._memo_inputs += 1
+        absent = node.node_id
+        for survivor in self.network.nodes.values():
+            if survivor.node_id == absent:
+                continue
+            survivor_rpl = survivor.rpl
+            changed = False
+            if absent in survivor_rpl.children:
+                survivor_rpl.children.discard(absent)
+                changed = True
+            if survivor_rpl.neighbors.pop(absent, None) is not None:
+                changed = True
+            if survivor_rpl.preferred_parent == absent:
+                # The warm-start preset routed through a node that is not
+                # there yet: the survivor boots detached and joins through
+                # DIO exchange like any cold node.
+                survivor_rpl.preferred_parent = None
+                survivor_rpl.rank = INFINITE_RANK
+                if not survivor_rpl.is_root:
+                    survivor_rpl.dodag_id = None
+                changed = True
+            if changed:
+                survivor_rpl._memo_inputs += 1
 
     # ------------------------------------------------------------------
     # node crash / detection / rejoin
@@ -166,6 +251,12 @@ class FaultInjector:
         if node.traffic is not None:
             node.traffic.stop()
         node._eb_timer.stop()
+        if node._keepalive_timer is not None:
+            node._keepalive_timer.stop()
+        # A cold-start node may die mid-scan: settle the listen window it
+        # accumulated and drop it from the dispatch kernel's scan registry
+        # (a dead radio listens to nothing).
+        node.abort_scan()
         node.scheduler.stop()
         # Silent RPL detach: the node's own state dies with it, but nothing
         # is advertised (it is *off*) -- neighbors only find out at
@@ -235,6 +326,18 @@ class FaultInjector:
         node.scheduler = scheduler
         scheduler.attach(node)
         node.rpl.dio_extra_provider = scheduler.dio_fields
+        if node.cold_start:
+            # A cold reboot loses TSCH synchronisation with the rest of the
+            # state: the node re-scans for an Enhanced Beacon, and the rest
+            # of the stack (scheduler, RPL, EBs, traffic) boots from
+            # Node._synchronise.  The pre-crash traffic setting is restored
+            # as a flag; the generator itself starts at sync.
+            if record is None or record.traffic_enabled:
+                node.traffic_enabled = True
+            if metrics is not None:
+                metrics.on_fault_injected("rejoin", now)
+            node.begin_scan()
+            return
         scheduler.start()
         parent = record.parent if record is not None else None
         if (
@@ -254,6 +357,53 @@ class FaultInjector:
                 node.traffic.start()
         if metrics is not None:
             metrics.on_fault_injected("rejoin", now)
+
+    def _arrival(self, fault: NodeArrival) -> None:
+        """Late power-on: fresh scheduler, *no* DODAG state, cold join.
+
+        Routes through exactly the settlement machinery a rejoin uses
+        (fresh scheduling-function instance, liveness flip, timer starts as
+        EventQueue events), but never warm-starts: the node either scans
+        for an Enhanced Beacon first (cold-start-join configs) or boots its
+        stack and listens until a DIO adopts it.
+        """
+        node = self.network.nodes[fault.node_id]
+        if node.alive:
+            return
+        now = self.network.events.now
+        metrics = self.network.metrics
+        record = self._records.get(fault.node_id)
+        node.alive = True
+        assert self._scheduler_factory is not None  # enforced by arm()
+        scheduler = self._scheduler_factory(node.node_id, node.is_root)
+        node.scheduler = scheduler
+        scheduler.attach(node)
+        node.rpl.dio_extra_provider = scheduler.dio_fields
+        if record is None or record.traffic_enabled:
+            node.traffic_enabled = True
+        if metrics is not None:
+            metrics.on_fault_injected("arrival", now)
+        if node.cold_start:
+            # Unsynchronised boot; begin_scan registers the join episode
+            # itself and Node._synchronise starts everything else.
+            node.begin_scan()
+            return
+        # Synchronised arrival (the idealisation matching warm rejoin):
+        # the stack boots immediately and waits for a DIO.
+        node._cold_join_pending = True
+        if metrics is not None:
+            metrics.on_join_pending(node.node_id, now)
+        scheduler.start()
+        node.rpl.start()
+        node._eb_timer.start()
+        if node.traffic_enabled and node.traffic is not None:
+            node.traffic.start()
+        # A booting RPL node multicasts a DIS solicitation; audible joined
+        # neighbors react per RFC 6206 by resetting their Trickle timers
+        # (prompt DIO).  The reaction is modelled without simulating the
+        # DIS frame itself -- by arrival time the neighbors' intervals have
+        # backed off so far that an unsolicited join could outwait the run.
+        self.network.solicit_dios(node)
 
     # ------------------------------------------------------------------
     # parent loss

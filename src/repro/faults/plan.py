@@ -30,6 +30,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "LinkDegradation",
+    "NodeArrival",
     "NodeCrash",
     "NodeRejoin",
     "ParentLoss",
@@ -83,6 +84,25 @@ class LinkDegradation:
 
 
 @dataclass(frozen=True)
+class NodeArrival:
+    """A node that is absent from slot 0 powers on at ``time_s``.
+
+    Unlike :class:`NodeRejoin`, an arrival needs no prior crash: the node
+    exists in the topology (so the frozen medium keeps its dense N x N
+    shape) but is pre-marked dead at injector arm time, before the
+    simulation starts.  At ``time_s`` it boots with a fresh
+    scheduling-function instance and *no* DODAG state -- it either listens
+    for a DIO to adopt it, or (cold-start-join scenarios) first scans for
+    an Enhanced Beacon to synchronise its ASN.  Roots never arrive late; a
+    plan delaying a root is rejected at injector arm time because the root
+    anchors the ASN and the DODAG.
+    """
+
+    time_s: float
+    node_id: int
+
+
+@dataclass(frozen=True)
 class ParentLoss:
     """Forced eviction of ``node_id``'s preferred parent at ``time_s``.
 
@@ -100,8 +120,15 @@ class ParentLoss:
 FaultEvent = Tuple[float, int, object]
 
 #: Stable tie-break order for events sharing a fire time: degrade the
-#: medium first, then kill, then rejoin, then inject parent losses.
-_EVENT_ORDER = {LinkDegradation: 0, NodeCrash: 1, NodeRejoin: 2, ParentLoss: 3}
+#: medium first, then kill, then rejoin, then inject parent losses, then
+#: power on late arrivals.
+_EVENT_ORDER = {
+    LinkDegradation: 0,
+    NodeCrash: 1,
+    NodeRejoin: 2,
+    ParentLoss: 3,
+    NodeArrival: 4,
+}
 
 
 @dataclass(frozen=True)
@@ -118,6 +145,7 @@ class FaultPlan:
     rejoins: Tuple[NodeRejoin, ...] = field(default_factory=tuple)
     link_epochs: Tuple[LinkDegradation, ...] = field(default_factory=tuple)
     parent_losses: Tuple[ParentLoss, ...] = field(default_factory=tuple)
+    arrivals: Tuple[NodeArrival, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for crash in self.crashes:
@@ -129,6 +157,7 @@ class FaultPlan:
                 raise ValueError(
                     f"rejoin of node {rejoin.node_id} has no matching crash"
                 )
+        self._validate_alternation()
         for epoch in self.link_epochs:
             if not 0.0 < epoch.prr_scale <= 1.0:
                 raise ValueError(
@@ -136,6 +165,48 @@ class FaultPlan:
                 )
             if epoch.duration_s <= 0.0:
                 raise ValueError(f"epoch duration must be positive: {epoch}")
+        seen_arrivals = set()
+        for arrival in self.arrivals:
+            if arrival.time_s < 0.0:
+                raise ValueError(f"arrival times must be non-negative: {arrival}")
+            if arrival.node_id in seen_arrivals:
+                raise ValueError(
+                    f"node {arrival.node_id} arrives more than once"
+                )
+            seen_arrivals.add(arrival.node_id)
+            for crash in self.crashes:
+                if crash.node_id == arrival.node_id and crash.time_s < arrival.time_s:
+                    raise ValueError(
+                        f"node {arrival.node_id} crashes at {crash.time_s} "
+                        f"before arriving at {arrival.time_s}"
+                    )
+
+    def _validate_alternation(self) -> None:
+        """Per node, crashes and rejoins must alternate crash-first in time.
+
+        Two crashes of one node without an intervening rejoin would make
+        the second a silent no-op (the injector guards on ``alive``), and a
+        rejoin scheduled before its crash would fire on a live node --
+        either way the plan does not mean what it says, so it is rejected
+        here rather than dying quietly at run time.
+        """
+        per_node: dict = {}
+        for crash in self.crashes:
+            per_node.setdefault(crash.node_id, []).append((crash.time_s, 0))
+        for rejoin in self.rejoins:
+            per_node.setdefault(rejoin.node_id, []).append((rejoin.time_s, 1))
+        for node_id, marks in sorted(per_node.items()):
+            marks.sort()
+            for index, (time_s, kind) in enumerate(marks):
+                expected = index % 2  # crash, rejoin, crash, ...
+                if kind != expected:
+                    what = "crashes" if kind == 0 else "rejoins"
+                    needs = "rejoin" if kind == 0 else "crash"
+                    raise ValueError(
+                        f"node {node_id} {what} at {time_s} without an "
+                        f"intervening {needs}; crashes and rejoins must "
+                        "alternate per node"
+                    )
 
     def events(self) -> List[FaultEvent]:
         """All plan events as ``(time_s, order, event)``, sorted.
@@ -146,7 +217,14 @@ class FaultPlan:
         sequence, so both slot loops fire them identically.
         """
         merged: List[FaultEvent] = []
-        for group in (self.link_epochs, self.crashes, self.rejoins, self.parent_losses):
+        groups = (
+            self.link_epochs,
+            self.crashes,
+            self.rejoins,
+            self.parent_losses,
+            self.arrivals,
+        )
+        for group in groups:
             for event in group:
                 merged.append((event.time_s, _EVENT_ORDER[type(event)], event))
         merged.sort(key=lambda item: (item[0], item[1]))
@@ -154,7 +232,11 @@ class FaultPlan:
 
     def is_empty(self) -> bool:
         return not (
-            self.crashes or self.rejoins or self.link_epochs or self.parent_losses
+            self.crashes
+            or self.rejoins
+            or self.link_epochs
+            or self.parent_losses
+            or self.arrivals
         )
 
     @classmethod
@@ -171,6 +253,8 @@ class FaultPlan:
         degrade_scale: float = 0.7,
         degrade_duration_s: float = 10.0,
         parent_loss_at_s: float = 0.0,
+        num_arrivals: int = 0,
+        arrival_window: Tuple[float, float] = (0.0, 0.0),
     ) -> "FaultPlan":
         """Build the canonical crash/rejoin/degrade churn plan.
 
@@ -182,7 +266,12 @@ class FaultPlan:
         each victim rejoins ``rejoin_after_s`` after its crash.  A single
         link-degradation epoch starts at ``degrade_at_s`` (skipped when
         0), and the first *surviving* candidate takes a parent-loss hit at
-        ``parent_loss_at_s`` (skipped when 0).
+        ``parent_loss_at_s`` (skipped when 0).  ``num_arrivals`` late
+        arrivals (skipped when 0) are drawn from the candidates that
+        neither crash nor take the parent loss, with power-on times spread
+        evenly across ``arrival_window`` -- the arrival draws happen
+        *after* every legacy draw, so plans built without arrivals are
+        bit-identical to plans built by older revisions.
         """
         if num_crashes > len(candidates):
             raise ValueError(
@@ -221,9 +310,30 @@ class FaultPlan:
                 parent_losses = (
                     ParentLoss(time_s=parent_loss_at_s, node_id=survivors[0]),
                 )
+        arrivals: Tuple[NodeArrival, ...] = ()
+        if num_arrivals > 0:
+            taken = set(victims)
+            taken.update(loss.node_id for loss in parent_losses)
+            pool = [node for node in candidates if node not in taken]
+            if num_arrivals > len(pool):
+                raise ValueError(
+                    f"cannot arrive {num_arrivals} of {len(pool)} free candidates"
+                )
+            arrival_victims = rng.sample(pool, num_arrivals)
+            arrive_start, arrive_end = arrival_window
+            arrive_span = max(0.0, arrive_end - arrive_start)
+            arrive_step = arrive_span / num_arrivals
+            arrivals = tuple(
+                NodeArrival(
+                    time_s=arrive_start + index * arrive_step,
+                    node_id=node,
+                )
+                for index, node in enumerate(arrival_victims)
+            )
         return cls(
             crashes=crashes,
             rejoins=rejoins,
             link_epochs=link_epochs,
             parent_losses=parent_losses,
+            arrivals=arrivals,
         )

@@ -60,6 +60,15 @@ class TschConfig:
     etx_alpha: float = 0.9
     #: ETX assumed for links with no transmission history yet.
     initial_etx: float = 2.0
+    #: Cold-start EB scan: slots spent listening on one channel before the
+    #: scanner hops to the next (an unsynchronised node cannot follow the
+    #: hopping sequence, so it parks on each channel in turn).
+    scan_dwell_slots: int = 64
+    #: Desync-on-silence keepalive window in seconds: a cold-start node that
+    #: decodes *nothing* for this long after synchronising drops back to the
+    #: EB scan.  0 disables the keepalive (the default -- converged-network
+    #: scenarios never desynchronise).
+    desync_timeout_s: float = 0.0
 
 
 class SlotPlan:
@@ -651,6 +660,17 @@ class TschEngine:
         self._csma_deferral: Optional[tuple] = None
         #: Number of over-the-air attempts already spent on each queued packet.
         self._attempts: dict[int, int] = {}
+        #: Cold-start join state: while True the node is *unsynchronised* --
+        #: it has no schedule, draws no RNG, and spends every slot listening
+        #: on the scan channel (a pure function of the ASN) waiting for an
+        #: Enhanced Beacon.  Checked before every cache in
+        #: :meth:`plan_slot`, and by :meth:`settle_duty_cycle`, whose bulk
+        #: credit for a scanning window is all idle-listen instead of the
+        #: schedule-derived listen/sleep split.
+        self._scanning = False
+        #: Interned scan plans, one per physical channel (the scan plan is a
+        #: pure function of the scan channel).
+        self._scan_plan_cache: dict[int, SlotPlan] = {}
         #: Upper-layer callback invoked with (packet, asn) for every decoded frame.
         self.rx_callback: Optional[Callable[[Packet, int], None]] = None
         #: Upper-layer callback invoked with (packet, success, asn) when a
@@ -870,6 +890,17 @@ class TschEngine:
         accounted = backing.duty_accounted_asn[row]
         if accounted >= asn:
             return
+        if self._scanning:
+            # Every scan slot is an idle listen (the reference loop records
+            # record_rx(False) for each); slots in which the scanner decoded
+            # a frame are credited eagerly through account_rx_frame_slot /
+            # account_slot and never reach this window.
+            window = asn - accounted
+            backing.rx_slots[row] += window
+            backing.idle_listen_slots[row] += window
+            backing.total_slots[row] += window
+            backing.duty_accounted_asn[row] = asn
+            return
         if profile is None:
             # Inlined schedule_profile() version check (hot: one settle per
             # visited node per stepped slot).
@@ -925,6 +956,61 @@ class TschEngine:
         backing.duty_accounted_asn[row] = asn + 1
         backing.rx_slots[row] += 1
         backing.total_slots[row] += 1
+
+    # ------------------------------------------------------------------
+    # cold-start EB scan (unsynchronised join)
+    # ------------------------------------------------------------------
+    @property
+    def scanning(self) -> bool:
+        """Whether this node is in the unsynchronised EB-scan state."""
+        return self._scanning
+
+    def scan_channel(self, asn: int) -> int:
+        """Physical channel the scanner parks on at ``asn``.
+
+        A pure function of the ASN (no RNG, no state): the scanner dwells
+        ``scan_dwell_slots`` slots per channel and walks the hopping
+        sequence, so it eventually coincides with any periodic beacon's
+        hopping phase.  Both slot loops compute the identical channel.
+        """
+        dwell = self.config.scan_dwell_slots
+        return int(self.hopping.sequence[(asn // dwell) % self._hop_period])
+
+    def scan_plan(self, asn: int) -> SlotPlan:
+        """The scanning node's plan for ``asn``: listen on the scan channel."""
+        channel = self.scan_channel(asn)
+        plan = self._scan_plan_cache.get(channel)
+        if plan is None:
+            plan = SlotPlan(action="rx", cell=None, channel=channel)
+            self._scan_plan_cache[channel] = plan
+        return plan
+
+    def begin_scan(self, asn: int) -> None:
+        """Enter the EB scan at ``asn`` (idempotent).
+
+        The deferred duty window accumulated under the previous state is
+        settled first (callers that just tore a schedule down have already
+        settled through the mutation barrier, making this a no-op), then
+        every subsequent slot is accounted as a scan idle-listen.
+        """
+        if self._scanning:
+            return
+        self.settle_duty_cycle(asn)
+        self._scanning = True
+
+    def end_scan(self, asn: int) -> None:
+        """Leave the EB scan at ``asn`` (first EB decoded -- idempotent).
+
+        Settles the scan window ``[duty_accounted_asn, asn)`` as idle-listen
+        before flipping the flag: the sync slot ``asn`` itself is credited by
+        the caller's normal busy-RX accounting (both loops account it as a
+        received frame), and any schedule the node installs next starts its
+        deferred window at ``asn`` exactly.
+        """
+        if not self._scanning:
+            return
+        self.settle_duty_cycle(asn)
+        self._scanning = False
 
     # ------------------------------------------------------------------
     # deferred shared-cell contention (used by the slot-skipping kernel)
@@ -1165,6 +1251,11 @@ class TschEngine:
         Ties between cells are broken by GT-TSCH purpose priority, then by
         slotframe handle.
         """
+        if self._scanning:
+            # Unsynchronised: no schedule, no queue scan, no caches -- park
+            # on the scan channel.  Checked first on BOTH the cached and the
+            # reference path so the two loops agree slot for slot.
+            return self.scan_plan(asn)
         deferral = self._csma_deferral
         if deferral is not None:
             # The kernel deferred this node's shared-cell countdown; credit

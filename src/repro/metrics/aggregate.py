@@ -38,6 +38,9 @@ NUMERIC_KEYS = (
     "pdr_under_churn_percent",
     "packets_lost_to_crash",
     "orphaned_cell_slots",
+    "time_to_join_s",
+    "time_to_first_packet_s",
+    "nodes_joined",
 )
 
 #: Two-sided 95% critical values of Student's t distribution, indexed by

@@ -74,6 +74,19 @@ class NetworkMetrics:
     orphaned_cell_slots: int = 0
     #: Fault events injected inside the measurement window.
     faults_injected: int = 0
+    #: Cold-join metrics (cold-start scans and late arrivals, see
+    #: docs/faults.md).  Both stay zero in scenarios without cold boots.
+    #: ``time_to_join_s`` averages, over every join episode, the time from
+    #: boot (scan start or power-on) to the first parent acquisition;
+    #: episodes still open when the window closes are censored at the
+    #: window end, so a node that never joins drags the average up instead
+    #: of vanishing from it.  ``time_to_first_packet_s`` measures boot to
+    #: the first *measured* data packet from that node delivered at a
+    #: root, censored the same way.
+    time_to_join_s: float = 0.0
+    time_to_first_packet_s: float = 0.0
+    #: Join episodes actually completed (uncensored joins).
+    nodes_joined: int = 0
     per_node: dict[int, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -94,6 +107,9 @@ class NetworkMetrics:
             "pdr_under_churn_percent": self.pdr_under_churn_percent,
             "packets_lost_to_crash": self.packets_lost_to_crash,
             "orphaned_cell_slots": self.orphaned_cell_slots,
+            "time_to_join_s": self.time_to_join_s,
+            "time_to_first_packet_s": self.time_to_first_packet_s,
+            "nodes_joined": self.nodes_joined,
         }
 
 
@@ -123,6 +139,17 @@ class MetricsCollector:
         self._orphan_open: dict[int, float] = {}
         self._reconverge_durations: list[float] = []
         self._orphaned_cells = 0
+        #: Cold-join tracking (cold-start scans and late arrivals).  Unlike
+        #: the window-scoped counters these are *not* reset by
+        #: ``begin_measurement``: a join episode is boot-relative (a cold
+        #: node starts scanning at t=0, typically well before the window
+        #: opens), and its duration is meaningful regardless of where the
+        #: window lands.  Finalisation censors still-open episodes at the
+        #: window close.
+        self._join_open: dict[int, float] = {}
+        self._join_durations: list[float] = []
+        self._first_packet_open: dict[int, float] = {}
+        self._first_packet_durations: list[float] = []
         #: Per-node counter snapshots taken at the start of the window so the
         #: warm-up phase does not contaminate the measured values.
         self._node_baselines: dict[int, dict] = {}
@@ -199,6 +226,9 @@ class MetricsCollector:
         self._delivered[packet.packet_id] = now
         self._delays_ms.append((now - record.created_at) * 1000.0)
         self._hops.append(packet.hops)
+        started = self._first_packet_open.pop(record.node_id, None)
+        if started is not None:
+            self._first_packet_durations.append(now - started)
 
     def on_data_lost(self, node, packet, reason: str) -> None:
         if packet.packet_id not in self._generated:
@@ -233,6 +263,22 @@ class MetricsCollector:
     def on_cells_orphaned(self, count: int) -> None:
         """``count`` scheduled cells pointed at a neighbor now known dead."""
         self._orphaned_cells += count
+
+    # ------------------------------------------------------------------
+    # cold-join hooks (called by nodes and the FaultInjector)
+    # ------------------------------------------------------------------
+    def on_join_pending(self, node_id: int, now: float) -> None:
+        """A join episode opened: a cold node began its EB scan, or a late
+        arrival powered on.  Re-opening (desync re-scan) restarts both the
+        join and the first-packet clocks."""
+        self._join_open[node_id] = now
+        self._first_packet_open[node_id] = now
+
+    def on_node_joined(self, node_id: int, now: float) -> None:
+        """A cold node acquired its first RPL parent; closes its episode."""
+        started = self._join_open.pop(node_id, None)
+        if started is not None:
+            self._join_durations.append(now - started)
 
     # ------------------------------------------------------------------
     # finalisation
@@ -323,6 +369,22 @@ class MetricsCollector:
         if episode_durations:
             metrics.time_to_reconverge_s = sum(episode_durations) / len(
                 episode_durations
+            )
+        # --- cold-join metrics (zero without cold boots / arrivals) ------
+        metrics.nodes_joined = len(self._join_durations)
+        join_durations = list(self._join_durations)
+        for _node_id, started in sorted(self._join_open.items()):
+            # Never joined: censor at the window close, exactly as the
+            # reconvergence episodes above.
+            join_durations.append(max(0.0, window_end - started))
+        if join_durations:
+            metrics.time_to_join_s = sum(join_durations) / len(join_durations)
+        first_packet_durations = list(self._first_packet_durations)
+        for _node_id, started in sorted(self._first_packet_open.items()):
+            first_packet_durations.append(max(0.0, window_end - started))
+        if first_packet_durations:
+            metrics.time_to_first_packet_s = sum(first_packet_durations) / len(
+                first_packet_durations
             )
         if self._first_fault_time is not None:
             cutoff = self._first_fault_time

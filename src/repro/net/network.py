@@ -158,6 +158,14 @@ class Network:
         #: these nodes can make a slot "risky", so the kernel's transmission
         #: horizon tracking is bounded by backlogged nodes, not network size.
         self._backlogged: dict[int, Node] = {}
+        #: Scan registry: nodes currently in the unsynchronised EB scan,
+        #: push-maintained through :attr:`Node.on_scan_state`.  A scanning
+        #: node has no schedule (it is invisible to the participant index)
+        #: but listens on the deterministic scan channel every slot, so the
+        #: dispatch kernel adds these nodes to every stepped slot's
+        #: audience; in jumped/transmission-free slots they provably decode
+        #: nothing and their all-idle-listen window settles in bulk.
+        self._scanning: dict[int, Node] = {}
         #: Min-heap of per-node TX horizons: ``(occurrence, order index,
         #: node, queue version, schedule version)``.  An entry is authoritative
         #: only while both versions still match its node (stale entries are
@@ -201,6 +209,8 @@ class Network:
             node.set_traffic_generator(traffic)
         node.tsch.on_schedule_change = lambda bound=node: self._on_schedule_change(bound)
         node.tsch.on_queue_change = lambda bound=node: self._on_queue_change(bound)
+        node.on_scan_state = self._on_scan_state
+        node.clock = self.clock
         # Adopt the node into the struct-of-arrays store: all of its views
         # (liveness, timers, queue, meter, ETX, RPL rank) move onto one row.
         node.bind_state(self.state, self.state.add_row())
@@ -269,7 +279,10 @@ class Network:
             return
         self._started = True
         for node in self.nodes.values():
-            node.start()
+            # Late arrivals (FaultPlan.arrivals) are pre-marked dead at
+            # injector arm time; their boot is the scheduled arrival event.
+            if node.alive:
+                node.start()
 
     def step_slot(self) -> None:
         """Advance the whole network by one TSCH timeslot.
@@ -364,6 +377,14 @@ class Network:
         audience_of = self.medium.audience_of
         for node_id in intent_owners:
             audience |= audience_of(node_id)
+        scanning = self._scanning
+        if scanning:
+            # Unsynchronised scanners listen on their scan channel every
+            # slot regardless of interference geometry: the reference loop
+            # plans them as listeners unconditionally, so every stepped
+            # slot must offer them to the medium (non-audible listeners
+            # draw no RNG in resolve_slot, keeping arbitration identical).
+            audience |= scanning.keys()
         order = self._node_order
         nodes = self.nodes
         listeners: dict[int, int] = {}
@@ -381,6 +402,18 @@ class Network:
         else:
             ordered_audience = sorted(audience, key=order.__getitem__)
         for node_id in ordered_audience:
+            if node_id in scanning:
+                # Scanning nodes have no cells (no participant bucket) and
+                # an empty queue; their slot is the pure ASN function of
+                # the scan-channel sequence.
+                channel = scanning[node_id].tsch.scan_channel(asn)
+                listeners[node_id] = channel
+                bucket = by_channel.get(channel)
+                if bucket is None:
+                    by_channel[channel] = [node_id]
+                else:
+                    bucket.append(node_id)
+                continue
             plan = planned.get(node_id)
             if plan is None:
                 node_order = order[node_id]
@@ -563,6 +596,12 @@ class Network:
             profile = engine.cached_profile()
             if profile is not None:
                 engine.settle_duty_cycle(asn, profile)
+            elif engine._scanning:
+                # A scanning node's window is busy listening, not sleep;
+                # the engine's own settle knows that.  (Unreachable through
+                # the join paths -- scan transitions settle eagerly -- but
+                # cheap insurance against future mutation orderings.)
+                engine.settle_duty_cycle(asn)
             else:
                 # No profile was ever derived: the node never had a cell, so
                 # the whole window is sleep.
@@ -670,6 +709,43 @@ class Network:
             self._backlogged.pop(node.node_id, None)
             self._risky_dirty.discard(node)
 
+    def _on_scan_state(self, node: Node, scanning: bool) -> None:
+        """``node`` entered or left the unsynchronised EB scan.
+
+        The engine's own scan transition already settled the node's
+        deferred duty-cycle window (``begin_scan``/``end_scan`` are
+        settlement barriers), so this hook only maintains the registry the
+        dispatch kernel reads.
+        """
+        if scanning:
+            self._scanning[node.node_id] = node
+        else:
+            self._scanning.pop(node.node_id, None)
+            if node.alive:
+                # Fresh synchronisation (a dead node leaves the registry
+                # with ``alive`` already cleared): the booted RPL stack
+                # would now multicast a DIS, so trigger the neighbors'
+                # solicited-DIO reaction.
+                self.solicit_dios(node)
+
+    def solicit_dios(self, node: Node) -> None:
+        """Model the DIS multicast a freshly booted RPL node sends.
+
+        Audible joined neighbors react per RFC 6206 by resetting their
+        Trickle timers, which produces a prompt DIO for the newcomer to
+        attach to; the DIS frame itself is not simulated.  Without the
+        solicitation a node arriving late in a stable network could outwait
+        the run: every neighbor's interval has backed off to hundreds of
+        seconds by then.  Deterministic: neighbors are visited in sorted id
+        order and each reset draws only from that neighbor's own trickle
+        RNG stream, inside an event callback both slot loops fire
+        identically.
+        """
+        for neighbor_id in sorted(self.medium.audience_of(node.node_id)):
+            neighbor = self.nodes[neighbor_id]
+            if neighbor.alive and neighbor.rpl.is_joined():
+                neighbor.rpl.trickle.reset()
+
     def _flush_duty_cycle(self) -> None:
         """Settle every node's deferred duty-cycle window up to the clock.
 
@@ -700,6 +776,15 @@ class Network:
             row = engine._row
             accounted = int(accounted_col[row])
             if accounted >= asn:
+                continue
+            if engine._scanning:
+                # EB scan: every deferred slot was spent listening on the
+                # scan channel -- record_rx(False) per slot, which is
+                # exactly idle == window under settle_idle_rx.
+                window = asn - accounted
+                rows.append(row)
+                idles.append(window)
+                windows.append(window)
                 continue
             profile = engine._profile
             if profile is None or profile.version != engine._version:

@@ -21,11 +21,12 @@ arbitration -- which keeps the layering identical to the real stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.mac.tsch import TschConfig, TschEngine
 from repro.net.packet import BROADCAST_ADDRESS, Packet, PacketType, make_data_packet
 from repro.rpl.engine import RplConfig, RplEngine
+from repro.rpl.rank import INFINITE_RANK
 from repro.kernel.state import LocalBacking, NodeStateStore, bind_backing
 from repro.sim.events import EventQueue, PeriodicTimer
 from repro.sixtop.layer import SixPConfig, SixPLayer
@@ -35,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.collector import MetricsCollector
     from repro.net.traffic import TrafficGenerator
     from repro.schedulers.base import SchedulingFunction
+    from repro.sim.clock import SimClock
 
 
 @dataclass
@@ -58,6 +60,11 @@ class NodeConfig:
     tsch: TschConfig = field(default_factory=TschConfig)
     rpl: RplConfig = field(default_factory=RplConfig)
     sixp: SixPConfig = field(default_factory=SixPConfig)
+    #: Cold-start join: non-root nodes boot unsynchronised and scan for an
+    #: Enhanced Beacon before any upper layer (scheduler, RPL, traffic)
+    #: starts -- see :meth:`Node.begin_scan` and ``docs/faults.md``.  Roots
+    #: ignore the flag: they anchor the ASN and the DODAG.
+    cold_start_join: bool = False
 
 
 class Node:
@@ -98,6 +105,22 @@ class Node:
         #: periodic DAO refresh) may still fire and must not transmit.  The
         #: flag lives in the backing row's ``alive`` column (property below).
         self.alive = True
+        #: Cold-start join state (see :meth:`begin_scan`).  ``cold_start``
+        #: selects the unsynchronised boot path; ``_cold_join_pending`` is
+        #: raised while the node scans/acquires a parent and cleared (with a
+        #: join-metrics sample) by the first parent acquisition.
+        self.cold_start = config.cold_start_join and not is_root
+        self._cold_join_pending = False
+        #: Set by the network so scan transitions maintain its registry of
+        #: scanning listeners: ``on_scan_state(node, scanning)``.
+        self.on_scan_state: Optional[Callable[["Node", bool], None]] = None
+        #: Shared simulation clock (assigned by ``Network.add_node``); a
+        #: standalone node reads ASN 0, which only shifts its scan-channel
+        #: phase, never correctness.
+        self.clock: Optional["SimClock"] = None
+        #: Absolute time of the last frame this node decoded while
+        #: synchronised; the keepalive window measures silence against it.
+        self._last_heard_s = 0.0
 
         # --- MAC -------------------------------------------------------
         self.tsch = TschEngine(node_id, config.tsch, rng_registry.stream(f"mac.{node_id}"))
@@ -152,6 +175,22 @@ class Node:
         self._eb_timer.on_phase = self._record_eb_phase
         self.rpl.trickle.on_phase = self._record_trickle_phase
 
+        # --- keepalive / desync watchdog ---------------------------------
+        # Cold-start nodes lose synchronisation after a full window of
+        # radio silence (no frame decoded): the watchdog tears the stack
+        # down to the MAC and re-enters EB scan.  Un-jittered on purpose --
+        # its ticks are pure EventQueue callbacks both slot loops drain
+        # identically, and it must never perturb any protocol rng stream.
+        self._keepalive_timer: Optional[PeriodicTimer] = None
+        if self.cold_start and config.tsch.desync_timeout_s > 0.0:
+            self._keepalive_timer = PeriodicTimer(
+                event_queue,
+                config.tsch.desync_timeout_s,
+                self._keepalive_check,
+                start_offset=config.tsch.desync_timeout_s,
+                label=f"keepalive.{node_id}",
+            )
+
         self._app_seqno = 0
 
     # ------------------------------------------------------------------
@@ -195,7 +234,14 @@ class Node:
         When the RPL state was warm-started before the scheduler existed (the
         deterministic scenario setup), the scheduler is replayed the current
         parent/children relations so its schedule matches the preset topology.
+
+        Cold-start nodes do none of that: they boot unsynchronised, and
+        everything above the MAC waits for the first Enhanced Beacon (see
+        :meth:`_synchronise`).
         """
+        if self.cold_start:
+            self.begin_scan()
+            return
         self.scheduler.start()
         if self.rpl.preferred_parent is not None:
             self.scheduler.on_parent_changed(None, self.rpl.preferred_parent)
@@ -205,6 +251,111 @@ class Node:
         self._eb_timer.start()
         if self.traffic is not None:
             self.traffic.start()
+
+    # ------------------------------------------------------------------
+    # cold-start join (EB scan / synchronise / desync)
+    # ------------------------------------------------------------------
+    def _current_asn(self) -> int:
+        return self.clock.asn if self.clock is not None else 0
+
+    def begin_scan(self) -> None:
+        """Enter (or re-enter) the unsynchronised EB scan.
+
+        The MAC parks its radio on the deterministic scan channel every
+        slot (:meth:`~repro.mac.tsch.TschEngine.begin_scan`); no upper
+        layer runs until :meth:`_synchronise` decodes a beacon.  The join
+        episode is registered with the metrics collector so time-to-join
+        can censor nodes that never make it.
+        """
+        self._cold_join_pending = True
+        self.tsch.begin_scan(self._current_asn())
+        if self.metrics is not None:
+            self.metrics.on_join_pending(self.node_id, self.event_queue.now)
+        if self.on_scan_state is not None:
+            self.on_scan_state(self, True)
+
+    def abort_scan(self) -> None:
+        """Stop scanning without synchronising (used when a scanning node
+        crashes: its radio dies mid-scan, so the listen window up to now is
+        settled and the MAC returns to pure sleep)."""
+        if not self.tsch.scanning:
+            return
+        self.tsch.end_scan(self._current_asn())
+        if self.on_scan_state is not None:
+            self.on_scan_state(self, False)
+
+    def _synchronise(self, packet: Packet, asn: int) -> None:
+        """First EB decoded while scanning: sync the clock, boot the stack.
+
+        Order matters for the fast kernel's accounting: the MAC settles the
+        scan window *before* the scheduler's first schedule mutation fires
+        the settlement barrier, so the barrier sees a clean watermark and
+        the sync slot itself is credited as busy-RX by the caller.  The
+        scheduler then consumes the very beacon that synchronised us
+        (GT-TSCH reads its channel-assignment fields), RPL starts listening
+        for DIOs, and our own EB/keepalive/traffic machinery arms.
+        """
+        self.tsch.end_scan(asn)
+        if self.on_scan_state is not None:
+            self.on_scan_state(self, False)
+        self.scheduler.start()
+        self.scheduler.on_eb_received(packet)
+        self.rpl.start()
+        self._eb_timer.start()
+        if self._keepalive_timer is not None:
+            self._last_heard_s = self.event_queue.now
+            self._keepalive_timer.start()
+        if self.traffic is not None and self.traffic_enabled:
+            self.traffic.start()
+
+    def _keepalive_check(self) -> None:
+        """Desync-on-silence: a full keepalive window with no decoded frame
+        means the node's clock has drifted beyond recovery -- tear down and
+        re-scan."""
+        if not self.alive or self.tsch.scanning:
+            return
+        if self.event_queue.now - self._last_heard_s >= self.config.tsch.desync_timeout_s:
+            self._desynchronise()
+
+    def _desynchronise(self) -> None:
+        """Lose TSCH synchronisation: back to the unsynchronised MAC.
+
+        Mirrors the fault injector's crash teardown (silent RPL detach,
+        loss-accounted queue flush, ``clear_schedule`` as the settlement
+        barrier) except the node stays alive and immediately re-enters EB
+        scan.  Every mutation goes through a fast-kernel barrier, so both
+        slot loops stay bit-identical across a desync.
+        """
+        now = self.event_queue.now
+        metrics = self.metrics
+        rpl = self.rpl
+        if metrics is not None:
+            metrics.on_fault_injected("desync", now)
+            if rpl.preferred_parent is not None:
+                metrics.on_node_orphaned(self.node_id, now)
+        self.scheduler.stop()
+        self._eb_timer.stop()
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.stop()
+        if self.traffic is not None:
+            self.traffic.stop()
+        rpl.trickle.stop()
+        rpl.preferred_parent = None
+        rpl.rank = INFINITE_RANK
+        if not rpl.is_root:
+            rpl.dodag_id = None
+        rpl.neighbors.clear()
+        rpl.children.clear()
+        rpl._memo_inputs += 1
+        for packet in self.tsch.flush_queue():
+            if packet.ptype is PacketType.DATA and metrics is not None:
+                metrics.on_data_lost(self, packet, reason="desync")
+        self.tsch.quiet_shared_neighbors.clear()
+        self.tsch.clear_schedule()
+        # Reset the store's TX-horizon mirror, exactly as a crash does: the
+        # dispatch heap drops its stale entry lazily, array scanners don't.
+        self._backing.tx_horizon[self._row] = -1
+        self.begin_scan()
 
     def set_traffic_generator(self, generator: "TrafficGenerator") -> None:
         """Attach an application traffic generator to this node."""
@@ -287,6 +438,16 @@ class Node:
         Broadcast control frames (DIO/EB) dominate receptions at scale --
         every neighbor decodes them -- so they are dispatched first.
         """
+        if self.tsch.scanning:
+            # Unsynchronised: the only frame that means anything is an
+            # Enhanced Beacon, which carries the ASN and synchronises us.
+            # Anything else decoded on the scan channel is noise to a node
+            # with no schedule and no DODAG.
+            if packet.ptype is PacketType.EB:
+                self._synchronise(packet, asn)
+            return
+        if self._keepalive_timer is not None:
+            self._last_heard_s = self.event_queue.now
         ptype = packet.ptype
         if ptype is PacketType.DIO:
             self.rpl.process_dio(packet, self.event_queue.now)
@@ -327,6 +488,13 @@ class Node:
                 self.metrics.on_node_orphaned(self.node_id, self.event_queue.now)
             elif old_parent is None and new_parent is not None:
                 self.metrics.on_node_recovered(self.node_id, self.event_queue.now)
+        if new_parent is not None and self._cold_join_pending:
+            # First parent since the cold boot (or since a desync): the
+            # join episode closes here -- sync alone is not a join, a
+            # route to the root is.
+            self._cold_join_pending = False
+            if self.metrics is not None:
+                self.metrics.on_node_joined(self.node_id, self.event_queue.now)
         self.scheduler.on_parent_changed(old_parent, new_parent)
 
     def _on_child_added(self, child: int) -> None:

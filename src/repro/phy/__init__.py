@@ -12,6 +12,11 @@ evaluation with an equivalent software model:
   nodes estimate ETX.
 """
 
+from repro.phy.dynamic import (
+    DynamicMediumDriver,
+    DynamicMediumPolicy,
+    default_drift_policy,
+)
 from repro.phy.linkstats import EtxEstimator, LinkStats
 from repro.phy.medium import Medium, TransmissionIntent, TransmissionResult
 from repro.phy.propagation import (
@@ -31,4 +36,7 @@ __all__ = [
     "TransmissionResult",
     "EtxEstimator",
     "LinkStats",
+    "DynamicMediumPolicy",
+    "DynamicMediumDriver",
+    "default_drift_policy",
 ]

@@ -146,6 +146,15 @@ class Medium:
         #: bit-exactly, and the scale currently applied.
         self._prr_base_rows: Optional[dict[int, list[float]]] = None
         self._prr_scale = 1.0
+        #: Per-link scale vectors (dynamic-medium epochs): sender id ->
+        #: per-listener multipliers composed on top of the scalar scale.
+        #: ``None`` means no per-link epoch is open.
+        self._link_scale_rows: Optional[dict[int, list[float]]] = None
+        #: Monotonic count of per-link epoch transitions since freeze();
+        #: stamped into :meth:`export_frozen` snapshots so the sweep engine's
+        #: warm-pool frozen cache can prove it only ever serves epoch-0
+        #: (pristine) tables.
+        self._link_epoch = 0
         #: Dense boolean interference matrix (numpy, when available): row =
         #: sender index, column = listener index.  Pure accelerator for the
         #: audible-count scan of :meth:`_resolve_same_channel`; the list
@@ -182,6 +191,8 @@ class Medium:
         self._audience = {}
         self._prr_base_rows = None
         self._prr_scale = 1.0
+        self._link_scale_rows = None
+        self._link_epoch = 0
         self._np_interf = None
         self._np_prr = None
 
@@ -250,7 +261,7 @@ class Medium:
         """
         if not self._frozen:
             raise RuntimeError("export_frozen() requires a frozen medium")
-        if self._prr_scale != 1.0:
+        if self._prr_scale != 1.0 or self._link_scale_rows is not None:
             # A snapshot taken mid-epoch would poison every adopter with
             # degraded tables; the sweep engine snapshots right after
             # freeze(), before any fault fires, so this never triggers there.
@@ -262,6 +273,10 @@ class Medium:
             "interf_rows": self._interf_rows,
             "audience": self._audience,
             "neighbors": {key: value for key, value in self._neighbors_cache.items()},
+            # Epoch stamp: snapshots are only ever taken at pristine tables
+            # (enforced above), so adopters can assert the stamp to prove the
+            # warm-pool frozen cache was never fed a mid-epoch table.
+            "link_epoch": self._link_epoch,
         }
 
     def adopt_frozen(self, state: dict) -> bool:
@@ -282,6 +297,9 @@ class Medium:
         self._interf_rows = state["interf_rows"]
         self._audience = state["audience"]
         self._neighbors_cache.update(state["neighbors"])
+        # Snapshots are always pristine (export_frozen refuses mid-epoch
+        # tables), so the adopter starts a fresh epoch history of its own.
+        self._link_epoch = 0
         if _np is not None and self._ids:
             # Rebuilt locally rather than shipped in the snapshot, keeping
             # exported state portable to numpy-less interpreters.
@@ -312,15 +330,85 @@ class Medium:
             raise ValueError(f"PRR scale must be in (0, 1], got {scale}")
         if scale == self._prr_scale:
             return
+        self._prr_scale = scale
+        self._recompute_scaled_rows()
+
+    def set_link_prr_scales(
+        self, scale_rows: Optional[dict[int, Sequence[float]]]
+    ) -> None:
+        """Enter (or, with ``None``, leave) a *per-link* scale epoch.
+
+        The dynamic-medium policy (:mod:`repro.phy.dynamic`) perturbs
+        individual links rather than the whole medium: ``scale_rows`` maps
+        every sender id to a per-listener multiplier vector (same indexing as
+        the frozen PRR rows, values in ``(0, 1]`` so audience membership is
+        preserved).  The vectors compose multiplicatively with the scalar
+        :meth:`set_prr_scale` epochs, and like them they rebuild *new* row
+        lists from the pristine base without unfreezing — snapshots from
+        :meth:`export_frozen` share the base rows and must never see them
+        mutate.  Every transition bumps the epoch stamp checked by
+        :meth:`export_frozen`.
+        """
+        if not self._frozen:
+            raise RuntimeError("set_link_prr_scales() requires a frozen medium")
+        if scale_rows is None:
+            if self._link_scale_rows is None:
+                return
+            self._link_scale_rows = None
+            self._link_epoch += 1
+            self._recompute_scaled_rows()
+            return
+        validated: dict[int, list[float]] = {}
+        width = len(self._ids)
+        for sender in self._ids:
+            row = scale_rows.get(sender)
+            if row is None:
+                raise ValueError(f"per-link scale rows missing sender {sender}")
+            values = list(row)
+            if len(values) != width:
+                raise ValueError(
+                    f"per-link scale row for sender {sender} has "
+                    f"{len(values)} entries, expected {width}"
+                )
+            for value in values:
+                if not 0.0 < value <= 1.0:
+                    raise ValueError(
+                        f"per-link PRR scale must be in (0, 1], got {value}"
+                    )
+            validated[sender] = values
+        self._link_scale_rows = validated
+        self._link_epoch += 1
+        self._recompute_scaled_rows()
+
+    def _recompute_scaled_rows(self) -> None:
+        """Rebuild the effective PRR rows: ``base * scalar * per-link``.
+
+        Shared by the scalar and per-link epoch entry points.  The pristine
+        rows are kept aside on first use and re-installed — the very same
+        list objects, bit-exact — when both scales return to pristine; the
+        scalar-only branch keeps the exact historic ``value * scale``
+        expression so legacy link-degradation epochs stay bit-identical.
+        """
         if self._prr_base_rows is None:
             self._prr_base_rows = self._prr_rows
-        self._prr_scale = scale
-        if scale == 1.0:
-            self._prr_rows = self._prr_base_rows
-        else:
-            base = self._prr_base_rows
+        base = self._prr_base_rows
+        scale = self._prr_scale
+        link = self._link_scale_rows
+        if scale == 1.0 and link is None:
+            self._prr_rows = base
+        elif link is None:
             self._prr_rows = {
                 sender: [value * scale for value in row]
+                for sender, row in base.items()
+            }
+        elif scale == 1.0:
+            self._prr_rows = {
+                sender: [value * s for value, s in zip(row, link[sender])]
+                for sender, row in base.items()
+            }
+        else:
+            self._prr_rows = {
+                sender: [value * scale * s for value, s in zip(row, link[sender])]
                 for sender, row in base.items()
             }
         if self._np_interf is not None:
@@ -341,6 +429,16 @@ class Medium:
     def prr_scale(self) -> float:
         """The link-degradation scale currently applied (1.0 = pristine)."""
         return self._prr_scale
+
+    @property
+    def link_epoch(self) -> int:
+        """Count of per-link epoch transitions applied since freeze()."""
+        return self._link_epoch
+
+    @property
+    def in_link_epoch(self) -> bool:
+        """Whether a per-link scale epoch is currently open."""
+        return self._link_scale_rows is not None
 
     def audience_of(self, sender: int) -> frozenset:
         """Node ids within interference range of ``sender`` (frozen medium).

@@ -121,3 +121,39 @@ class TestScaleFigureExport:
         out = capsys.readouterr().out
         assert "[event queue]" in out
         assert "[timer wheels]" in out
+
+
+class TestFigureRegistry:
+    def test_unknown_figure_id_lists_valid_choices(self, capsys):
+        """argparse choices come from the FIGURES registry, so an unknown id
+        errors out naming every valid figure instead of failing later."""
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--figure", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for figure_id in ("8", "9", "10", "scale", "churn", "churn-dynamic", "join", "all"):
+            assert f"'{figure_id}'" in err
+
+    def test_churn_figure_prints_robustness_ranking(self, capsys):
+        assert (
+            main(
+                [
+                    "--figure",
+                    "churn",
+                    "--values",
+                    "1",
+                    "--schedulers",
+                    MINIMAL,
+                    "--measurement-s",
+                    "14",
+                    "--warmup-s",
+                    "8",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[figure churn] robustness ranking: 1. 6TiSCH-minimal (pdr " in out

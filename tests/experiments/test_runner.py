@@ -93,3 +93,34 @@ class TestChurnRunner:
         first = churn_scenario(1, MINIMAL, seed=1)
         second = churn_scenario(1, MINIMAL, seed=2)
         assert first.faults == second.faults
+
+
+class TestRanking:
+    """``FigureResult.ranking`` orders schedulers by sweep-mean metric."""
+
+    @staticmethod
+    def _result():
+        def point(pdr):
+            return NetworkMetrics(scheduler="x", pdr_percent=pdr, delivered=int(pdr))
+
+        return FigureResult(
+            figure="churn",
+            sweep_label="crashes",
+            sweep_values=[1, 2],
+            results={
+                "A": [point(90), point(70)],  # mean 80
+                "B": [point(95), point(93)],  # mean 94
+                "C": [point(60), point(100)],  # mean 80, ties A
+            },
+        )
+
+    def test_defaults_to_pdr_percent_descending(self):
+        ranking = self._result().ranking()
+        assert [name for name, _ in ranking] == ["B", "A", "C"]
+        assert ranking[0][1] == 94.0
+        # Ties keep the line-up order (stable sort): A before C.
+        assert ranking[1][1] == ranking[2][1] == 80.0
+
+    def test_ascending_and_custom_metric(self):
+        ranking = self._result().ranking("delivered", descending=False)
+        assert [name for name, _ in ranking] == ["A", "C", "B"]

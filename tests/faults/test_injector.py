@@ -11,6 +11,7 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     LinkDegradation,
+    NodeArrival,
     NodeCrash,
     NodeRejoin,
     ParentLoss,
@@ -178,6 +179,152 @@ class TestParentLoss:
         # MRHOF re-ran immediately; with other candidates advertised the
         # node re-attaches (possibly to a different parent).
         assert node.rpl.preferred_parent != old_parent or old_parent is None
+
+
+class TestArrival:
+    ARRIVER = 3
+
+    def _plan(self, time_s=12.0):
+        return FaultPlan(arrivals=(NodeArrival(time_s=time_s, node_id=self.ARRIVER),))
+
+    def test_root_arrival_rejected(self):
+        plan = FaultPlan(arrivals=(NodeArrival(time_s=5.0, node_id=0),))
+        with pytest.raises(ValueError, match="root"):
+            build_network(plan)
+
+    def test_unknown_arriver_rejected(self):
+        plan = FaultPlan(arrivals=(NodeArrival(time_s=5.0, node_id=999),))
+        with pytest.raises(ValueError, match="unknown node"):
+            build_network(plan)
+
+    def test_arrival_requires_scheduler_factory(self):
+        network, _scenario = build_network(None)
+        injector = FaultInjector(network, self._plan())
+        with pytest.raises(ValueError, match="scheduler_factory"):
+            injector.arm()
+
+    def test_arrivals_must_be_armed_before_start(self):
+        network, _scenario = build_network(None)
+        network.start()
+        injector = FaultInjector(
+            network,
+            self._plan(),
+            scheduler_factory=lambda node_id, is_root: None,
+        )
+        with pytest.raises(ValueError, match="before the network starts"):
+            injector.arm()
+
+    def test_arriver_is_absent_until_its_time(self):
+        network, _scenario = build_network(self._plan())
+        node = network.nodes[self.ARRIVER]
+        # Pre-marked at arm time, before slot 0.
+        assert node.alive is False
+        assert node.traffic_enabled is False
+        run_to(network, 11.0)
+        assert node.alive is False
+        assert node.rpl.preferred_parent is None
+        assert len(node.tsch.queue) == 0
+        assert node.tsch.all_cells() == []
+        # Nobody in the network ever saw it.
+        for other in network.nodes.values():
+            if other.node_id == self.ARRIVER:
+                continue
+            assert self.ARRIVER not in other.rpl.neighbors
+            assert self.ARRIVER not in other.rpl.children
+
+    def test_arrival_boots_a_working_node(self):
+        network, _scenario = build_network(self._plan())
+        run_to(network, 13.0)
+        node = network.nodes[self.ARRIVER]
+        assert node.alive is True
+        assert node.traffic_enabled is True
+        run_to(network, 22.0)
+        # A DIO adopted the newcomer into the DODAG.
+        assert node.rpl.preferred_parent is not None
+        assert node.rpl.dodag_id is not None
+
+    def test_arrival_is_noop_for_alive_node(self):
+        network, _scenario = build_network(self._plan())
+        run_to(network, 13.0)
+        node = network.nodes[self.ARRIVER]
+        scheduler = node.scheduler
+        network.fault_injector._arrival(NodeArrival(time_s=13.0, node_id=self.ARRIVER))
+        assert node.scheduler is scheduler
+
+    def test_arrival_counts_as_injected_fault(self):
+        network, scenario = build_network(self._plan())
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scenario.scheduler,
+        )
+        assert metrics.faults_injected == 1
+        assert metrics.nodes_joined == 1
+        assert metrics.time_to_join_s > 0.0
+
+
+class TestRejoinInsideOpenEpoch:
+    """Censoring edge case: a cold reboot lands inside a degradation epoch.
+
+    The rejoining node opens a join episode while every link is degraded;
+    it may or may not close before the window does.  Either way the run
+    must finalize cleanly -- open episodes censor at the window close --
+    and the epoch's restore barrier must still fire on schedule.
+    """
+
+    def _plan(self):
+        return FaultPlan(
+            crashes=(NodeCrash(time_s=10.0, node_id=VICTIM, detect_after_s=1.5),),
+            # Rejoin at 14.0, strictly inside the [12, 18) epoch.
+            rejoins=(NodeRejoin(time_s=14.0, node_id=VICTIM),),
+            link_epochs=(
+                LinkDegradation(time_s=12.0, prr_scale=0.4, duration_s=6.0),
+            ),
+        )
+
+    def test_cold_rejoin_during_epoch_finalizes_and_restores(self):
+        scenario = replace(
+            traffic_load_scenario(
+                rate_ppm=60.0,
+                scheduler=MINIMAL,
+                seed=1,
+                measurement_s=14.0,
+                warmup_s=8.0,
+            ),
+            faults=self._plan(),
+        )
+        # Cold-start join: the reboot re-enters the EB scan mid-epoch.
+        contiki = replace(scenario.contiki, cold_start_join=True)
+        scenario = replace(scenario, contiki=contiki, warm_start=False)
+        network = scenario.build_network()
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scenario.scheduler,
+        )
+        assert metrics.faults_injected == 3
+        assert network.medium.prr_scale == 1.0  # restore fired on schedule
+        # Every boot opened a join episode; closed or censored, the export
+        # is finite and the rebooted node's episode was not dropped.
+        assert metrics.time_to_join_s > 0.0
+        assert metrics.time_to_first_packet_s >= 0.0
+        assert 0 <= metrics.nodes_joined <= len(network.nodes)
+        data = metrics.as_dict()
+        assert data["time_to_join_s"] == metrics.time_to_join_s
+
+    def test_warm_rejoin_during_epoch_finalizes_and_restores(self):
+        network, scenario = build_network(self._plan())
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scenario.scheduler,
+        )
+        assert metrics.faults_injected == 3
+        assert network.medium.prr_scale == 1.0
+        assert network.nodes[VICTIM].alive
 
 
 class TestRecoveryMetrics:

@@ -9,6 +9,7 @@ from repro.experiments.scenarios import MINIMAL, traffic_load_scenario
 from repro.faults import (
     FaultPlan,
     LinkDegradation,
+    NodeArrival,
     NodeCrash,
     NodeRejoin,
     ParentLoss,
@@ -50,6 +51,90 @@ class TestValidation:
         assert not FaultPlan(
             parent_losses=(ParentLoss(time_s=1.0, node_id=2),)
         ).is_empty()
+        assert not FaultPlan(arrivals=(NodeArrival(time_s=1.0, node_id=2),)).is_empty()
+
+    def test_negative_arrival_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(arrivals=(NodeArrival(time_s=-1.0, node_id=3),))
+
+    def test_duplicate_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrives more than once"):
+            FaultPlan(
+                arrivals=(
+                    NodeArrival(time_s=1.0, node_id=3),
+                    NodeArrival(time_s=2.0, node_id=3),
+                )
+            )
+
+    def test_crash_before_arrival_rejected(self):
+        # A node cannot die before it has ever powered on.
+        with pytest.raises(ValueError, match="before arriving"):
+            FaultPlan(
+                crashes=(NodeCrash(time_s=5.0, node_id=3),),
+                rejoins=(NodeRejoin(time_s=8.0, node_id=3),),
+                arrivals=(NodeArrival(time_s=10.0, node_id=3),),
+            )
+
+    def test_crash_after_arrival_accepted(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash(time_s=20.0, node_id=3),),
+            arrivals=(NodeArrival(time_s=10.0, node_id=3),),
+        )
+        assert len(plan.arrivals) == 1
+
+
+class TestAlternation:
+    """Regression: per-node crash/rejoin sequences must alternate crash-first.
+
+    An earlier revision accepted double-crash plans and silently no-op'ed
+    the second crash at run time (the injector guards on ``alive``); the
+    plan validator now rejects them up front.
+    """
+
+    def test_double_crash_without_rejoin_rejected(self):
+        with pytest.raises(ValueError, match="alternate"):
+            FaultPlan(
+                crashes=(
+                    NodeCrash(time_s=5.0, node_id=3),
+                    NodeCrash(time_s=9.0, node_id=3),
+                ),
+                rejoins=(NodeRejoin(time_s=12.0, node_id=3),),
+            )
+
+    def test_rejoin_before_crash_rejected(self):
+        with pytest.raises(ValueError, match="alternate"):
+            FaultPlan(
+                crashes=(NodeCrash(time_s=9.0, node_id=3),),
+                rejoins=(NodeRejoin(time_s=5.0, node_id=3),),
+            )
+
+    def test_double_rejoin_after_one_crash_rejected(self):
+        with pytest.raises(ValueError, match="alternate"):
+            FaultPlan(
+                crashes=(NodeCrash(time_s=5.0, node_id=3),),
+                rejoins=(
+                    NodeRejoin(time_s=9.0, node_id=3),
+                    NodeRejoin(time_s=12.0, node_id=3),
+                ),
+            )
+
+    def test_crash_rejoin_crash_rejoin_accepted(self):
+        plan = FaultPlan(
+            crashes=(
+                NodeCrash(time_s=5.0, node_id=3),
+                NodeCrash(time_s=15.0, node_id=3),
+            ),
+            rejoins=(
+                NodeRejoin(time_s=10.0, node_id=3),
+                NodeRejoin(time_s=20.0, node_id=3),
+            ),
+        )
+        assert len(plan.crashes) == 2
+
+    def test_trailing_crash_without_rejoin_accepted(self):
+        # A node may stay down for the rest of the run.
+        plan = FaultPlan(crashes=(NodeCrash(time_s=5.0, node_id=3),))
+        assert plan.rejoins == ()
 
 
 class TestEventOrdering:
@@ -74,6 +159,15 @@ class TestEventOrdering:
         )
         kinds = [type(event) for _time, _order, event in plan.events()]
         assert kinds == [LinkDegradation, NodeCrash, NodeRejoin, ParentLoss]
+
+    def test_arrival_fires_last_at_same_instant(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash(time_s=10.0, node_id=3),),
+            parent_losses=(ParentLoss(time_s=10.0, node_id=5),),
+            arrivals=(NodeArrival(time_s=10.0, node_id=6),),
+        )
+        kinds = [type(event) for _time, _order, event in plan.events()]
+        assert kinds == [NodeCrash, ParentLoss, NodeArrival]
 
 
 class TestChurnFactory:
@@ -127,6 +221,48 @@ class TestChurnFactory:
         with pytest.raises(ValueError, match="cannot crash"):
             FaultPlan.churn([1, 2], num_crashes=3)
 
+    def test_arrival_draws_never_perturb_legacy_plans(self):
+        """Plans built without arrivals are bit-identical to the historic
+        factory output: the arrival draws happen after every legacy draw."""
+        legacy = FaultPlan.churn(
+            self.CANDIDATES, seed=3, num_crashes=2, degrade_at_s=40.0,
+            parent_loss_at_s=50.0,
+        )
+        with_arrivals = FaultPlan.churn(
+            self.CANDIDATES, seed=3, num_crashes=2, degrade_at_s=40.0,
+            parent_loss_at_s=50.0, num_arrivals=2, arrival_window=(60.0, 70.0),
+        )
+        assert with_arrivals.crashes == legacy.crashes
+        assert with_arrivals.rejoins == legacy.rejoins
+        assert with_arrivals.link_epochs == legacy.link_epochs
+        assert with_arrivals.parent_losses == legacy.parent_losses
+        assert len(with_arrivals.arrivals) == 2
+
+    def test_arrivals_avoid_crash_and_parent_loss_victims(self):
+        plan = FaultPlan.churn(
+            self.CANDIDATES, seed=5, num_crashes=3, parent_loss_at_s=50.0,
+            num_arrivals=4, arrival_window=(60.0, 80.0),
+        )
+        taken = {crash.node_id for crash in plan.crashes}
+        taken.update(loss.node_id for loss in plan.parent_losses)
+        arrivers = {arrival.node_id for arrival in plan.arrivals}
+        assert not (arrivers & taken)
+        assert arrivers <= set(self.CANDIDATES)
+
+    def test_arrival_times_spread_across_window(self):
+        plan = FaultPlan.churn(
+            self.CANDIDATES, seed=1, num_crashes=1,
+            num_arrivals=2, arrival_window=(60.0, 70.0),
+        )
+        assert [a.time_s for a in plan.arrivals] == [60.0, 65.0]
+
+    def test_too_many_arrivals_rejected(self):
+        with pytest.raises(ValueError, match="cannot arrive"):
+            FaultPlan.churn(
+                [1, 2, 3], num_crashes=2, num_arrivals=2,
+                arrival_window=(60.0, 70.0),
+            )
+
 
 class TestFingerprinting:
     def _scenario(self, plan):
@@ -154,3 +290,18 @@ class TestFingerprinting:
         first = self._scenario(FaultPlan.churn([1, 2, 3], seed=4, num_crashes=2))
         second = self._scenario(FaultPlan.churn([1, 2, 3], seed=4, num_crashes=2))
         assert scenario_fingerprint(first) == scenario_fingerprint(second)
+
+    def test_arrivals_change_the_fingerprint(self):
+        bare = self._scenario(FaultPlan())
+        with_arrival = self._scenario(
+            FaultPlan(arrivals=(NodeArrival(time_s=40.0, node_id=3),))
+        )
+        shifted = self._scenario(
+            FaultPlan(arrivals=(NodeArrival(time_s=41.0, node_id=3),))
+        )
+        prints = {
+            scenario_fingerprint(bare),
+            scenario_fingerprint(with_arrival),
+            scenario_fingerprint(shifted),
+        }
+        assert len(prints) == 3

@@ -282,3 +282,78 @@ class TestRecoveryMetrics:
         assert metrics.faults_injected == 0
         assert metrics.time_to_reconverge_s == 0.0
         assert metrics.orphaned_cell_slots == 0
+
+
+class TestJoinCensoring:
+    """Edge cases of the join-episode clocks, driven without a network.
+
+    The join and first-packet clocks are boot-relative and deliberately
+    survive ``begin_measurement``; episodes still open when the window
+    closes are censored at ``window_end`` rather than dropped, so sweeps
+    over slow-forming networks report honest lower bounds.
+    """
+
+    def _finalize(self, collector, window_end=30.0):
+        collector.end_measurement(now=window_end)
+        return collector.finalize([], window_end, "X")
+
+    def test_node_that_never_joins_is_censored_at_window_close(self):
+        collector = MetricsCollector()
+        collector.on_join_pending(5, 2.0)  # boots before the window opens
+        collector.begin_measurement([], now=10.0)
+        metrics = self._finalize(collector, window_end=30.0)
+        assert metrics.nodes_joined == 0
+        assert metrics.time_to_join_s == pytest.approx(28.0)
+        assert metrics.time_to_first_packet_s == pytest.approx(28.0)
+
+    def test_join_at_the_exact_final_slot_counts_as_joined(self):
+        collector = MetricsCollector()
+        collector.on_join_pending(5, 2.0)
+        collector.begin_measurement([], now=10.0)
+        collector.on_node_joined(5, 30.0)  # the very instant the window ends
+        metrics = self._finalize(collector, window_end=30.0)
+        assert metrics.nodes_joined == 1
+        assert metrics.time_to_join_s == pytest.approx(28.0)
+        # No packet made it: the first-packet episode is censored, equal to
+        # the join duration only by coincidence of the timestamps.
+        assert metrics.time_to_first_packet_s == pytest.approx(28.0)
+
+    def test_reopened_episode_restarts_both_clocks(self):
+        # A desync (or crash) while pending re-opens the episode: the clock
+        # restarts from the *latest* boot, it does not accumulate.
+        collector = MetricsCollector()
+        collector.begin_measurement([], now=10.0)
+        collector.on_join_pending(5, 12.0)
+        collector.on_join_pending(5, 20.0)  # rebooted before ever joining
+        collector.on_node_joined(5, 26.0)
+        metrics = self._finalize(collector, window_end=30.0)
+        assert metrics.nodes_joined == 1
+        assert metrics.time_to_join_s == pytest.approx(6.0)
+
+    def test_pending_boot_after_window_close_censors_to_zero(self):
+        # An arrival landing exactly at (or after) the window close must not
+        # produce a negative censored duration.
+        collector = MetricsCollector()
+        collector.begin_measurement([], now=10.0)
+        collector.on_join_pending(5, 30.0)
+        metrics = self._finalize(collector, window_end=30.0)
+        assert metrics.nodes_joined == 0
+        assert metrics.time_to_join_s == 0.0
+
+    def test_join_keys_aggregate_with_dispersion_columns(self):
+        from repro.metrics.aggregate import NUMERIC_KEYS, MetricsAggregate
+
+        runs = []
+        for joined, t_join in ((3, 10.0), (5, 14.0)):
+            metrics = NetworkMetrics(scheduler="X")
+            metrics.nodes_joined = joined
+            metrics.time_to_join_s = t_join
+            metrics.time_to_first_packet_s = t_join + 2.0
+            runs.append(metrics)
+        aggregate = MetricsAggregate.from_runs(runs, seeds=[1, 2])
+        assert "time_to_join_s" in NUMERIC_KEYS
+        assert aggregate.as_dict()["time_to_join_s"] == pytest.approx(12.0)
+        assert aggregate.as_dict()["nodes_joined"] == pytest.approx(4.0)
+        stats = aggregate.stats_dict()
+        assert stats["time_to_join_s_std"] > 0.0
+        assert "time_to_first_packet_s_ci95" in stats

@@ -21,6 +21,7 @@ from repro.experiments.scenarios import (
     churn_scenario,
     traffic_load_scenario,
 )
+from repro.phy.dynamic import default_drift_policy
 from repro.mac.cell import Cell, CellOption
 from repro.mac.tsch import next_offset_occurrence
 from repro.net.network import Network
@@ -133,6 +134,91 @@ class TestFaultEquivalence:
         assert naive.faults_injected == 4
         assert naive.time_to_reconverge_s > 0.0
         # The epoch closed: the medium is back to its pristine tables.
+        assert naive_net.medium.prr_scale == 1.0
+        assert fast_net.medium.prr_scale == 1.0
+
+
+#: Explicit ids so CI can select a cheap subset with ``-k`` (e.g.
+#: ``-k "dyn-gt-s1 or dyn-orchestra-s1"`` for the dynamic-equivalence leg).
+_DYNAMIC_CASES = [
+    pytest.param(MINIMAL, 1, id="dyn-minimal-s1"),
+    pytest.param(MINIMAL, 2, id="dyn-minimal-s2"),
+    pytest.param(ORCHESTRA, 1, id="dyn-orchestra-s1"),
+    pytest.param(ORCHESTRA, 2, id="dyn-orchestra-s2"),
+    pytest.param(GT_TSCH, 1, id="dyn-gt-s1"),
+    pytest.param(GT_TSCH, 2, id="dyn-gt-s2"),
+]
+
+
+class TestDynamicEquivalence:
+    """The full dynamic-network stack composes with the fast kernel bit-identically.
+
+    Everything PR 9 adds runs at once: every non-root node boots
+    unsynchronised (cold-start EB scan -> sync -> RPL join), one node is
+    absent from slot 0 and powers on mid-window (arrival churn), and a
+    seeded three-epoch per-link PRR drift schedule perturbs the medium on
+    top of the legacy crash/rejoin/degrade/parent-loss plan.  Scan windows
+    settle in bulk, arrivals pre-mark state before slot 0, and epoch
+    transitions re-scale the frozen tables -- each through the kernel's
+    settlement barriers, so ``fast=True`` must still finalize exactly the
+    reference loop's metrics.
+    """
+
+    def _run(self, scheduler: str, seed: int, fast: bool):
+        # Three drift epochs inside the short window; the restore barrier
+        # fires at 16.8s, before the measurement window closes at 22s.
+        drift = default_drift_policy(
+            seed=seed,
+            start_s=10.8,
+            epoch_s=2.0,
+            num_epochs=3,
+        )
+        scenario = churn_scenario(
+            num_crashes=1,
+            scheduler=scheduler,
+            seed=seed,
+            rate_ppm=60.0,
+            measurement_s=14.0,
+            warmup_s=8.0,
+            num_arrivals=1,
+            link_drift=drift,
+            cold_start=True,
+        )
+        plan = scenario.faults
+        assert plan is not None
+        assert len(plan.crashes) >= 1
+        assert len(plan.rejoins) >= 1
+        assert len(plan.link_epochs) >= 1
+        assert len(plan.parent_losses) >= 1
+        assert len(plan.arrivals) == 1
+        network = scenario.build_network()
+        network.fast = fast
+        metrics = network.run_experiment(
+            warmup_s=scenario.warmup_s,
+            measurement_s=scenario.measurement_s,
+            drain_s=3.0,
+            scheduler_name=scheduler,
+        )
+        return network, metrics
+
+    @pytest.mark.parametrize("scheduler,seed", _DYNAMIC_CASES)
+    def test_metrics_bit_identical_under_dynamics(self, scheduler, seed):
+        naive_net, naive = self._run(scheduler, seed, fast=False)
+        fast_net, fast = self._run(scheduler, seed, fast=True)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(naive)
+        assert fast_net.clock.asn == naive_net.clock.asn
+        assert fast_net.medium.total_transmissions == naive_net.medium.total_transmissions
+        assert fast_net.medium.total_collisions == naive_net.medium.total_collisions
+        for node_id in naive_net.nodes:
+            assert dataclasses.asdict(fast_net.nodes[node_id].tsch.stats) == (
+                dataclasses.asdict(naive_net.nodes[node_id].tsch.stats)
+            )
+        # The whole dynamic plan fired: 4 legacy faults + 1 arrival + 3
+        # link-drift epoch transitions.
+        assert naive.faults_injected == 8
+        # The drift restore barrier fired: pristine per-link tables again.
+        assert not naive_net.medium.in_link_epoch
+        assert not fast_net.medium.in_link_epoch
         assert naive_net.medium.prr_scale == 1.0
         assert fast_net.medium.prr_scale == 1.0
 

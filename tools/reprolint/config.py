@@ -156,6 +156,7 @@ class LintConfig:
         "repro/mac/queue.py",
         "repro/mac/duty_cycle.py",
         "repro/net/packet.py",
+        "repro/phy/dynamic.py",
         "repro/sim/events.py",
         "repro/kernel/state.py",
     )
