@@ -74,6 +74,7 @@ from repro.experiments.scenarios import (
     ORCHESTRA,
     scale_scenario,
 )
+from repro.schedulers import registry
 
 #: The committed throughput record (repository root).
 BENCH_FILE = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scaling.json")
@@ -101,7 +102,11 @@ NODE_COUNTS = _COUNT_OVERRIDE or ((100, 200) if SMOKE else (100, 200, 500))
 WARMUP_S = 10.0 if SMOKE else 20.0
 MEASUREMENT_S = 15.0 if SMOKE else 40.0
 DRAIN_S = DEFAULT_DRAIN_S
-SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)
+# Every registered scheduler: a new plugin enters the sweep (and the
+# committed record, additively) without touching this file.  The original
+# three rows keep their committed baselines -- adding schedulers never
+# rebaselines existing ones.
+SCHEDULERS = tuple(registry.available())
 
 #: Steady-state slots/s of the kernel before this change (commit 4d06219) on
 #: the same scenarios (best of two runs), dev container.  Kept as the fixed

@@ -35,6 +35,7 @@ from repro.experiments.export import figure_to_csv, figure_to_json
 from repro.experiments.parallel import ResultCache
 from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
+    ROBUSTNESS_SCHEDULERS,
     FigureResult,
     run_churn,
     run_churn_dynamic,
@@ -44,11 +45,13 @@ from repro.experiments.runner import (
     run_join,
     run_scale,
 )
-from repro.experiments.scenarios import DEFAULT_DRAIN_S, GT_TSCH, MINIMAL, ORCHESTRA
+from repro.experiments.scenarios import DEFAULT_DRAIN_S
+from repro.schedulers import registry
 from repro.sim.clock import SimClock
 
-#: Scheduler names the scenarios accept.
-KNOWN_SCHEDULERS = (GT_TSCH, ORCHESTRA, MINIMAL)
+#: Scheduler names the scenarios accept -- whatever is registered (including
+#: third-party plugins imported before this entry point runs).
+KNOWN_SCHEDULERS = tuple(registry.available())
 
 #: figure id -> (runner, name of its sweep-values keyword, value parser)
 FIGURES = {
@@ -133,9 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--schedulers",
         nargs="+",
         default=None,
+        choices=KNOWN_SCHEDULERS,
         metavar="NAME",
-        help="schedulers to compare (default: GT-TSCH Orchestra; "
-        "--figure churn compares all three)",
+        help="schedulers to compare, any of: "
+        f"{', '.join(KNOWN_SCHEDULERS)} (default: "
+        f"{' '.join(DEFAULT_SCHEDULERS)}; the churn/join sweeps default to "
+        f"{' '.join(ROBUSTNESS_SCHEDULERS)})",
     )
     parser.add_argument(
         "--export-dir",
@@ -268,20 +274,14 @@ def _run_figures(args: argparse.Namespace) -> int:
     if args.schedulers is None:
         # The robustness head-to-heads and the join sweep are three-scheduler
         # comparisons by design; the paper figures default to the GT-TSCH vs
-        # Orchestra pair.
+        # Orchestra pair.  (Unknown names never reach this point: the
+        # --schedulers choices are registry-generated, so argparse rejects
+        # them with the full registered list.)
         args.schedulers = (
-            list(KNOWN_SCHEDULERS)
+            list(ROBUSTNESS_SCHEDULERS)
             if args.figure in THREE_SCHEDULER_FIGURES
             else list(DEFAULT_SCHEDULERS)
         )
-    unknown = [name for name in args.schedulers if name not in KNOWN_SCHEDULERS]
-    if unknown:
-        print(
-            f"unknown scheduler(s) {', '.join(unknown)}; "
-            f"choose from: {', '.join(KNOWN_SCHEDULERS)}",
-            file=sys.stderr,
-        )
-        return 2
 
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     # Simulated slots per scenario cell: warm-up + measurement + drain, with

@@ -55,7 +55,10 @@ _LOGGER = logging.getLogger(__name__)
 #:    ``NetworkMetrics`` fields.
 #: 4: scenarios grew cold-start join knobs, arrival faults and an
 #:    epoch-varying link-drift policy; old entries lack the join metrics.
-CACHE_SCHEMA_VERSION = 4
+#: 5: the fingerprint document gained the scheduler's own
+#:    ``config_fingerprint()`` (registry-resolved), so old entries hashed
+#:    without per-scheduler config cannot collide with new ones.
+CACHE_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -154,11 +157,18 @@ def scenario_fingerprint(scenario: Scenario) -> str:
     old entries.
     """
     import repro
+    from repro.schedulers import registry
 
+    # Probe the scheduler's own configuration through the registry: SF
+    # constructors are side-effect-free until ``attach``/``start``, so
+    # building one throwaway instance is cheap, and a third-party plugin's
+    # config enters the cache key with no special-casing here.
+    probe = registry.resolve(scenario.scheduler)(scenario.contiki)(0, False)
     document = {
         "schema": CACHE_SCHEMA_VERSION,
         "version": getattr(repro, "__version__", "0"),
         "scenario": _canonical(scenario),
+        "scheduler_config": _canonical(probe.config_fingerprint()),
     }
     payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -315,8 +325,7 @@ def _pool_initializer() -> None:
     import repro.experiments.scenarios  # noqa: F401
     import repro.net.network  # noqa: F401
     import repro.core.scheduler  # noqa: F401
-    import repro.schedulers.orchestra  # noqa: F401
-    import repro.schedulers.minimal  # noqa: F401
+    import repro.schedulers  # noqa: F401  (registers every first-party SF)
 
 
 def shutdown_pool() -> None:
@@ -410,12 +419,14 @@ def _run_with_persistent_pool(
     pool = get_pool(workers)
     while outstanding:
         batch = sorted(outstanding)
-        chunksize = max(1, len(batch) // (workers * 4))
         known_pids = _pool_alive_pids(pool)
+        # chunksize stays 1: for chunksize > 1 ``imap_unordered`` returns a
+        # flattening *generator* without the ``next(timeout=...)`` method the
+        # crash-detection poll below depends on.  Each cell is a whole
+        # simulation, so per-task dispatch overhead is noise anyway.
         iterator = pool.imap_unordered(
             _run_indexed,
             [(position, todo[position]) for position in batch],
-            chunksize=chunksize,
         )
         remaining = len(batch)
         crashed = False

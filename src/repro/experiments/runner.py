@@ -25,9 +25,6 @@ from typing import Optional, Union
 from repro.experiments.parallel import ResultCache, run_scenarios
 from repro.experiments.parallel import run_scenario as run_scenario  # re-export
 from repro.experiments.scenarios import (
-    GT_TSCH,
-    MINIMAL,
-    ORCHESTRA,
     SCALE_RATE_PPM,
     Scenario,
     churn_scenario,
@@ -41,9 +38,15 @@ from repro.metrics.aggregate import MetricsAggregate
 from repro.metrics.collector import NetworkMetrics
 from repro.metrics.report import format_figure_report
 from repro.phy.dynamic import DynamicMediumPolicy, default_drift_policy
+from repro.schedulers import registry
 
-#: Scheduler line-up used in the paper's comparisons.
-DEFAULT_SCHEDULERS = (GT_TSCH, ORCHESTRA)
+#: Scheduler line-up used in the paper's comparisons (GT-TSCH vs Orchestra),
+#: derived from the registry's ``paper_default`` registrations.
+DEFAULT_SCHEDULERS = registry.paper_lineup()
+
+#: Three-scheduler line-up of the robustness/join/scale extensions (adds the
+#: 6TiSCH-minimal floor), derived from ``robustness_default`` registrations.
+ROBUSTNESS_SCHEDULERS = registry.robustness_lineup()
 
 #: Either a raw single-run metrics object or a cross-seed aggregate; both
 #: expose the same ``as_dict()`` keys.
@@ -211,7 +214,7 @@ def run_figure9(
 
 def run_scale(
     node_counts: Sequence[int] = (100, 200, 500),
-    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    schedulers: Sequence[str] = ROBUSTNESS_SCHEDULERS,
     rate_ppm: float = SCALE_RATE_PPM,
     seed: int = 1,
     measurement_s: float = 40.0,
@@ -249,7 +252,7 @@ def run_scale(
 
 def run_churn(
     crash_counts: Sequence[int] = (1, 2, 3),
-    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    schedulers: Sequence[str] = ROBUSTNESS_SCHEDULERS,
     rate_ppm: float = 120.0,
     seed: int = 1,
     measurement_s: float = 60.0,
@@ -302,7 +305,7 @@ def run_churn(
 
 def run_churn_dynamic(
     crash_counts: Sequence[int] = (1, 2),
-    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    schedulers: Sequence[str] = ROBUSTNESS_SCHEDULERS,
     rate_ppm: float = 120.0,
     seed: int = 1,
     measurement_s: float = 60.0,
@@ -349,7 +352,7 @@ def run_churn_dynamic(
 
 def run_join(
     dodag_sizes: Sequence[int] = (5, 7, 9),
-    schedulers: Sequence[str] = (GT_TSCH, ORCHESTRA, MINIMAL),
+    schedulers: Sequence[str] = ROBUSTNESS_SCHEDULERS,
     rate_ppm: float = 60.0,
     seed: int = 1,
     measurement_s: float = 90.0,

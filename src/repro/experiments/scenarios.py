@@ -26,7 +26,6 @@ from typing import Optional
 
 from repro.core.config import GtTschConfig
 from repro.core.game import GameWeights
-from repro.core.scheduler import GtTschScheduler
 from repro.faults import FaultInjector, FaultPlan
 from repro.mac.hopping import DEFAULT_HOPPING_SEQUENCE
 from repro.mac.tsch import TschConfig
@@ -37,14 +36,18 @@ from repro.net.traffic import PeriodicTrafficGenerator
 from repro.phy.dynamic import DynamicMediumPolicy, arm_link_drift
 from repro.phy.propagation import UnitDiskLossyEdgeModel
 from repro.rpl.engine import RplConfig
-from repro.schedulers.minimal import MinimalScheduler, MinimalSchedulerConfig
-from repro.schedulers.orchestra import OrchestraConfig, OrchestraScheduler
+from repro.schedulers import registry
+from repro.schedulers.orchestra import OrchestraConfig
 from repro.sixtop.layer import SixPConfig
 
-#: Scheduler names accepted by the scenarios.
+#: Canonical scheduler names (constants for the common ones; the registry is
+#: the authoritative list -- ``repro.schedulers.registry.available()``).
 GT_TSCH = "GT-TSCH"
 ORCHESTRA = "Orchestra"
 MINIMAL = "6TiSCH-minimal"
+MSF = "MSF"
+DEBRAS = "DeBrAS"
+OTF = "OTF"
 
 #: Default drain phase (seconds) appended after the measurement window.
 DEFAULT_DRAIN_S = 5.0
@@ -152,15 +155,19 @@ class Scenario:
             seed=self.seed,
             default_node_config=self.contiki.node_config(),
         )
+        # One factory instance serves both network construction and the fault
+        # injector's rejoin/arrival rebuilds: the single registry resolution
+        # is the only place scheduler names are interpreted.
+        scheduler_factory = self._scheduler_factory()
         network.build_from_topology(
             self.topology,
-            scheduler_factory=self._scheduler_factory(),
+            scheduler_factory=scheduler_factory,
             traffic_factory=self._traffic_factory(),
             warm_start=self.warm_start,
         )
         if self.faults is not None and not self.faults.is_empty():
             injector = FaultInjector(
-                network, self.faults, scheduler_factory=self._scheduler_factory()
+                network, self.faults, scheduler_factory=scheduler_factory
             )
             injector.arm()
             network.fault_injector = injector
@@ -172,14 +179,11 @@ class Scenario:
 
     # ------------------------------------------------------------------
     def _scheduler_factory(self) -> Callable:
-        contiki = self.contiki
-        if self.scheduler == GT_TSCH:
-            return lambda node_id, is_root: GtTschScheduler(contiki.gt_tsch_config())
-        if self.scheduler == ORCHESTRA:
-            return lambda node_id, is_root: OrchestraScheduler(contiki.orchestra_config())
-        if self.scheduler == MINIMAL:
-            return lambda node_id, is_root: MinimalScheduler(MinimalSchedulerConfig())
-        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        # Registry resolution replaces the old per-name if/elif chain: a
+        # third-party SF registered via ``@register_scheduler`` is accepted
+        # here (and everywhere downstream) with no scenario changes.  An
+        # unknown name raises ``ValueError`` listing the registered ones.
+        return registry.resolve(self.scheduler)(self.contiki)
 
     def _traffic_factory(self) -> Callable:
         rate = self.rate_ppm

@@ -26,7 +26,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class SchedulingFunction:
-    """Base class for TSCH scheduling functions."""
+    """Base class for TSCH scheduling functions.
+
+    Lifecycle contract
+    ------------------
+    ``attach(node)`` binds the SF to its node (exactly once, before any other
+    callback); ``start()`` installs the initial schedule -- it runs either at
+    network build time (warm start, after which the node replays
+    ``on_parent_changed``/``on_child_added`` for the pre-seeded topology) or
+    after cold-start synchronisation, right before RPL boots; ``stop()`` runs
+    on node crash and must cancel every live timer the SF owns, because a
+    rejoin boots a *fresh* SF instance while the old one's events would
+    otherwise keep firing.  The fault injector builds replacement instances
+    through the same registry factory used at network construction, so an SF
+    must be fully functional when constructed with nothing but its config.
+
+    Settlement-barrier obligations
+    ------------------------------
+    The fast kernel skips slots in which no node acts, so an SF **must not**
+    rely on per-slot callbacks -- all of its logic has to be event-driven
+    (periodic timers, ``on_tx_done``, ``on_eb_received``, 6P callbacks), and
+    anything resembling "per elapsed slot" accounting must be computed
+    arithmetically from time deltas at event boundaries.  Every schedule
+    mutation (``Slotframe.add_cell`` / ``remove_cell``) is automatically a
+    settlement barrier: the MAC settles duty-cycle and CSMA state up to the
+    current slot before the mutation applies, which is what keeps the
+    skipping kernel bit-identical to the per-slot reference loop.  Mutating
+    the schedule from any event-queue callback is therefore safe; counting
+    slots by hooking them is not.
+    """
 
     #: Human-readable name used in metrics and experiment tables.
     name = "base"
@@ -121,6 +149,22 @@ class SchedulingFunction:
     def load_balance_period_s(self) -> float:
         """Length of the scheduler's periodic adaptation round (0 = none)."""
         return 0.0
+
+    def config_fingerprint(self) -> Any:
+        """Value describing everything configurable about this SF instance.
+
+        Folded into the scenario fingerprint (and hence the on-disk result
+        cache key) by :func:`repro.experiments.parallel.scenario_fingerprint`,
+        so scheduler configuration enters cache keys generically instead of
+        through per-scheduler ``ContikiConfig`` special cases -- a
+        third-party SF with its own config dataclass is cached correctly
+        without touching the experiments layer.  The returned value must be
+        canonicalisable: a dataclass, a dict/list/tuple of scalars, or any
+        object with a value-based ``__repr__``.  The default returns the
+        conventional ``config`` attribute (every first-party scheduler stores
+        its config dataclass there), or ``None`` for config-free SFs.
+        """
+        return getattr(self, "config", None)
 
     # ------------------------------------------------------------------
     # introspection helpers shared by concrete schedulers

@@ -1,0 +1,108 @@
+"""The scheduler-plugin registry: one source of truth for scheduler names.
+
+Before this registry existed, adding a scheduler meant touching four files:
+the if/elif factory chain in ``Scenario._scheduler_factory``, the
+``KNOWN_SCHEDULERS`` tuple of the CLI, the per-figure ``DEFAULT_SCHEDULERS``
+line-ups of the runner, and the scheduler imports of the worker-pool
+initialiser.  Now a scheduler registers itself once::
+
+    from repro.schedulers.registry import register_scheduler
+
+    @register_scheduler("MySF")
+    def _build_my_sf(contiki):
+        config = MySfConfig(slotframe_length=contiki.gt_slotframe_length)
+        return lambda node_id, is_root: MySfScheduler(config)
+
+and every consumer -- scenario construction, fault-injection rejoin
+factories, CLI validation, figure defaults, cache fingerprints -- resolves
+through :func:`resolve` / :func:`available`.
+
+A **builder** maps the experiment-wide protocol configuration (duck-typed:
+any object with the :class:`~repro.experiments.scenarios.ContikiConfig`
+attributes the scheduler needs) to a per-node **factory**
+``(node_id, is_root) -> SchedulingFunction``.  The factory is called once
+per node (and again on fault-injected rejoins/arrivals), so builders that
+want per-node fresh config objects should construct them inside the factory.
+
+Import-cycle contract: this module (and the whole :mod:`repro.schedulers`
+package) must stay importable without :mod:`repro.experiments` -- builders
+see the Contiki configuration duck-typed, never by import.  Registration of
+GT-TSCH (which lives in :mod:`repro.core.scheduler` and itself imports
+:mod:`repro.schedulers.base`) defers its import to the builder body for the
+same reason.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedulers.base import SchedulingFunction
+
+#: ``factory(node_id, is_root) -> SchedulingFunction`` -- called per node.
+SchedulerFactory = Callable[[int, bool], "SchedulingFunction"]
+#: ``builder(contiki) -> factory`` -- called once per scenario.
+SchedulerBuilder = Callable[[Any], SchedulerFactory]
+
+#: name -> (builder, paper_default, robustness_default), in registration
+#: order (dicts preserve insertion order; line-up helpers rely on it).
+_REGISTRY: dict[str, tuple[SchedulerBuilder, bool, bool]] = {}
+
+
+def register_scheduler(
+    name: str,
+    *,
+    paper_default: bool = False,
+    robustness_default: bool = False,
+) -> Callable[[SchedulerBuilder], SchedulerBuilder]:
+    """Class/function decorator registering a scheduler builder under ``name``.
+
+    ``paper_default`` marks the scheduler as part of the paper-figure
+    line-up (Figs. 8-10 default to the GT-TSCH vs Orchestra pair);
+    ``robustness_default`` marks it as part of the three-scheduler
+    robustness/join/scale line-up.  Registering an already-taken name is an
+    error -- two plugins silently shadowing each other would make scenario
+    fingerprints ambiguous.
+    """
+
+    def decorator(builder: SchedulerBuilder) -> SchedulerBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scheduler {name!r} is already registered")
+        _REGISTRY[name] = (builder, paper_default, robustness_default)
+        return builder
+
+    return decorator
+
+
+def resolve(name: str) -> SchedulerBuilder:
+    """The builder registered under ``name``.
+
+    Raises ``ValueError`` naming every registered scheduler, so the CLI and
+    the scenarios report the same (auto-generated) list of valid names.
+    """
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from: {', '.join(available())}"
+        ) from None
+
+
+def available() -> list[str]:
+    """Sorted names of every registered scheduler."""
+    return sorted(_REGISTRY)
+
+
+def paper_lineup() -> tuple[str, ...]:
+    """Schedulers of the paper-figure default comparison, registration order."""
+    return tuple(
+        name for name, (_, paper, _robust) in _REGISTRY.items() if paper
+    )
+
+
+def robustness_lineup() -> tuple[str, ...]:
+    """Schedulers of the robustness/join/scale default line-up."""
+    return tuple(
+        name for name, (_, _paper, robust) in _REGISTRY.items() if robust
+    )

@@ -113,6 +113,50 @@ def make_orchestra_network(
     return network
 
 
+def make_registry_network(
+    scheduler: str,
+    topology=None,
+    seed: int = 7,
+    rate_ppm: float = 0.0,
+    node_config: NodeConfig = None,
+    contiki=None,
+    warm_start: bool = True,
+):
+    """Build a small network for any registry-registered scheduler.
+
+    Resolves the per-node factory exactly the way the scenarios do, so tests
+    exercise the same code path as ``python -m repro.experiments``.
+    """
+    from repro.experiments.scenarios import ContikiConfig
+    from repro.schedulers import registry
+
+    topology = topology or star_topology(3)
+    node_config = node_config or NodeConfig(
+        tsch=TschConfig(eb_period_s=1.0),
+        rpl=RplConfig(dio_interval_min_s=2.0, dao_delay_s=0.5),
+        sixp=SixPConfig(timeout_s=3.0, max_retries=2),
+    )
+    contiki = contiki or ContikiConfig(load_balance_period_s=2.0)
+    network = Network(
+        propagation=UnitDiskLossyEdgeModel(),
+        seed=seed,
+        default_node_config=node_config,
+    )
+
+    def traffic_factory(node_id, is_root):
+        if is_root or rate_ppm <= 0:
+            return None
+        return PeriodicTrafficGenerator(rate_ppm=rate_ppm)
+
+    network.build_from_topology(
+        topology,
+        scheduler_factory=registry.resolve(scheduler)(contiki),
+        traffic_factory=traffic_factory,
+        warm_start=warm_start,
+    )
+    return network
+
+
 @pytest.fixture
 def gt_star_network():
     """A 4-node (root + 3 leaves) GT-TSCH network."""

@@ -15,12 +15,16 @@ import dataclasses
 import pytest
 
 from repro.experiments.scenarios import (
+    DEBRAS,
     GT_TSCH,
     MINIMAL,
+    MSF,
     ORCHESTRA,
+    OTF,
     churn_scenario,
     traffic_load_scenario,
 )
+from repro.schedulers import registry
 from repro.phy.dynamic import default_drift_policy
 from repro.mac.cell import Cell, CellOption
 from repro.mac.tsch import next_offset_occurrence
@@ -47,10 +51,16 @@ def _run(scheduler: str, seed: int, fast: bool):
     return network, metrics
 
 
+#: Every registered scheduler must satisfy the bit-identity contract, so the
+#: headline equivalence proof parameterizes over the registry itself: a newly
+#: registered scheduler is covered without touching this file.
+ALL_REGISTERED = tuple(registry.available())
+
+
 class TestSkipEquivalence:
     """Fast kernel vs naive loop: finalized metrics must be bit-identical."""
 
-    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("scheduler", ALL_REGISTERED)
     @pytest.mark.parametrize("seed", [1, 2])
     def test_metrics_bit_identical(self, scheduler, seed):
         naive_net, naive = _run(scheduler, seed, fast=False)
@@ -79,6 +89,10 @@ _FAULT_CASES = [
     pytest.param(ORCHESTRA, 2, id="orchestra-s2"),
     pytest.param(GT_TSCH, 1, id="gt-s1"),
     pytest.param(GT_TSCH, 2, id="gt-s2"),
+    pytest.param(MSF, 1, id="msf-s1"),
+    pytest.param(MSF, 2, id="msf-s2"),
+    pytest.param(DEBRAS, 1, id="debras-s1"),
+    pytest.param(OTF, 1, id="otf-s1"),
 ]
 
 
@@ -147,6 +161,9 @@ _DYNAMIC_CASES = [
     pytest.param(ORCHESTRA, 2, id="dyn-orchestra-s2"),
     pytest.param(GT_TSCH, 1, id="dyn-gt-s1"),
     pytest.param(GT_TSCH, 2, id="dyn-gt-s2"),
+    pytest.param(MSF, 1, id="dyn-msf-s1"),
+    pytest.param(DEBRAS, 1, id="dyn-debras-s1"),
+    pytest.param(OTF, 1, id="dyn-otf-s1"),
 ]
 
 
@@ -332,7 +349,7 @@ class TestReferenceLoop:
 class TestParticipantDispatch:
     """The participant-indexed, transmitter-centric dispatch kernel."""
 
-    @pytest.mark.parametrize("scheduler", [MINIMAL, ORCHESTRA, GT_TSCH])
+    @pytest.mark.parametrize("scheduler", ALL_REGISTERED)
     @pytest.mark.parametrize("seed", [1, 2])
     def test_scale_scenario_bit_identical(self, scheduler, seed):
         """Equivalence proof on the multi-DODAG scaling workload."""

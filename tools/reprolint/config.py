@@ -109,6 +109,7 @@ class LintConfig:
         "repro/sim/",
         "repro/faults/",
         "repro/kernel/",
+        "repro/schedulers/",
     )
     #: Zero-argument methods known (cross-module) to return a set/frozenset.
     known_set_returning_methods: frozenset[str] = frozenset(
@@ -159,6 +160,9 @@ class LintConfig:
         "repro/phy/dynamic.py",
         "repro/sim/events.py",
         "repro/kernel/state.py",
+        "repro/schedulers/msf.py",
+        "repro/schedulers/debras.py",
+        "repro/schedulers/otf.py",
     )
     #: Base classes that exempt a class from the __slots__ requirement
     #: (enum members live on the class; exceptions are cold by definition).
